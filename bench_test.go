@@ -1,0 +1,424 @@
+// Benchmarks regenerating every evaluation artefact of the paper (one bench
+// per figure — the paper has no numbered tables; Figures 3–7 are its entire
+// evaluation) plus the ablation benches DESIGN.md lists. Figure benches
+// report the headline domain metric via b.ReportMetric so `go test -bench`
+// output carries the reproduced numbers alongside the timing.
+//
+// Benchmark parameters are deliberately smaller than cmd/figures defaults so
+// the suite completes quickly; cmd/figures regenerates the full-fidelity
+// series.
+package hybridqos
+
+import (
+	"testing"
+
+	"hybridqos/internal/analytic"
+	"hybridqos/internal/bandwidth"
+	"hybridqos/internal/cache"
+	"hybridqos/internal/catalog"
+	"hybridqos/internal/clients"
+	"hybridqos/internal/core"
+	"hybridqos/internal/experiments"
+	"hybridqos/internal/pullqueue"
+	"hybridqos/internal/rng"
+	"hybridqos/internal/sched"
+	"hybridqos/internal/workload"
+)
+
+// benchParams are the reduced-fidelity experiment parameters for benches.
+func benchParams() experiments.Params {
+	p := experiments.Defaults()
+	p.Horizon = 3000
+	p.Replications = 1
+	p.CutoffStep = 20
+	return p
+}
+
+// BenchmarkFig3DelayVsCutoffAlpha0 regenerates Figure 3 (per-class delay vs
+// cutoff at α=0 for four skew coefficients) and reports Class-A's minimum
+// delay across the sweep.
+func BenchmarkFig3DelayVsCutoffAlpha0(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.Fig3(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(minY(f.Series[0].Y), "classA-min-delay")
+	}
+}
+
+// BenchmarkFig4DelayVsCutoffAlpha1 regenerates Figure 4 (α=1, stretch-only).
+func BenchmarkFig4DelayVsCutoffAlpha1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.Fig4(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(minY(f.Series[0].Y), "classA-min-delay")
+	}
+}
+
+// BenchmarkFig5PrioritizedCost regenerates Figure 5 (per-class prioritised
+// cost vs cutoff, α∈{0.25,0.75}, θ=0.6).
+func BenchmarkFig5PrioritizedCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.Fig5(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(minY(f.Series[0].Y), "classA-min-cost")
+	}
+}
+
+// BenchmarkFig6OptimalCost regenerates Figure 6 (total optimal prioritised
+// cost vs α for three skews) and reports the θ=0.6 cost gap between α=1 and
+// α=0 (positive = priority influence pays, the paper's claim).
+func BenchmarkFig6OptimalCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.Fig6(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		mid := f.Series[1].Y // θ=0.60
+		b.ReportMetric(mid[len(mid)-1]-mid[0], "cost-gap-alpha1-vs-0")
+	}
+}
+
+// BenchmarkFig7AnalyticVsSim regenerates Figure 7 (analytic vs simulated
+// per-class delay, θ=0.6, α=0.75) and reports the worst relative deviation.
+func BenchmarkFig7AnalyticVsSim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := benchParams()
+		p.Horizon = 8000 // deviation metric needs statistical depth
+		f, err := experiments.Fig7(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !f.Claims[0].Pass {
+			b.Fatalf("deviation claim failed: %s", f.Claims[0].Detail)
+		}
+		b.ReportMetric(1, "deviation-claim-pass")
+	}
+}
+
+// BenchmarkExtBlocking regenerates the bandwidth-blocking extension
+// experiment (drop rate vs premium bandwidth share).
+func BenchmarkExtBlocking(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.ExtBlocking(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(f.Series[0].Y[len(f.Series[0].Y)-1], "classA-drop-at-max-share")
+	}
+}
+
+func minY(ys []float64) float64 {
+	m := ys[0]
+	for _, y := range ys[1:] {
+		if y < m {
+			m = y
+		}
+	}
+	return m
+}
+
+// --- Ablation benches (DESIGN.md) ---
+
+func benchWorkload(n int) []pullqueue.Request {
+	r := rng.New(7)
+	reqs := make([]pullqueue.Request, n)
+	for i := range reqs {
+		reqs[i] = pullqueue.Request{
+			Item:     r.Intn(60) + 41,
+			Class:    clients.Class(r.Intn(3)),
+			Priority: float64(3 - r.Intn(3)),
+			Arrival:  float64(i) * 0.2,
+		}
+	}
+	return reqs
+}
+
+// BenchmarkPullQueueHeap (ABL-PULLQ): indexed-heap pull queue.
+func BenchmarkPullQueueHeap(b *testing.B) {
+	reqs := benchWorkload(2048)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := pullqueue.NewHeap(0.5)
+		for _, rq := range reqs {
+			q.Add(rq, 2)
+		}
+		for q.Items() > 0 {
+			q.ExtractMax()
+		}
+	}
+}
+
+// BenchmarkPullQueueLinear (ABL-PULLQ): linear-scan reference pull queue.
+func BenchmarkPullQueueLinear(b *testing.B) {
+	reqs := benchWorkload(2048)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := pullqueue.NewLinear(0.5)
+		for _, rq := range reqs {
+			q.Add(rq, 2)
+		}
+		for q.Items() > 0 {
+			q.ExtractMax()
+		}
+	}
+}
+
+func benchCoreConfig(b *testing.B) core.Config {
+	b.Helper()
+	cat, err := catalog.Generate(catalog.PaperConfig(0.6, 42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl, err := clients.New(clients.PaperConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return core.Config{
+		Catalog:        cat,
+		Classes:        cl,
+		Lambda:         5,
+		Cutoff:         40,
+		Alpha:          0.5,
+		Horizon:        3000,
+		WarmupFraction: 0.1,
+		Seed:           9,
+	}
+}
+
+// BenchmarkPullPolicies (ABL-POLICY): full simulations under each pull
+// policy, reporting each policy's overall delay.
+func BenchmarkPullPolicies(b *testing.B) {
+	policies := []sched.PullPolicy{
+		sched.ImportanceFactor{Alpha: 0.5},
+		sched.StretchOptimal{},
+		sched.PriorityOnly{},
+		sched.FCFS{},
+		sched.MRF{},
+		sched.RxW{},
+		sched.ClassicStretch{},
+	}
+	for _, pol := range policies {
+		b.Run(pol.Name(), func(b *testing.B) {
+			cfg := benchCoreConfig(b)
+			cfg.PullPolicy = pol
+			for i := 0; i < b.N; i++ {
+				m, err := core.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(m.OverallMeanDelay(), "mean-delay")
+			}
+		})
+	}
+}
+
+// BenchmarkPushSchedulers (ABL-PUSH): full simulations under each push
+// scheduler.
+func BenchmarkPushSchedulers(b *testing.B) {
+	builders := map[string]func(cat *catalog.Catalog, k int) (sched.PushScheduler, error){
+		"flat": func(_ *catalog.Catalog, k int) (sched.PushScheduler, error) {
+			return sched.NewFlatRoundRobin(k), nil
+		},
+		"broadcast-disk": func(cat *catalog.Catalog, k int) (sched.PushScheduler, error) {
+			return sched.NewBroadcastDisk(cat, k, 3)
+		},
+		"square-root-rule": func(cat *catalog.Catalog, k int) (sched.PushScheduler, error) {
+			return sched.NewSquareRootRule(cat, k)
+		},
+	}
+	for name, build := range builders {
+		b.Run(name, func(b *testing.B) {
+			cfg := benchCoreConfig(b)
+			cfg.PushScheduler = build
+			for i := 0; i < b.N; i++ {
+				m, err := core.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(m.OverallMeanDelay(), "mean-delay")
+			}
+		})
+	}
+}
+
+// BenchmarkCutoffOptimizers (ABL-CUTOFF): analytic model sweep vs simulated
+// sweep for choosing K.
+func BenchmarkCutoffOptimizers(b *testing.B) {
+	b.Run("analytic", func(b *testing.B) {
+		cfg := benchCoreConfig(b)
+		model := analytic.Model{
+			Catalog: cfg.Catalog, Classes: cfg.Classes,
+			LambdaTotal: cfg.Lambda, Alpha: cfg.Alpha, Variant: analytic.Refined,
+		}
+		for i := 0; i < b.N; i++ {
+			best, err := model.OptimalCutoff(10, 90, analytic.ByTotalCost)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(best.K), "optimal-K")
+		}
+	})
+	b.Run("simulated", func(b *testing.B) {
+		cfg := benchCoreConfig(b)
+		cfg.Horizon = 1500
+		for i := 0; i < b.N; i++ {
+			best, err := core.OptimizeCutoff(cfg, 10, 90, 20, core.ByTotalCost)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(best.K), "optimal-K")
+		}
+	})
+}
+
+// BenchmarkBandwidthBlocking (ABL-BW): blocking under strict partitioning vs
+// borrow mode.
+func BenchmarkBandwidthBlocking(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		borrow bool
+	}{{"strict", false}, {"borrow", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := benchCoreConfig(b)
+			cfg.Bandwidth = &bandwidth.Config{
+				Total:       8,
+				Fractions:   []float64{0.5, 0.3, 0.2},
+				DemandMean:  1.5,
+				AllowBorrow: mode.borrow,
+			}
+			for i := 0; i < b.N; i++ {
+				m, err := core.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(m.BlockedTransmissions), "blocked")
+			}
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator speed (events are
+// dominated by arrivals at λ=5 per broadcast unit).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	cfg := benchCoreConfig(b)
+	cfg.Horizon = 10000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(cfg.Horizon*cfg.Lambda*float64(b.N)/b.Elapsed().Seconds(), "requests/sec")
+}
+
+// BenchmarkExtMultiClass regenerates the five-class extension experiment.
+func BenchmarkExtMultiClass(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.ExtMultiClass(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Spread between premium and free tier at α=0.
+		b.ReportMetric(f.Series[4].Y[0]-f.Series[0].Y[0], "five-class-spread-alpha0")
+	}
+}
+
+// BenchmarkExtChannels regenerates the multi-channel split experiment.
+func BenchmarkExtChannels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.ExtChannels(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		overall := f.Series[len(f.Series)-1].Y
+		b.ReportMetric(minY(overall), "best-split-delay")
+	}
+}
+
+// BenchmarkCachePolicies (ABL-CACHE): full simulations under each
+// client-cache replacement policy, reporting the cache hit rate.
+func BenchmarkCachePolicies(b *testing.B) {
+	for _, pol := range []cache.PolicyKind{cache.LRU, cache.LFU, cache.PIX} {
+		b.Run(pol.String(), func(b *testing.B) {
+			cfg := benchCoreConfig(b)
+			cfg.ClientCache = &core.CacheConfig{NumClients: 15, Capacity: 8, Policy: pol}
+			for i := 0; i < b.N; i++ {
+				s, err := core.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				m := s.Run()
+				b.ReportMetric(s.CacheHitRate(), "hit-rate")
+				b.ReportMetric(m.OverallMeanDelay(), "mean-delay")
+			}
+		})
+	}
+}
+
+// BenchmarkArrivalProcesses: simulator throughput and delay under the three
+// workload shapes at equal mean rate.
+func BenchmarkArrivalProcesses(b *testing.B) {
+	shapes := map[string]func() workload.ArrivalProcess{
+		"poisson": func() workload.ArrivalProcess {
+			p, _ := workload.NewPoisson(5)
+			return p
+		},
+		"bursty-mmpp": func() workload.ArrivalProcess {
+			m, err := workload.Bursty(5, 3, 0.01)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return m
+		},
+		"batch": func() workload.ArrivalProcess {
+			bp, err := workload.NewBatchPoisson(5.0/3, 3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return bp
+		},
+	}
+	for name, mk := range shapes {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := benchCoreConfig(b)
+				cfg.Arrivals = mk() // stateful: fresh per iteration
+				m, err := core.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(m.OverallMeanDelay(), "mean-delay")
+			}
+		})
+	}
+}
+
+// BenchmarkExtIndexing regenerates the air-indexing experiment (analytic —
+// this measures the sweep itself).
+func BenchmarkExtIndexing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.ExtIndexing(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(minY(f.Series[0].Y), "best-access-time")
+	}
+}
+
+// BenchmarkExtLoad regenerates the offered-load robustness experiment.
+func BenchmarkExtLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.ExtLoad(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ys := f.Series[2].Y
+		b.ReportMetric(ys[len(ys)-1]/ys[0], "classC-delay-ratio-20x-load")
+	}
+}

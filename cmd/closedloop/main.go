@@ -1,0 +1,78 @@
+// Command closedloop runs the paper's §3 periodic cutoff re-optimisation
+// as a closed loop against a drifting workload, side by side with the
+// frozen baseline: each epoch the controller fits the observed workload
+// (Zipf-θ by maximum likelihood, arrival rate), re-ranks the push set by
+// observed demand and re-plans the cutoff with the analytic model.
+//
+// Usage:
+//
+//	closedloop -epochs 8 -shift 5 -theta 1.0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hybridqos"
+	"hybridqos/internal/report"
+)
+
+func main() {
+	var (
+		theta    = flag.Float64("theta", 1.0, "true Zipf skew of the drifting popularity")
+		lambda   = flag.Float64("lambda", 5, "aggregate request rate λ'")
+		alpha    = flag.Float64("alpha", 0.5, "importance-factor mixing α")
+		cutoff   = flag.Int("cutoff", 40, "initial push/pull cutoff K")
+		epochs   = flag.Int("epochs", 8, "number of epochs")
+		epochLen = flag.Float64("epochlen", 6000, "epoch duration (broadcast units)")
+		shift    = flag.Int("shift", 5, "true-ranking rotation per epoch")
+		seed     = flag.Uint64("seed", 11, "random seed")
+	)
+	flag.Parse()
+
+	cfg := hybridqos.PaperConfig()
+	cfg.Theta = *theta
+	cfg.Lambda = *lambda
+	cfg.Alpha = *alpha
+	cfg.Cutoff = *cutoff
+	cfg.Seed = *seed
+
+	fmt.Printf("closed-loop adaptation vs frozen baseline: θ=%.2f drift=%d ranks/epoch, %d epochs × %.0f units\n\n",
+		*theta, *shift, *epochs, *epochLen)
+
+	adaptiveRun, err := hybridqos.RunClosedLoop(cfg, *epochs, *epochLen, *shift, true)
+	if err != nil {
+		fatal("adaptive run: %v", err)
+	}
+	frozenRun, err := hybridqos.RunClosedLoop(cfg, *epochs, *epochLen, *shift, false)
+	if err != nil {
+		fatal("frozen run: %v", err)
+	}
+
+	tbl := report.NewTable("Per-epoch total prioritised cost",
+		"epoch", "adaptive K", "adaptive cost", "frozen cost", "θ̂", "λ̂")
+	var adaptSum, frozenSum float64
+	for i := range adaptiveRun {
+		a, f := adaptiveRun[i], frozenRun[i]
+		adaptSum += a.TotalCost
+		frozenSum += f.TotalCost
+		tbl.AddRow(fmt.Sprint(i),
+			fmt.Sprint(a.Cutoff),
+			report.FormatFloat(a.TotalCost, "%.1f"),
+			report.FormatFloat(f.TotalCost, "%.1f"),
+			report.FormatFloat(a.ThetaHat, "%.2f"),
+			report.FormatFloat(a.LambdaHat, "%.2f"))
+	}
+	fmt.Println(tbl.String())
+	n := float64(len(adaptiveRun))
+	fmt.Printf("mean cost: adaptive %.1f vs frozen %.1f (%.1f%% saved)\n",
+		adaptSum/n, frozenSum/n, 100*(frozenSum-adaptSum)/frozenSum)
+	fmt.Println("\nthe controller's fitted θ̂/λ̂ track the truth each epoch; re-ranking keeps")
+	fmt.Println("the push set one epoch behind the drift instead of falling ever further back.")
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "closedloop: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,88 @@
+// Command cutoff finds the optimal push/pull cutoff point K for a
+// configuration — the paper's periodic re-optimisation step (§3) — by
+// analytic model, by simulation sweep, or both for comparison.
+//
+// Usage:
+//
+//	cutoff -theta 0.6 -alpha 0.5                 # both methods
+//	cutoff -method analytic -objective cost      # model only (fast)
+//	cutoff -method sim -kmin 10 -kmax 90 -step 5 # simulation only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hybridqos"
+	"hybridqos/internal/report"
+)
+
+func main() {
+	var (
+		theta     = flag.Float64("theta", 0.6, "Zipf access skew θ")
+		lambda    = flag.Float64("lambda", 5, "aggregate request rate λ'")
+		alpha     = flag.Float64("alpha", 0.5, "importance-factor mixing α")
+		kMin      = flag.Int("kmin", 5, "sweep lower bound")
+		kMax      = flag.Int("kmax", 95, "sweep upper bound")
+		step      = flag.Int("step", 5, "simulation sweep step")
+		method    = flag.String("method", "both", "analytic|sim|both")
+		objective = flag.String("objective", "cost", "sim objective: cost|delay")
+		horizon   = flag.Float64("horizon", 8000, "sim horizon per replication")
+		reps      = flag.Int("reps", 2, "sim replications")
+		seed      = flag.Uint64("seed", 1, "base seed")
+	)
+	flag.Parse()
+
+	cfg := hybridqos.PaperConfig()
+	cfg.Theta = *theta
+	cfg.Lambda = *lambda
+	cfg.Alpha = *alpha
+	cfg.Horizon = *horizon
+	cfg.Replications = *reps
+	cfg.Seed = *seed
+
+	fmt.Printf("optimising cutoff for θ=%.2f λ'=%.1f α=%.2f over K∈[%d,%d]\n\n",
+		*theta, *lambda, *alpha, *kMin, *kMax)
+
+	if *method == "analytic" || *method == "both" {
+		start := time.Now()
+		p, err := hybridqos.PredictOptimalCutoff(cfg, *kMin, *kMax)
+		if err != nil {
+			fatal("analytic: %v", err)
+		}
+		fmt.Printf("analytic (refined model): optimal K = %d\n", p.Cutoff)
+		fmt.Printf("  predicted overall delay %.2f, total cost %.2f  (%.0f ms)\n",
+			p.OverallDelay, p.TotalCost, float64(time.Since(start).Milliseconds()))
+		for _, c := range p.PerClass {
+			fmt.Printf("  %s: delay %.2f cost %.2f\n", c.Class, c.Delay, c.Cost)
+		}
+		fmt.Println()
+	}
+
+	if *method == "sim" || *method == "both" {
+		start := time.Now()
+		r, err := hybridqos.OptimizeCutoff(cfg, *kMin, *kMax, *step, *objective)
+		if err != nil {
+			fatal("sim: %v", err)
+		}
+		fmt.Printf("simulation sweep (objective=%s): optimal K = %d\n", *objective, r.Cutoff)
+		fmt.Printf("  measured overall delay %.2f ± %s, total cost %.2f  (%.0f ms)\n",
+			r.OverallDelay, report.FormatFloat(r.OverallDelayCI95, "%.2f"),
+			r.TotalCost, float64(time.Since(start).Milliseconds()))
+		for _, c := range r.PerClass {
+			fmt.Printf("  %s: delay %.2f cost %.2f\n", c.Class, c.MeanDelay, c.Cost)
+		}
+		fmt.Println()
+	}
+
+	if *method != "analytic" && *method != "sim" && *method != "both" {
+		fatal("unknown method %q", *method)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cutoff: "+format+"\n", args...)
+	os.Exit(1)
+}

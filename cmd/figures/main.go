@@ -1,0 +1,131 @@
+// Command figures regenerates the paper's evaluation figures (3–7) and the
+// extension experiments as text tables and optional CSV files, and checks
+// each figure's qualitative claims.
+//
+// Usage:
+//
+//	figures                    # all figures, table output
+//	figures -fig 7             # one figure
+//	figures -csv out/          # also write CSV files
+//	figures -horizon 40000 -reps 5   # higher fidelity
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hybridqos/internal/experiments"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "figure to regenerate: 3|4|5|6|7|blocking|multiclass|all")
+		csvDir  = flag.String("csv", "", "directory to write per-figure CSV files (optional)")
+		svgDir  = flag.String("svg", "", "directory to write per-figure SVG charts (optional)")
+		horizon = flag.Float64("horizon", 20000, "simulated duration per replication")
+		reps    = flag.Int("reps", 3, "replications per configuration")
+		step    = flag.Int("step", 10, "cutoff sweep step")
+		seed    = flag.Uint64("seed", 1, "base seed")
+	)
+	flag.Parse()
+
+	p := experiments.Defaults()
+	p.Horizon = *horizon
+	p.Replications = *reps
+	p.CutoffStep = *step
+	p.Seed = *seed
+
+	gens := map[string]func(experiments.Params) (*experiments.Figure, error){
+		"3":          experiments.Fig3,
+		"4":          experiments.Fig4,
+		"5":          experiments.Fig5,
+		"6":          experiments.Fig6,
+		"7":          experiments.Fig7,
+		"blocking":   experiments.ExtBlocking,
+		"multiclass": experiments.ExtMultiClass,
+		"channels":   experiments.ExtChannels,
+		"indexing":   experiments.ExtIndexing,
+		"load":       experiments.ExtLoad,
+	}
+	order := []string{"3", "4", "5", "6", "7", "blocking", "multiclass", "channels", "indexing", "load"}
+
+	var selected []string
+	if *fig == "all" {
+		selected = order
+	} else {
+		if _, ok := gens[*fig]; !ok {
+			fatal("unknown figure %q (want 3|4|5|6|7|blocking|multiclass|all)", *fig)
+		}
+		selected = []string{*fig}
+	}
+
+	failures := 0
+	for _, id := range selected {
+		fmt.Printf("=== generating %s ===\n", name(id))
+		f, err := gens[id](p)
+		if err != nil {
+			fatal("%s: %v", name(id), err)
+		}
+		fmt.Println(f.Table().String())
+		for _, c := range f.Claims {
+			mark := "PASS"
+			if !c.Pass {
+				mark = "FAIL"
+				failures++
+			}
+			fmt.Printf("  [%s] %s — %s\n", mark, c.Name, c.Detail)
+		}
+		fmt.Println()
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fatal("mkdir %s: %v", *csvDir, err)
+			}
+			path := filepath.Join(*csvDir, strings.ToLower(f.ID)+".csv")
+			if err := os.WriteFile(path, []byte(f.CSV().String()), 0o644); err != nil {
+				fatal("writing %s: %v", path, err)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+		if *svgDir != "" {
+			if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+				fatal("mkdir %s: %v", *svgDir, err)
+			}
+			svg, err := f.SVG()
+			if err != nil {
+				fatal("rendering %s: %v", f.ID, err)
+			}
+			path := filepath.Join(*svgDir, strings.ToLower(f.ID)+".svg")
+			if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+				fatal("writing %s: %v", path, err)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+	}
+	if failures > 0 {
+		fatal("%d claim(s) failed", failures)
+	}
+}
+
+func name(id string) string {
+	switch id {
+	case "blocking":
+		return "EXT-BLOCK"
+	case "multiclass":
+		return "EXT-MULTI"
+	case "channels":
+		return "EXT-CHAN"
+	case "indexing":
+		return "EXT-INDEX"
+	case "load":
+		return "EXT-LOAD"
+	}
+	return "Figure " + id
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "figures: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,174 @@
+// Command hybridsim runs one configuration of the hybrid scheduler and
+// prints per-class access times, prioritised costs and blocking statistics.
+//
+// Usage:
+//
+//	hybridsim [flags]
+//
+// Examples:
+//
+//	hybridsim -theta 0.6 -alpha 0.25 -cutoff 40
+//	hybridsim -bandwidth 8 -fractions 0.5,0.3,0.2 -demand 1.5
+//	hybridsim -policy rxw -push square-root
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hybridqos"
+	"hybridqos/internal/report"
+)
+
+func main() {
+	var (
+		d        = flag.Int("items", 100, "catalog size D")
+		theta    = flag.Float64("theta", 0.6, "Zipf access skew θ")
+		lambda   = flag.Float64("lambda", 5, "aggregate request rate λ'")
+		cutoff   = flag.Int("cutoff", 40, "push/pull cutoff K")
+		alpha    = flag.Float64("alpha", 0.5, "importance-factor mixing α")
+		weights  = flag.String("weights", "3,2,1", "class priority weights, premium first")
+		popSkew  = flag.Float64("popskew", 1.0, "client population Zipf skew")
+		policy   = flag.String("policy", "", "pull policy: importance-factor|stretch|priority|fcfs|mrf|rxw|classic-stretch")
+		push     = flag.String("push", "", "push scheduler: flat|broadcast-disk|square-root")
+		horizon  = flag.Float64("horizon", 20000, "simulated duration (broadcast units)")
+		warmup   = flag.Float64("warmup", 0.1, "warmup fraction discarded from stats")
+		reps     = flag.Int("reps", 3, "independent replications")
+		seed     = flag.Uint64("seed", 1, "base random seed")
+		bw       = flag.Float64("bandwidth", 0, "total bandwidth units (0 disables blocking)")
+		fracs    = flag.String("fractions", "", "per-class bandwidth fractions, e.g. 0.5,0.3,0.2")
+		demand   = flag.Float64("demand", 1.5, "Poisson bandwidth demand mean per length unit")
+		borrow   = flag.Bool("borrow", false, "allow borrowing from lower-priority pools")
+		predict  = flag.Bool("predict", false, "also print the analytic model's prediction")
+		traceOut = flag.String("trace", "", "write a JSONL event trace of one run to this file")
+		confIn   = flag.String("config", "", "load configuration from a JSON file (flags are ignored)")
+		confOut  = flag.String("saveconfig", "", "write the effective configuration to a JSON file")
+	)
+	flag.Parse()
+
+	w, err := parseFloats(*weights)
+	if err != nil {
+		fatal("parsing -weights: %v", err)
+	}
+	cfg := hybridqos.Config{
+		NumItems:       *d,
+		Theta:          *theta,
+		Lambda:         *lambda,
+		Cutoff:         *cutoff,
+		Alpha:          *alpha,
+		ClassWeights:   w,
+		PopulationSkew: *popSkew,
+		PullPolicy:     *policy,
+		PushScheduler:  *push,
+		Horizon:        *horizon,
+		WarmupFraction: *warmup,
+		Replications:   *reps,
+		Seed:           *seed,
+	}
+	if *bw > 0 {
+		fr, err := parseFloats(*fracs)
+		if err != nil {
+			fatal("parsing -fractions: %v", err)
+		}
+		cfg.Bandwidth = &hybridqos.BandwidthConfig{
+			Total:       *bw,
+			Fractions:   fr,
+			DemandMean:  *demand,
+			AllowBorrow: *borrow,
+		}
+	}
+
+	if *confIn != "" {
+		loaded, err := hybridqos.LoadConfig(*confIn)
+		if err != nil {
+			fatal("loading -config: %v", err)
+		}
+		cfg = loaded
+	}
+	if *confOut != "" {
+		if err := hybridqos.SaveConfig(cfg, *confOut); err != nil {
+			fatal("writing -saveconfig: %v", err)
+		}
+	}
+
+	res, err := hybridqos.Simulate(cfg)
+	if err != nil {
+		fatal("simulate: %v", err)
+	}
+
+	if *traceOut != "" {
+		n, err := hybridqos.WriteTrace(cfg, *traceOut)
+		if err != nil {
+			fatal("trace: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d trace events to %s\n", n, *traceOut)
+	}
+
+	fmt.Printf("hybridqos %s — D=%d θ=%.2f λ'=%.1f K=%d α=%.2f horizon=%.0f reps=%d\n\n",
+		hybridqos.Version, *d, *theta, *lambda, *cutoff, *alpha, *horizon, *reps)
+
+	tbl := report.NewTable("Per-class results",
+		"class", "weight", "mean delay", "±95% CI", "p95", "cost", "drop rate",
+		"served", "dropped", "expired", "cache hits", "uplink lost")
+	for _, c := range res.PerClass {
+		tbl.AddRow(c.Class,
+			report.FormatFloat(c.Weight, "%.0f"),
+			report.FormatFloat(c.MeanDelay, "%.2f"),
+			report.FormatFloat(c.DelayCI95, "%.2f"),
+			report.FormatFloat(c.P95Delay, "%.2f"),
+			report.FormatFloat(c.Cost, "%.2f"),
+			report.FormatFloat(c.DropRate, "%.4f"),
+			strconv.FormatInt(c.Served, 10),
+			strconv.FormatInt(c.Dropped, 10),
+			strconv.FormatInt(c.Expired, 10),
+			strconv.FormatInt(c.CacheHits, 10),
+			strconv.FormatInt(c.UplinkLost, 10))
+	}
+	fmt.Println(tbl.String())
+
+	fmt.Printf("overall delay: %.2f ± %.2f broadcast units\n", res.OverallDelay, res.OverallDelayCI95)
+	fmt.Printf("total prioritised cost: %.2f\n", res.TotalCost)
+	fmt.Printf("push broadcasts: %d, pull transmissions: %d, blocked: %d\n",
+		res.PushBroadcasts, res.PullTransmissions, res.BlockedTransmissions)
+	fmt.Printf("mean distinct items queued: %.2f\n", res.MeanQueueItems)
+
+	if *predict {
+		p, err := hybridqos.Predict(cfg)
+		if err != nil {
+			fatal("predict: %v", err)
+		}
+		fmt.Printf("\nAnalytic prediction (refined model): overall %.2f, cost %.2f\n",
+			p.OverallDelay, p.TotalCost)
+		for _, c := range p.PerClass {
+			fmt.Printf("  %s: delay %.2f, cost %.2f\n", c.Class, c.Delay, c.Cost)
+		}
+		dev, err := hybridqos.DeviationFromPrediction(res, p)
+		if err == nil {
+			fmt.Printf("worst per-class deviation from simulation: %.1f%%\n", dev*100)
+		}
+	}
+}
+
+func parseFloats(s string) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("empty list")
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hybridsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,129 @@
+// Command traceinfo analyses a JSONL event trace written by
+// `hybridsim -trace` (or hybridqos.WriteTrace): event counts, per-class
+// delay statistics recomputed independently of the simulator's live
+// collectors, transmission mix, and a coarse timeline of queue pressure.
+//
+// Usage:
+//
+//	hybridsim -horizon 5000 -reps 1 -trace run.jsonl
+//	traceinfo run.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"hybridqos/internal/clients"
+	"hybridqos/internal/report"
+	"hybridqos/internal/stats"
+	"hybridqos/internal/trace"
+)
+
+func main() {
+	classes := flag.Int("classes", 3, "number of service classes in the trace")
+	buckets := flag.Int("buckets", 10, "timeline buckets")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fatal("usage: traceinfo [-classes n] <trace.jsonl>")
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer f.Close()
+	events, err := trace.Read(f)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if len(events) == 0 {
+		fatal("empty trace")
+	}
+
+	// Event census.
+	counts := map[trace.Kind]int64{}
+	for _, e := range events {
+		counts[e.Kind]++
+	}
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	fmt.Printf("trace: %d events over [%.1f, %.1f] broadcast units\n\n",
+		len(events), events[0].T, events[len(events)-1].T)
+	census := report.NewTable("Event census", "kind", "count")
+	for _, k := range kinds {
+		census.AddRow(k, fmt.Sprint(counts[trace.Kind(k)]))
+	}
+	fmt.Println(census.String())
+
+	// Per-class replay.
+	perClass, err := trace.Replay(events, *classes)
+	if err != nil {
+		fatal("%v", err)
+	}
+	// Percentiles need the raw delays.
+	hists := make([]stats.Histogram, *classes)
+	for _, e := range events {
+		if e.Kind == trace.KindServed {
+			hists[e.Class].Add(e.T - e.Arrival)
+		}
+	}
+	tbl := report.NewTable("Per-class delays (replayed from trace)",
+		"class", "served", "mean", "p50", "p95", "max")
+	for c := 0; c < *classes; c++ {
+		h := &hists[c]
+		tbl.AddRow(clients.Class(c).String(),
+			fmt.Sprint(perClass[c].Served),
+			report.FormatFloat(perClass[c].MeanDelay(), "%.2f"),
+			report.FormatFloat(h.Percentile(50), "%.2f"),
+			report.FormatFloat(h.Percentile(95), "%.2f"),
+			report.FormatFloat(h.Percentile(100), "%.2f"))
+	}
+	fmt.Println(tbl.String())
+
+	// Transmission mix and multicast efficiency.
+	var pullTx, pullReqs int64
+	for _, e := range events {
+		if e.Kind == trace.KindPullComplete {
+			pullTx++
+			pullReqs += int64(e.Requests)
+		}
+	}
+	if pullTx > 0 {
+		fmt.Printf("pull multicast efficiency: %.2f requests satisfied per transmission\n\n",
+			float64(pullReqs)/float64(pullTx))
+	}
+
+	// Coarse timeline: arrivals and pull transmissions per bucket.
+	span := events[len(events)-1].T - events[0].T
+	if span <= 0 || *buckets <= 0 {
+		return
+	}
+	arr := make([]int, *buckets)
+	pull := make([]int, *buckets)
+	for _, e := range events {
+		b := int((e.T - events[0].T) / span * float64(*buckets))
+		if b >= *buckets {
+			b = *buckets - 1
+		}
+		switch e.Kind {
+		case trace.KindArrival:
+			arr[b]++
+		case trace.KindPullComplete:
+			pull[b]++
+		}
+	}
+	tl := report.NewTable("Timeline", "bucket", "arrivals", "pull transmissions")
+	for b := 0; b < *buckets; b++ {
+		tl.AddRow(fmt.Sprintf("%2d", b), fmt.Sprint(arr[b]), fmt.Sprint(pull[b]))
+	}
+	fmt.Println(tl.String())
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "traceinfo: "+format+"\n", args...)
+	os.Exit(1)
+}

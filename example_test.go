@@ -1,0 +1,60 @@
+package hybridqos_test
+
+import (
+	"fmt"
+	"log"
+
+	"hybridqos"
+)
+
+// ExampleSimulate runs the paper's configuration at reduced fidelity and
+// prints the class ordering the scheduler guarantees.
+func ExampleSimulate() {
+	cfg := hybridqos.PaperConfig()
+	cfg.Horizon = 5000
+	cfg.Replications = 2
+	cfg.Alpha = 0.25
+
+	res, err := hybridqos.Simulate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ordered := res.PerClass[0].MeanDelay < res.PerClass[1].MeanDelay &&
+		res.PerClass[1].MeanDelay < res.PerClass[2].MeanDelay
+	fmt.Printf("classes: %d\n", len(res.PerClass))
+	fmt.Printf("premium waits least: %v\n", ordered)
+	// Output:
+	// classes: 3
+	// premium waits least: true
+}
+
+// ExamplePredict evaluates the analytic model — no simulation time at all.
+func ExamplePredict() {
+	cfg := hybridqos.PaperConfig()
+	p, err := hybridqos.Predict(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cutoff: %d\n", p.Cutoff)
+	fmt.Printf("per-class predictions: %d\n", len(p.PerClass))
+	fmt.Printf("finite delay: %v\n", p.OverallDelay > 0)
+	// Output:
+	// cutoff: 40
+	// per-class predictions: 3
+	// finite delay: true
+}
+
+// ExamplePredictOptimalCutoff picks K by model sweep — the paper's periodic
+// re-optimisation, done in microseconds.
+func ExamplePredictOptimalCutoff() {
+	cfg := hybridqos.PaperConfig()
+	cfg.Theta = 1.4 // concentrated demand wants a small push set
+
+	best, err := hybridqos.PredictOptimalCutoff(cfg, 1, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("small push set optimal: %v\n", best.Cutoff < 30)
+	// Output:
+	// small push set optimal: true
+}

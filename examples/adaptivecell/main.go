@@ -1,0 +1,68 @@
+// Adaptivecell: the full closed loop — a cell whose popularity drifts while
+// an online controller watches the request stream, re-fits the workload
+// (Zipf skew by maximum likelihood, arrival rate) every epoch, and re-plans
+// the cutoff with the analytic model. This is the paper's "periodically the
+// algorithm is executed … and obtains the optimal cutoff-point" realised as
+// an actual component instead of an offline sweep.
+//
+// Pipeline: simulate a drifting cell once with event tracing → feed the
+// traced arrivals to the AdaptiveController → inspect the plans it adopted.
+//
+// Run with:
+//
+//	go run ./examples/adaptivecell
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"hybridqos"
+)
+
+func main() {
+	cfg := hybridqos.PaperConfig()
+	cfg.Theta = 1.2 // strongly skewed demand ...
+	cfg.Rotation = &hybridqos.RotationConfig{Period: 4000, Shift: 20}
+	cfg.Cutoff = 40 // ... but a stale, too-large push set
+	cfg.Horizon = 24000
+	cfg.Replications = 1
+
+	tracePath := filepath.Join(os.TempDir(), "adaptivecell-trace.jsonl")
+	defer os.Remove(tracePath)
+
+	n, err := hybridqos.WriteTrace(cfg, tracePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated a drifting cell (θ=1.2, ranking rotates every 4000 units): %d events\n\n", n)
+
+	times, ranks, err := hybridqos.ReadTraceArrivals(tracePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctl, err := hybridqos.NewAdaptiveController(cfg, 4000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range ranks {
+		ctl.Observe(ranks[i], times[i])
+	}
+
+	fmt.Println("controller plans (one per epoch):")
+	fmt.Printf("%-8s %-10s %-10s %-14s\n", "epoch", "fitted θ", "fitted λ", "planned K")
+	for i, p := range ctl.Plans() {
+		fmt.Printf("%-8d %-10.2f %-10.2f %-14d\n", i+1, p.Theta, p.Lambda, p.Cutoff)
+	}
+
+	fmt.Println()
+	fmt.Printf("stale cutoff was K=40; the controller converged on K=%d —\n", ctl.Cutoff())
+	fmt.Println("the MLE skew fit is permutation-invariant, so the rotating hot set")
+	fmt.Println("does not confuse it: it keeps recommending a small push window")
+	fmt.Println("matched to the true concentration of demand. The recommended push")
+	fmt.Println("CONTENT comes from the fitted ranking (the plan's empirical order),")
+	fmt.Println("which the operator applies when regenerating the broadcast program.")
+}

@@ -1,0 +1,67 @@
+// Multitier: five service classes instead of the paper's three — the
+// "Effect of Multiple Service Classes" analysis (§4.2.2) exercised
+// end-to-end. An operator with Diamond/Platinum/Gold/Silver/Free tiers
+// checks that the importance-factor scheduler layers all five tiers, and
+// prices each tier from its measured delay.
+//
+// Run with:
+//
+//	go run ./examples/multitier
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hybridqos"
+)
+
+func main() {
+	cfg := hybridqos.PaperConfig()
+	cfg.ClassWeights = []float64{5, 4, 3, 2, 1} // five strictly decreasing tiers
+	cfg.Cutoff = 50
+	cfg.Alpha = 0.1 // strong priority influence
+	cfg.Horizon = 15000
+	cfg.Replications = 3
+
+	res, err := hybridqos.Simulate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tiers := []string{"diamond", "platinum", "gold", "silver", "free"}
+	fmt.Println("five-tier wireless data cell (α=0.10, K=50, θ=0.60)")
+	fmt.Println()
+	fmt.Printf("%-10s %-8s %-14s %-12s %s\n", "tier", "weight", "mean delay", "p95 delay", "prioritised cost")
+	prev := 0.0
+	layered := true
+	for i, tier := range tiers {
+		c := res.PerClass[i]
+		fmt.Printf("%-10s %-8.0f %-14.1f %-12.1f %.1f\n",
+			tier, c.Weight, c.MeanDelay, c.P95Delay, c.Cost)
+		if i > 0 && c.MeanDelay < prev {
+			layered = false
+		}
+		prev = c.MeanDelay
+	}
+	fmt.Println()
+	if layered {
+		fmt.Println("all five tiers are strictly layered: each broader (cheaper) tier")
+		fmt.Println("waits longer than the tier above it — the multi-class Cobham")
+		fmt.Println("behaviour of §4.2.2, realised by the single γ selection rule.")
+	} else {
+		fmt.Println("warning: tier layering violated at this horizon; increase Horizon")
+	}
+
+	// The same system with α=1 for contrast: tiers collapse.
+	cfg.Alpha = 1
+	flat, err := hybridqos.Simulate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spread := func(r *hybridqos.Result) float64 {
+		return r.PerClass[len(r.PerClass)-1].MeanDelay - r.PerClass[0].MeanDelay
+	}
+	fmt.Printf("\ntop-to-bottom delay spread: %.1f units at α=0.1 vs %.1f at α=1\n",
+		spread(res), spread(flat))
+}

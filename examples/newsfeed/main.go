@@ -1,0 +1,68 @@
+// Newsfeed: a wireless news-dissemination cell — the workload class the
+// paper's introduction motivates (SMS/i-mode-era broadcast data services).
+//
+// A metropolitan cell broadcasts 100 news items (headlines are short and
+// wildly popular, long-form pieces rarer) to three subscriber tiers:
+// platinum (Class-A), gold (Class-B) and free (Class-C). The example
+// contrasts how the α knob — stretch-only scheduling (α=1, the operator
+// ignores tiers) versus priority-aware scheduling (α=0.25) — changes what
+// each tier experiences, and shows the churn argument from the paper: the
+// premium tier's delay drops sharply while the free tier pays only a mild
+// penalty.
+//
+// Run with:
+//
+//	go run ./examples/newsfeed
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hybridqos"
+)
+
+func main() {
+	base := hybridqos.PaperConfig()
+	base.Theta = 1.0 // news popularity is heavily skewed
+	base.Cutoff = 30 // hot headlines broadcast continuously
+	base.Horizon = 15000
+	base.Replications = 3
+
+	fmt.Println("metropolitan newsfeed cell: 100 items, Zipf(1.0), 3 subscriber tiers")
+	fmt.Println()
+
+	type outcome struct {
+		alpha float64
+		res   *hybridqos.Result
+	}
+	var outcomes []outcome
+	for _, alpha := range []float64{1.0, 0.25} {
+		cfg := base
+		cfg.Alpha = alpha
+		res, err := hybridqos.Simulate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		outcomes = append(outcomes, outcome{alpha, res})
+	}
+
+	tiers := []string{"platinum", "gold", "free"}
+	fmt.Printf("%-10s  %-22s  %-22s\n", "tier", "α=1.0 (tier-blind)", "α=0.25 (tier-aware)")
+	for i, tier := range tiers {
+		blind := outcomes[0].res.PerClass[i]
+		aware := outcomes[1].res.PerClass[i]
+		fmt.Printf("%-10s  %6.1f units          %6.1f units (%+.1f%%)\n",
+			tier, blind.MeanDelay, aware.MeanDelay,
+			100*(aware.MeanDelay-blind.MeanDelay)/blind.MeanDelay)
+	}
+	fmt.Println()
+
+	blindCost := outcomes[0].res.TotalCost
+	awareCost := outcomes[1].res.TotalCost
+	fmt.Printf("total prioritised cost: %.1f (tier-blind) vs %.1f (tier-aware), %.1f%% lower\n",
+		blindCost, awareCost, 100*(blindCost-awareCost)/blindCost)
+	fmt.Println("\nthe paper's churn argument: the platinum tier — the clients whose")
+	fmt.Println("defection hurts most — sees the largest improvement when the pull")
+	fmt.Println("scheduler weighs client priority into the importance factor.")
+}

@@ -1,0 +1,92 @@
+// Premiumtrading: bandwidth partitioning and blocking for a mobile trading
+// service — the abstract's claim that "the number of requests dropped [can
+// be minimised] by assigning appropriate fraction of available bandwidth".
+//
+// A brokerage pushes the hottest quote pages and serves the tail on demand
+// under a tight downlink budget. Each transmission's bandwidth need is
+// stochastic (Poisson in the item length); when the governing tier's pool
+// cannot cover it, the item and its pending requests are dropped. The
+// example sweeps the premium tier's bandwidth share and reports per-tier
+// drop rates, showing how to size the premium pool so that Class-A blocking
+// is (near) zero.
+//
+// Run with:
+//
+//	go run ./examples/premiumtrading
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hybridqos"
+)
+
+func main() {
+	base := hybridqos.PaperConfig()
+	base.Theta = 0.6
+	base.Cutoff = 50
+	base.Alpha = 0.25
+	base.Horizon = 15000
+	base.Replications = 3
+
+	fmt.Println("mobile trading cell under a tight downlink budget (8 bandwidth units)")
+	fmt.Println()
+	fmt.Printf("%-8s  %-10s  %-10s  %-10s  %s\n",
+		"A-share", "A drops", "B drops", "C drops", "premium delay")
+
+	type row struct {
+		frac  float64
+		aDrop float64
+	}
+	var rows []row
+	for _, fracA := range []float64{0.2, 0.35, 0.5, 0.65, 0.8} {
+		cfg := base
+		rest := (1 - fracA) / 2
+		cfg.Bandwidth = &hybridqos.BandwidthConfig{
+			Total:      8,
+			Fractions:  []float64{fracA, rest, rest},
+			DemandMean: 1.5,
+		}
+		res, err := hybridqos.Simulate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8.2f  %-10.4f  %-10.4f  %-10.4f  %.1f units\n",
+			fracA,
+			res.PerClass[0].DropRate,
+			res.PerClass[1].DropRate,
+			res.PerClass[2].DropRate,
+			res.PerClass[0].MeanDelay)
+		rows = append(rows, row{fracA, res.PerClass[0].DropRate})
+	}
+
+	fmt.Println()
+	best := rows[0]
+	for _, r := range rows[1:] {
+		if r.aDrop < best.aDrop {
+			best = r
+		}
+	}
+	fmt.Printf("premium blocking is minimised at an A-share of %.2f (drop rate %.4f):\n",
+		best.frac, best.aDrop)
+	fmt.Println("growing the premium pool trades free-tier drops for premium availability —")
+	fmt.Println("the provider picks the point where premium blocking meets its SLA.")
+
+	// Borrow mode (an extension beyond the paper) lets the premium tier
+	// spill into idle lower-tier bandwidth instead of blocking.
+	cfg := base
+	cfg.Bandwidth = &hybridqos.BandwidthConfig{
+		Total:       8,
+		Fractions:   []float64{0.2, 0.4, 0.4},
+		DemandMean:  1.5,
+		AllowBorrow: true,
+	}
+	res, err := hybridqos.Simulate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwith borrow mode at a 0.20 A-share, the premium drop rate is %.4f —\n",
+		res.PerClass[0].DropRate)
+	fmt.Println("overflow into idle lower-priority pools substitutes for over-provisioning.")
+}

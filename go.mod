@@ -1,0 +1,3 @@
+module hybridqos
+
+go 1.22

@@ -1,0 +1,238 @@
+package adaptive
+
+import (
+	"fmt"
+	"math"
+
+	"hybridqos/internal/catalog"
+	"hybridqos/internal/clients"
+	"hybridqos/internal/core"
+	"hybridqos/internal/rng"
+	"hybridqos/internal/trace"
+	"hybridqos/internal/zipf"
+)
+
+// ClosedLoopConfig drives the full §3 loop: simulate an epoch, observe the
+// request stream, re-fit the workload, re-rank the push set and re-plan the
+// cutoff, then simulate the next epoch with the updated server — against a
+// ground-truth popularity that DRIFTS (the true ranking rotates each epoch).
+type ClosedLoopConfig struct {
+	// Lengths are the per-item transmission lengths, indexed by item id−1.
+	Lengths []float64
+	// Classes is the service classification.
+	Classes *clients.Classification
+	// Lambda is the true aggregate request rate.
+	Lambda float64
+	// ThetaTrue is the true Zipf skew of the drifting popularity.
+	ThetaTrue float64
+	// ShiftPerEpoch rotates the true ranking this many positions each epoch
+	// (0 = stationary).
+	ShiftPerEpoch int
+	// Alpha is the pull policy's mixing fraction.
+	Alpha float64
+	// InitialCutoff seeds the first epoch.
+	InitialCutoff int
+	// Epochs is the number of epochs to run (≥ 1).
+	Epochs int
+	// EpochLen is each epoch's simulated duration.
+	EpochLen float64
+	// Adapt enables re-ranking and re-planning between epochs; false runs
+	// the frozen baseline (same server all epochs) for comparison.
+	Adapt bool
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Validate reports whether the configuration is usable.
+func (c ClosedLoopConfig) Validate() error {
+	if len(c.Lengths) < 2 {
+		return fmt.Errorf("adaptive: need at least 2 items, got %d", len(c.Lengths))
+	}
+	if c.Classes == nil {
+		return fmt.Errorf("adaptive: nil classification")
+	}
+	if c.Lambda <= 0 || math.IsNaN(c.Lambda) {
+		return fmt.Errorf("adaptive: invalid lambda %g", c.Lambda)
+	}
+	if c.ThetaTrue < 0 || math.IsNaN(c.ThetaTrue) {
+		return fmt.Errorf("adaptive: invalid theta %g", c.ThetaTrue)
+	}
+	if c.ShiftPerEpoch < 0 {
+		return fmt.Errorf("adaptive: negative shift %d", c.ShiftPerEpoch)
+	}
+	if c.Alpha < 0 || c.Alpha > 1 || math.IsNaN(c.Alpha) {
+		return fmt.Errorf("adaptive: alpha %g", c.Alpha)
+	}
+	if c.InitialCutoff < 0 || c.InitialCutoff > len(c.Lengths) {
+		return fmt.Errorf("adaptive: initial cutoff %d", c.InitialCutoff)
+	}
+	if c.Epochs < 1 {
+		return fmt.Errorf("adaptive: epochs %d", c.Epochs)
+	}
+	if c.EpochLen <= 0 || math.IsNaN(c.EpochLen) {
+		return fmt.Errorf("adaptive: epoch length %g", c.EpochLen)
+	}
+	return nil
+}
+
+// EpochResult is one epoch's measured performance and the plan adopted for
+// the NEXT epoch.
+type EpochResult struct {
+	// Epoch is 0-based.
+	Epoch int
+	// Cutoff is the K used DURING this epoch.
+	Cutoff int
+	// OverallDelay and TotalCost are the epoch's measured metrics.
+	OverallDelay, TotalCost float64
+	// ThetaHat and LambdaHat are the post-epoch workload estimates (0 when
+	// the epoch produced too little data or Adapt is off).
+	ThetaHat, LambdaHat float64
+	// NextCutoff is the plan adopted for the following epoch.
+	NextCutoff int
+}
+
+// driftSampler emits ranks in the SERVER's believed order while the true
+// popularity drifts underneath: a request first draws a true-popularity
+// rank, maps it to the item id currently holding that rank, then to the
+// position the server currently believes that item has.
+type driftSampler struct {
+	dist *zipf.Distribution
+	// idAtTrueRank maps the epoch's true rank → item id.
+	idAtTrueRank []int
+	// believedPos maps item id → the server catalog's rank.
+	believedPos []int
+}
+
+// Name implements workload.ItemSampler.
+func (d *driftSampler) Name() string { return "closed-loop-drift" }
+
+// SampleItem implements workload.ItemSampler.
+func (d *driftSampler) SampleItem(r *rng.Source, _ float64) int {
+	trueRank := d.dist.Sample(r)
+	id := d.idAtTrueRank[trueRank-1]
+	return d.believedPos[id-1]
+}
+
+// arrivalObserver feeds traced arrivals into an Estimator.
+type arrivalObserver struct {
+	est *Estimator
+}
+
+// Event implements trace.Tracer.
+func (a arrivalObserver) Event(e trace.Event) {
+	if e.Kind == trace.KindArrival {
+		a.est.Observe(e.Item)
+	}
+}
+
+// ClosedLoop runs the epoch chain and returns per-epoch results. Queue
+// state does not carry across epochs (each epoch is a fresh transient-
+// trimmed run); the carried state is the controller's: the believed
+// ranking, the fitted workload, and the cutoff.
+//
+// A regime observation the tests pin down: adaptation always lags the truth
+// by one epoch. When the per-epoch ranking turnover is SMALL relative to
+// the push-set size, tracking wins — the frozen server's staleness grows
+// without bound while the adaptive one's stays one epoch deep. When the
+// turnover per epoch is comparable to the push-set size, a small re-planned
+// push set can be MORE fragile than a large frozen one (a one-epoch-stale
+// top-20 may overlap the true top-20 in almost nothing, while a stale
+// top-40 still covers much of it): under fast drift the right move is a
+// LARGER push set, not faster re-planning.
+func ClosedLoop(cfg ClosedLoopConfig) ([]EpochResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := len(cfg.Lengths)
+
+	// Believed order: item ids, hottest first. Starts as identity.
+	believed := make([]int, d)
+	for i := range believed {
+		believed[i] = i + 1
+	}
+	trueDist, err := zipf.New(d, cfg.ThetaTrue)
+	if err != nil {
+		return nil, err
+	}
+
+	cutoff := cfg.InitialCutoff
+	thetaHat := cfg.ThetaTrue // initial belief = truth; drift will stress it
+	var results []EpochResult
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		// Ground truth this epoch: item id at true rank r.
+		idAtTrueRank := make([]int, d)
+		for r := 0; r < d; r++ {
+			idAtTrueRank[r] = (r+epoch*cfg.ShiftPerEpoch)%d + 1
+		}
+		// Server catalog: lengths in believed order, probs Zipf(θ̂).
+		lengths := make([]float64, d)
+		believedPos := make([]int, d)
+		for pos, id := range believed {
+			lengths[pos] = cfg.Lengths[id-1]
+			believedPos[id-1] = pos + 1
+		}
+		cat, err := catalog.FromLengths(lengths, thetaHat)
+		if err != nil {
+			return nil, err
+		}
+		sampler := &driftSampler{
+			dist:         trueDist,
+			idAtTrueRank: idAtTrueRank,
+			believedPos:  believedPos,
+		}
+		est, err := NewEstimator(d)
+		if err != nil {
+			return nil, err
+		}
+		runCfg := core.Config{
+			Catalog:        cat,
+			Classes:        cfg.Classes,
+			Lambda:         cfg.Lambda,
+			Cutoff:         cutoff,
+			Alpha:          cfg.Alpha,
+			Items:          sampler,
+			Tracer:         arrivalObserver{est: est},
+			Horizon:        cfg.EpochLen,
+			WarmupFraction: 0.1,
+			Seed:           cfg.Seed + uint64(epoch),
+		}
+		m, err := core.Run(runCfg)
+		if err != nil {
+			return nil, err
+		}
+		res := EpochResult{
+			Epoch:        epoch,
+			Cutoff:       cutoff,
+			OverallDelay: m.OverallMeanDelay(),
+			TotalCost:    m.TotalCost(),
+			NextCutoff:   cutoff,
+		}
+
+		if cfg.Adapt {
+			planner := Planner{
+				Classes: cfg.Classes,
+				Alpha:   cfg.Alpha,
+				Lengths: lengths, // believed-rank order, matching est's space
+			}
+			plan, err := planner.Replan(est, cfg.EpochLen)
+			if err == nil {
+				res.ThetaHat = plan.Theta
+				res.LambdaHat = plan.Lambda
+				res.NextCutoff = plan.Cutoff
+				cutoff = plan.Cutoff
+				thetaHat = plan.Theta
+				// Re-rank: plan.Ranking orders BELIEVED ranks by observed
+				// demand; compose with the current believed order to get
+				// the new item-id order.
+				newBelieved := make([]int, d)
+				for pos, believedRank := range plan.Ranking {
+					newBelieved[pos] = believed[believedRank-1]
+				}
+				believed = newBelieved
+			}
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}

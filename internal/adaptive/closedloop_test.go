@@ -1,0 +1,169 @@
+package adaptive
+
+import (
+	"math"
+	"testing"
+
+	"hybridqos/internal/clients"
+	"hybridqos/internal/rng"
+)
+
+func closedLoopConfig(t *testing.T) ClosedLoopConfig {
+	t.Helper()
+	cl, err := clients.New(clients.PaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5)
+	lengths := make([]float64, 100)
+	for i := range lengths {
+		lengths[i] = float64(r.IntRange(1, 5))
+	}
+	return ClosedLoopConfig{
+		Lengths:       lengths,
+		Classes:       cl,
+		Lambda:        5,
+		ThetaTrue:     1.0,
+		ShiftPerEpoch: 20,
+		Alpha:         0.5,
+		InitialCutoff: 40,
+		Epochs:        4,
+		EpochLen:      6000,
+		Adapt:         true,
+		Seed:          11,
+	}
+}
+
+func TestClosedLoopValidate(t *testing.T) {
+	good := closedLoopConfig(t)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	mutations := []func(*ClosedLoopConfig){
+		func(c *ClosedLoopConfig) { c.Lengths = c.Lengths[:1] },
+		func(c *ClosedLoopConfig) { c.Classes = nil },
+		func(c *ClosedLoopConfig) { c.Lambda = 0 },
+		func(c *ClosedLoopConfig) { c.ThetaTrue = -1 },
+		func(c *ClosedLoopConfig) { c.ShiftPerEpoch = -1 },
+		func(c *ClosedLoopConfig) { c.Alpha = 2 },
+		func(c *ClosedLoopConfig) { c.InitialCutoff = 101 },
+		func(c *ClosedLoopConfig) { c.Epochs = 0 },
+		func(c *ClosedLoopConfig) { c.EpochLen = 0 },
+	}
+	for i, mutate := range mutations {
+		cfg := closedLoopConfig(t)
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestClosedLoopShape(t *testing.T) {
+	cfg := closedLoopConfig(t)
+	results, err := ClosedLoop(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != cfg.Epochs {
+		t.Fatalf("%d epoch results", len(results))
+	}
+	for i, r := range results {
+		if r.Epoch != i {
+			t.Fatalf("epoch numbering broken at %d", i)
+		}
+		if math.IsNaN(r.OverallDelay) || r.OverallDelay <= 0 {
+			t.Fatalf("epoch %d delay %g", i, r.OverallDelay)
+		}
+	}
+	// The first epoch runs the initial cutoff; adaptation must have
+	// produced estimates afterwards.
+	if results[0].Cutoff != cfg.InitialCutoff {
+		t.Fatalf("epoch 0 cutoff %d", results[0].Cutoff)
+	}
+	if results[0].ThetaHat == 0 {
+		t.Fatal("no workload estimate after epoch 0")
+	}
+	if math.Abs(results[0].ThetaHat-1.0) > 0.15 {
+		t.Fatalf("epoch-0 θ̂ = %g, want ~1.0", results[0].ThetaHat)
+	}
+	if math.Abs(results[0].LambdaHat-5) > 0.5 {
+		t.Fatalf("epoch-0 λ̂ = %g, want ~5", results[0].LambdaHat)
+	}
+}
+
+func TestClosedLoopDeterministic(t *testing.T) {
+	cfg := closedLoopConfig(t)
+	cfg.Epochs = 2
+	cfg.EpochLen = 3000
+	a, err := ClosedLoop(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ClosedLoop(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].OverallDelay != b[i].OverallDelay || a[i].NextCutoff != b[i].NextCutoff {
+			t.Fatalf("epoch %d diverged across identical runs", i)
+		}
+	}
+}
+
+func TestClosedLoopAdaptationBeatsFrozen(t *testing.T) {
+	// Under SLOW drift (slower than the epoch cadence) the adaptive loop
+	// must end up cheaper than the frozen server whose push set goes
+	// progressively stale: compare the mean cost over the post-adaptation
+	// epochs. (Fast drift — ranking turnover per epoch comparable to the
+	// push-set size — is a different regime: adaptation lags one epoch, and
+	// a small re-planned push set is MORE fragile to that lag than a large
+	// frozen one; see the ClosedLoop doc comment.)
+	cfg := closedLoopConfig(t)
+	cfg.Epochs = 8
+	cfg.ShiftPerEpoch = 5
+	adaptive, err := ClosedLoop(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frozen := cfg
+	frozen.Adapt = false
+	baseline, err := ClosedLoop(frozen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanCost := func(rs []EpochResult) float64 {
+		sum := 0.0
+		for _, r := range rs[1:] { // epoch 0 is identical by construction
+			sum += r.TotalCost
+		}
+		return sum / float64(len(rs)-1)
+	}
+	a, f := meanCost(adaptive), meanCost(baseline)
+	if a >= f {
+		t.Fatalf("adaptive mean cost %.1f not below frozen %.1f", a, f)
+	}
+}
+
+func TestClosedLoopStationaryNoHarm(t *testing.T) {
+	// Without drift, adaptation must not make things meaningfully worse
+	// than the frozen server (it may differ slightly through re-planning).
+	cfg := closedLoopConfig(t)
+	cfg.ShiftPerEpoch = 0
+	cfg.Epochs = 3
+	adaptive, err := ClosedLoop(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frozen := cfg
+	frozen.Adapt = false
+	baseline, err := ClosedLoop(frozen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(adaptive) - 1
+	if adaptive[last].TotalCost > baseline[last].TotalCost*1.15 {
+		t.Fatalf("stationary adaptation cost %.1f vs frozen %.1f",
+			adaptive[last].TotalCost, baseline[last].TotalCost)
+	}
+}

@@ -1,0 +1,114 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"hybridqos/internal/catalog"
+	"hybridqos/internal/rng"
+)
+
+func TestBlockingProbabilityErrors(t *testing.T) {
+	cases := [][3]float64{
+		{-1, 1, 5}, {math.NaN(), 1, 5}, {1, 0, 5}, {1, -1, 5}, {1, 1, math.NaN()},
+	}
+	for i, c := range cases {
+		if _, err := BlockingProbability(c[0], c[1], c[2]); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestBlockingProbabilityEdges(t *testing.T) {
+	// Capacity below the deterministic floor of 1 always blocks.
+	if p, _ := BlockingProbability(2, 3, 0.5); p != 1 {
+		t.Fatalf("capacity<1: P=%g", p)
+	}
+	// Zero demand mean never blocks at capacity ≥ 1.
+	if p, _ := BlockingProbability(0, 3, 1); p != 0 {
+		t.Fatalf("zero mean: P=%g", p)
+	}
+	// Huge capacity: negligible blocking.
+	if p, _ := BlockingProbability(2, 3, 100); p > 1e-10 {
+		t.Fatalf("huge capacity: P=%g", p)
+	}
+}
+
+func TestBlockingProbabilityKnownValue(t *testing.T) {
+	// demand = 1 + Poisson(1); capacity 2 blocks when Poisson(1) > 1:
+	// P = 1 − e^{-1}(1 + 1) = 1 − 2/e.
+	p, err := BlockingProbability(1, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 - 2/math.E
+	if math.Abs(p-want) > 1e-12 {
+		t.Fatalf("P=%g, want %g", p, want)
+	}
+}
+
+func TestBlockingProbabilityMonotone(t *testing.T) {
+	prev := 1.0
+	for capacity := 1.0; capacity <= 20; capacity++ {
+		p, err := BlockingProbability(1.5, 2, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p > prev+1e-12 {
+			t.Fatalf("blocking not decreasing in capacity: %g then %g", prev, p)
+		}
+		prev = p
+	}
+	// And increasing in length.
+	pShort, _ := BlockingProbability(1.5, 1, 5)
+	pLong, _ := BlockingProbability(1.5, 5, 5)
+	if pLong <= pShort {
+		t.Fatalf("blocking not increasing in length: %g vs %g", pShort, pLong)
+	}
+}
+
+func TestBlockingProbabilityMatchesMonteCarlo(t *testing.T) {
+	r := rng.New(13)
+	for _, tc := range []struct{ beta, length, capacity float64 }{
+		{1, 2, 4}, {2, 3, 8}, {0.5, 5, 3}, {3, 4, 40},
+	} {
+		want, err := BlockingProbability(tc.beta, tc.length, tc.capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 400000
+		blocked := 0
+		for i := 0; i < n; i++ {
+			demand := 1 + float64(r.Poisson(tc.beta*tc.length))
+			if demand > tc.capacity {
+				blocked++
+			}
+		}
+		got := float64(blocked) / n
+		if math.Abs(got-want) > 4*math.Sqrt(want*(1-want)/n)+1e-4 {
+			t.Errorf("β=%g L=%g B=%g: MC %g vs analytic %g", tc.beta, tc.length, tc.capacity, got, want)
+		}
+	}
+}
+
+func TestExpectedBlockingRate(t *testing.T) {
+	cat := catalog.MustGenerate(catalog.PaperConfig(0.6, 1))
+	if _, err := ExpectedBlockingRate(nil, 10, 1, 5); err == nil {
+		t.Fatal("nil catalog accepted")
+	}
+	if _, err := ExpectedBlockingRate(cat, 100, 1, 5); err == nil {
+		t.Fatal("empty pull set accepted")
+	}
+	// Bigger capacity → lower expected blocking.
+	small, err := ExpectedBlockingRate(cat, 40, 1.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := ExpectedBlockingRate(cat, 40, 1.5, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(large < small && small <= 1 && large >= 0) {
+		t.Fatalf("expected blocking: %g (B=3) vs %g (B=12)", small, large)
+	}
+}

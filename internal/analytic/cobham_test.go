@@ -1,0 +1,246 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCobhamErrors(t *testing.T) {
+	if _, err := CobhamWaits(nil); err == nil {
+		t.Fatal("empty class list accepted")
+	}
+	bad := [][]PriorityClass{
+		{{Lambda: -1, Mu: 1}},
+		{{Lambda: math.NaN(), Mu: 1}},
+		{{Lambda: 1, Mu: 0}},
+		{{Lambda: 1, Mu: math.Inf(1)}},
+	}
+	for i, cs := range bad {
+		if _, err := CobhamWaits(cs); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestCobhamSingleClassIsMM1(t *testing.T) {
+	// One class: Cobham reduces to M/M/1 Wq = ρ/(μ−λ) ... specifically
+	// residual/(1−ρ) = (ρ/μ)/(1−ρ) = λ/(μ(μ−λ)).
+	lambda, mu := 2.0, 5.0
+	w, err := CobhamWaits([]PriorityClass{{lambda, mu}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FCFSWait(lambda, mu)
+	if math.Abs(w[0]-want) > 1e-12 {
+		t.Fatalf("single-class Cobham %g != M/M/1 %g", w[0], want)
+	}
+}
+
+func TestCobhamTextbookTwoClass(t *testing.T) {
+	// λ1=λ2=1, μ=4 for both: ρ1=ρ2=0.25, residual = 2·(0.25/4) = 0.125.
+	// W1 = 0.125/(1·0.75) = 1/6; W2 = 0.125/(0.75·0.5) = 1/3.
+	w, err := CobhamWaits([]PriorityClass{{1, 4}, {1, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w[0]-1.0/6) > 1e-12 || math.Abs(w[1]-1.0/3) > 1e-12 {
+		t.Fatalf("waits = %v, want [1/6, 1/3]", w)
+	}
+}
+
+func TestCobhamHigherClassWaitsLess(t *testing.T) {
+	w, err := CobhamWaits([]PriorityClass{{0.5, 2}, {0.5, 2}, {0.5, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(w[0] < w[1] && w[1] < w[2]) {
+		t.Fatalf("waits not increasing by class: %v", w)
+	}
+}
+
+func TestCobhamSaturation(t *testing.T) {
+	// σ2 = 0.5+0.6 > 1: class 2 saturated, class 1 still finite.
+	w, err := CobhamWaits([]PriorityClass{{1, 2}, {1.2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(w[0], 1) {
+		t.Fatal("class 1 should be stable")
+	}
+	if !math.IsInf(w[1], 1) {
+		t.Fatalf("class 2 should saturate, got %g", w[1])
+	}
+	// Everything saturated when even class 1 overloads.
+	w2, err := CobhamWaits([]PriorityClass{{3, 2}, {0.1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(w2[0], 1) || !math.IsInf(w2[1], 1) {
+		t.Fatalf("expected both saturated: %v", w2)
+	}
+}
+
+func TestCobhamConservationLaw(t *testing.T) {
+	// Kleinrock's conservation law for M/M/1 with identical service rates:
+	// Σ ρ_i·W_i is invariant under priority ordering and equals ρ·W_FCFS
+	// with aggregate parameters.
+	classes := []PriorityClass{{0.4, 3}, {0.7, 3}, {0.3, 3}}
+	w, err := CobhamWaits(classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lhs, lambda float64
+	for i, c := range classes {
+		lhs += c.Lambda / c.Mu * w[i]
+		lambda += c.Lambda
+	}
+	rho := lambda / 3
+	rhs := rho * FCFSWait(lambda, 3)
+	if math.Abs(lhs-rhs) > 1e-9 {
+		t.Fatalf("conservation law violated: Σρ_iW_i=%g, ρ·W_FCFS=%g", lhs, rhs)
+	}
+}
+
+func TestOverallPullWait(t *testing.T) {
+	classes := []PriorityClass{{1, 4}, {1, 4}}
+	w, _ := CobhamWaits(classes)
+	overall, err := OverallPullWait(classes, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.5*w[0] + 0.5*w[1]
+	if math.Abs(overall-want) > 1e-12 {
+		t.Fatalf("overall %g, want %g", overall, want)
+	}
+	if _, err := OverallPullWait(classes, w[:1]); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	zero, err := OverallPullWait([]PriorityClass{{0, 1}, {0, 1}}, []float64{5, 5})
+	if err != nil || zero != 0 {
+		t.Fatalf("zero-arrival overall = %g, %v", zero, err)
+	}
+}
+
+func TestFCFSWait(t *testing.T) {
+	if w := FCFSWait(1, 2); math.Abs(w-0.5) > 1e-12 {
+		t.Fatalf("FCFSWait(1,2) = %g, want 0.5", w)
+	}
+	if !math.IsInf(FCFSWait(2, 2), 1) {
+		t.Fatal("saturated FCFS not Inf")
+	}
+	if FCFSWait(0, 1) != 0 {
+		t.Fatal("zero-arrival FCFS wait not 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FCFSWait(-1,1) did not panic")
+		}
+	}()
+	FCFSWait(-1, 1)
+}
+
+// Property: for stable random systems, waits are positive, increasing by
+// class, and satisfy the conservation law.
+func TestPropertyCobham(t *testing.T) {
+	check := func(l1Raw, l2Raw, l3Raw uint8) bool {
+		mu := 10.0
+		l := []float64{
+			float64(l1Raw%30)/10 + 0.1,
+			float64(l2Raw%30)/10 + 0.1,
+			float64(l3Raw%30)/10 + 0.1,
+		}
+		if (l[0]+l[1]+l[2])/mu >= 0.95 {
+			return true // skip near-saturated cases
+		}
+		classes := []PriorityClass{{l[0], mu}, {l[1], mu}, {l[2], mu}}
+		w, err := CobhamWaits(classes)
+		if err != nil {
+			return false
+		}
+		if !(w[0] > 0 && w[0] <= w[1] && w[1] <= w[2]) {
+			return false
+		}
+		var lhs float64
+		for i := range classes {
+			lhs += l[i] / mu * w[i]
+		}
+		rho := (l[0] + l[1] + l[2]) / mu
+		rhs := rho * FCFSWait(l[0]+l[1]+l[2], mu)
+		return math.Abs(lhs-rhs) < 1e-6*(1+rhs)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCobhamMG1ReducesToExponential(t *testing.T) {
+	// With ES2 = 2·ES² the M/G/1 form must equal the M/M/1 CobhamWaits.
+	mu := 4.0
+	es := 1 / mu
+	classes := []PriorityClass{{1, mu}, {0.8, mu}}
+	general := []GeneralPriorityClass{
+		{Lambda: 1, ES: es, ES2: 2 * es * es},
+		{Lambda: 0.8, ES: es, ES2: 2 * es * es},
+	}
+	a, err := CobhamWaits(classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CobhamWaitsMG1(general)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-12 {
+			t.Fatalf("class %d: MM1 %g vs MG1-exponential %g", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCobhamMG1DeterministicHalvesResidual(t *testing.T) {
+	es := 0.25
+	exp := []GeneralPriorityClass{{Lambda: 1, ES: es, ES2: 2 * es * es}}
+	det := []GeneralPriorityClass{{Lambda: 1, ES: es, ES2: es * es}}
+	we, err := CobhamWaitsMG1(exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd, err := CobhamWaitsMG1(det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(wd[0]*2-we[0]) > 1e-12 {
+		t.Fatalf("deterministic wait %g not half of exponential %g", wd[0], we[0])
+	}
+}
+
+func TestCobhamMG1Validation(t *testing.T) {
+	if _, err := CobhamWaitsMG1(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	bad := [][]GeneralPriorityClass{
+		{{Lambda: -1, ES: 1, ES2: 2}},
+		{{Lambda: 1, ES: 0, ES2: 0}},
+		{{Lambda: 1, ES: 1, ES2: 0.5}}, // E[S²] < E[S]² is impossible
+		{{Lambda: 1, ES: 1, ES2: math.NaN()}},
+	}
+	for i, cs := range bad {
+		if _, err := CobhamWaitsMG1(cs); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestCobhamMG1Saturation(t *testing.T) {
+	w, err := CobhamWaitsMG1([]GeneralPriorityClass{
+		{Lambda: 1, ES: 0.5, ES2: 0.25},
+		{Lambda: 2, ES: 0.5, ES2: 0.25}, // σ2 = 1.5: saturated
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(w[0], 1) || !math.IsInf(w[1], 1) {
+		t.Fatalf("saturation wrong: %v", w)
+	}
+}

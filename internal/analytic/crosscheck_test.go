@@ -1,0 +1,106 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"hybridqos/internal/event"
+	"hybridqos/internal/rng"
+	"hybridqos/internal/stats"
+)
+
+// TestHybridChainMatchesDES simulates the §4.1 birth–death chain directly
+// with the discrete-event engine and compares the time-averaged occupancy
+// statistics with the Markov solver's stationary distribution — two fully
+// independent implementations of the same model.
+func TestHybridChainMatchesDES(t *testing.T) {
+	p := HybridChainParams{Lambda: 0.2, Mu1: 2, Mu2: 1, C: 200}
+	want, err := SolveHybridChain(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sim := event.New()
+	r := rng.New(99)
+	const horizon = 400000.0
+
+	// State: i pull customers, phase 0 = push in service, 1 = pull.
+	i, phase := 0, 0
+	var lenTW, idleTW, pullBusyTW stats.TimeWeighted
+	observe := func() {
+		now := sim.Now()
+		lenTW.Observe(now, float64(i))
+		idle := 0.0
+		if i == 0 && phase == 0 {
+			idle = 1
+		}
+		idleTW.Observe(now, idle)
+		busy := 0.0
+		if phase == 1 {
+			busy = 1
+		}
+		pullBusyTW.Observe(now, busy)
+	}
+
+	// Arrival process.
+	var scheduleArrival func()
+	scheduleArrival = func() {
+		tNext := sim.Now() + r.Exp(p.Lambda)
+		if tNext > horizon {
+			return
+		}
+		sim.At(tNext, func(*event.Simulator) {
+			if i < p.C {
+				i++
+				observe()
+			}
+			scheduleArrival()
+		})
+	}
+	// Service process: alternating push (rate μ1) and pull (rate μ2)
+	// services; push completions with an empty queue recycle.
+	var scheduleService func()
+	scheduleService = func() {
+		var rate float64
+		if phase == 0 {
+			rate = p.Mu1
+		} else {
+			rate = p.Mu2
+		}
+		tNext := sim.Now() + r.Exp(rate)
+		if tNext > horizon {
+			return
+		}
+		sim.At(tNext, func(*event.Simulator) {
+			if phase == 0 {
+				if i >= 1 {
+					phase = 1 // push completed, pull starts
+				}
+				// empty queue: flat broadcast recycles, state unchanged
+			} else {
+				i--
+				phase = 0 // pull completed, customer departs
+			}
+			observe()
+			scheduleService()
+		})
+	}
+	observe()
+	scheduleArrival()
+	scheduleService()
+	sim.RunUntil(horizon)
+
+	gotEL := lenTW.MeanAt(horizon)
+	gotIdle := idleTW.MeanAt(horizon)
+	gotBusy := pullBusyTW.MeanAt(horizon)
+
+	if math.Abs(gotEL-want.ELPull) > 0.05*want.ELPull+0.01 {
+		t.Errorf("E[L_pull]: DES %g vs solver %g", gotEL, want.ELPull)
+	}
+	if math.Abs(gotIdle-want.P00) > 0.02 {
+		t.Errorf("p(0,0): DES %g vs solver %g", gotIdle, want.P00)
+	}
+	if math.Abs(gotBusy-want.PullBusy) > 0.02 {
+		t.Errorf("pull occupancy: DES %g vs solver %g", gotBusy, want.PullBusy)
+	}
+}

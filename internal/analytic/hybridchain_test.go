@@ -1,0 +1,118 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHybridChainParamsValidate(t *testing.T) {
+	bad := []HybridChainParams{
+		{Lambda: 0, Mu1: 1, Mu2: 1, C: 10},
+		{Lambda: 1, Mu1: -1, Mu2: 1, C: 10},
+		{Lambda: 1, Mu1: 1, Mu2: math.NaN(), C: 10},
+		{Lambda: 1, Mu1: 1, Mu2: 1, C: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d validated: %+v", i, p)
+		}
+	}
+}
+
+func TestHybridChainIdleMatchesClosedForm(t *testing.T) {
+	// For a stable, lightly loaded chain with a generous truncation, the
+	// numerical p(0,0) should approach the paper's 1 − ρ − ρ/f.
+	cases := []HybridChainParams{
+		{Lambda: 0.2, Mu1: 2, Mu2: 1, C: 400},
+		{Lambda: 0.1, Mu1: 1, Mu2: 0.5, C: 400},
+		{Lambda: 0.3, Mu1: 5, Mu2: 2, C: 400},
+	}
+	for _, p := range cases {
+		got, err := SolveHybridChain(p)
+		if err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		want := ClosedFormIdle(p.Lambda, p.Mu1, p.Mu2)
+		if want <= 0 {
+			t.Fatalf("test case %+v not stable in closed form", p)
+		}
+		if math.Abs(got.P00-want) > 0.02*want+1e-3 {
+			t.Errorf("%+v: p(0,0) numeric %g vs closed form %g", p, got.P00, want)
+		}
+		if got.LossProb > 1e-6 {
+			t.Errorf("%+v: truncation loss %g too high for the comparison", p, got.LossProb)
+		}
+	}
+}
+
+func TestHybridChainPullOccupancy(t *testing.T) {
+	// Paper: occupancy of the pull states is ρ = λ/μ₂.
+	p := HybridChainParams{Lambda: 0.2, Mu1: 3, Mu2: 1, C: 400}
+	got, err := SolveHybridChain(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho := p.Lambda / p.Mu2
+	if math.Abs(got.PullBusy-rho) > 0.02*rho+1e-3 {
+		t.Fatalf("pull occupancy %g, want ~ρ=%g", got.PullBusy, rho)
+	}
+}
+
+func TestHybridChainLittleConsistency(t *testing.T) {
+	p := HybridChainParams{Lambda: 0.25, Mu1: 2, Mu2: 1, C: 300}
+	got, err := SolveHybridChain(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ELPull <= 0 || math.IsInf(got.WPull, 0) {
+		t.Fatalf("degenerate solution: %+v", got)
+	}
+	// W = L/λeff by construction; sanity: W must exceed the mean pull
+	// service time 1/μ₂ ... minus nothing: every pull customer waits for at
+	// least one push + its own service on average in this alternating chain.
+	if got.WPull < 1/p.Mu2 {
+		t.Fatalf("WPull %g below single service time %g", got.WPull, 1/p.Mu2)
+	}
+	// N is the partial mean over push states and must be below the full mean.
+	if got.NPushPhase < 0 || got.NPushPhase > got.ELPull {
+		t.Fatalf("NPushPhase %g outside [0, ELPull=%g]", got.NPushPhase, got.ELPull)
+	}
+}
+
+func TestHybridChainLoadMonotone(t *testing.T) {
+	// Higher λ ⇒ longer pull queue and lower idle probability.
+	prevL, prevIdle := -1.0, 2.0
+	for _, lambda := range []float64{0.05, 0.1, 0.2, 0.3} {
+		got, err := SolveHybridChain(HybridChainParams{Lambda: lambda, Mu1: 2, Mu2: 1, C: 300})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ELPull <= prevL {
+			t.Fatalf("ELPull not increasing in λ: %g then %g", prevL, got.ELPull)
+		}
+		if got.P00 >= prevIdle {
+			t.Fatalf("idle not decreasing in λ: %g then %g", prevIdle, got.P00)
+		}
+		prevL, prevIdle = got.ELPull, got.P00
+	}
+}
+
+func TestHybridChainUnstableStillSolvable(t *testing.T) {
+	// Over capacity: the truncated chain still has a stationary law; the
+	// closed form goes negative. The solver must not error.
+	p := HybridChainParams{Lambda: 5, Mu1: 1, Mu2: 1, C: 50}
+	got, err := SolveHybridChain(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ClosedFormIdle(p.Lambda, p.Mu1, p.Mu2) > 0 {
+		t.Fatal("expected unstable closed form")
+	}
+	// Queue piles to the truncation: most mass near C.
+	if got.ELPull < float64(p.C)/2 {
+		t.Fatalf("unstable chain has ELPull=%g, expected near C=%d", got.ELPull, p.C)
+	}
+	if got.LossProb < 0.1 {
+		t.Fatalf("unstable chain should have substantial loss, got %g", got.LossProb)
+	}
+}

@@ -1,0 +1,106 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTwoClassValidate(t *testing.T) {
+	bad := []TwoClassParams{
+		{Lambda1: -1, Lambda2: 1, Mu: 1, C: 10},
+		{Lambda1: 0, Lambda2: 0, Mu: 1, C: 10},
+		{Lambda1: 1, Lambda2: 1, Mu: 0, C: 10},
+		{Lambda1: 1, Lambda2: 1, Mu: 1, C: 1},
+		{Lambda1: math.NaN(), Lambda2: 1, Mu: 1, C: 10},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d validated: %+v", i, p)
+		}
+	}
+}
+
+func TestTwoClassMatchesCobham(t *testing.T) {
+	// The exact truncated chain's waits should match Cobham's formula
+	// (plus a service time 1/μ, since the chain measures SYSTEM time)
+	// for a stable system with generous truncation.
+	cases := []TwoClassParams{
+		{Lambda1: 1, Lambda2: 1, Mu: 4, C: 60},
+		{Lambda1: 0.5, Lambda2: 1.5, Mu: 4, C: 60},
+		{Lambda1: 2, Lambda2: 0.5, Mu: 4, C: 60},
+	}
+	for _, p := range cases {
+		res, err := SolveTwoClassChain(p)
+		if err != nil {
+			t.Fatalf("%+v: %v", p, err)
+		}
+		cw, err := CobhamWaits([]PriorityClass{{p.Lambda1, p.Mu}, {p.Lambda2, p.Mu}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want1 := cw[0] + 1/p.Mu
+		want2 := cw[1] + 1/p.Mu
+		if math.Abs(res.W1-want1) > 0.02*want1 {
+			t.Errorf("%+v: W1 chain %g vs Cobham %g", p, res.W1, want1)
+		}
+		if math.Abs(res.W2-want2) > 0.02*want2 {
+			t.Errorf("%+v: W2 chain %g vs Cobham %g", p, res.W2, want2)
+		}
+	}
+}
+
+func TestTwoClassPriorityOrdering(t *testing.T) {
+	res, err := SolveTwoClassChain(TwoClassParams{Lambda1: 1, Lambda2: 1, Mu: 3, C: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.W1 < res.W2) {
+		t.Fatalf("class 1 (priority) waits %g >= class 2 %g", res.W1, res.W2)
+	}
+	if res.L1 <= 0 || res.L2 <= 0 {
+		t.Fatalf("queue lengths: %g, %g", res.L1, res.L2)
+	}
+}
+
+func TestTwoClassIdleMatchesMM1(t *testing.T) {
+	// Total idle probability equals that of an M/M/1 with aggregate λ.
+	p := TwoClassParams{Lambda1: 0.8, Lambda2: 1.2, Mu: 4, C: 60}
+	res, err := SolveTwoClassChain(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 - (p.Lambda1+p.Lambda2)/p.Mu
+	if math.Abs(res.Idle-want) > 0.01 {
+		t.Fatalf("idle %g, want ~%g", res.Idle, want)
+	}
+}
+
+func TestTwoClassZeroClassTwo(t *testing.T) {
+	p := TwoClassParams{Lambda1: 1, Lambda2: 0, Mu: 3, C: 40}
+	res, err := SolveTwoClassChain(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(res.W2) {
+		t.Fatalf("W2 with zero arrivals = %g, want NaN", res.W2)
+	}
+	// Reduces to plain M/M/1 system time 1/(μ−λ).
+	want := 1 / (p.Mu - p.Lambda1)
+	if math.Abs(res.W1-want) > 0.02*want {
+		t.Fatalf("W1 %g, want M/M/1 %g", res.W1, want)
+	}
+}
+
+func TestTwoClassHigherLoadSlower(t *testing.T) {
+	a, err := SolveTwoClassChain(TwoClassParams{Lambda1: 0.5, Lambda2: 0.5, Mu: 4, C: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SolveTwoClassChain(TwoClassParams{Lambda1: 1.5, Lambda2: 1.5, Mu: 4, C: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.W1 <= a.W1 || b.W2 <= a.W2 {
+		t.Fatalf("heavier load not slower: %+v vs %+v", a, b)
+	}
+}

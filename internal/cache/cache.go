@@ -1,0 +1,203 @@
+// Package cache implements client-side item caches for the broadcast
+// clients, with the three replacement policies of the broadcast-disk
+// literature the paper builds on (Acharya et al., SIGMOD '95): LRU, LFU and
+// PIX (probability inverse broadcast-frequency — evict the item with the
+// lowest p/x, which keeps items that are popular but RARELY broadcast, i.e.
+// exactly the pull items whose misses are expensive in a hybrid system).
+//
+// A cache hit costs zero access time and never reaches the server; the
+// effect on the hybrid scheduler is a thinned, reshaped request stream.
+package cache
+
+import (
+	"fmt"
+	"math"
+)
+
+// PolicyKind selects the replacement policy.
+type PolicyKind int
+
+// Replacement policies.
+const (
+	LRU PolicyKind = iota
+	LFU
+	PIX
+)
+
+// String names the policy.
+func (p PolicyKind) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case LFU:
+		return "lfu"
+	case PIX:
+		return "pix"
+	default:
+		return fmt.Sprintf("PolicyKind(%d)", int(p))
+	}
+}
+
+// entry is one cached item's bookkeeping.
+type entry struct {
+	item     int
+	lastUsed float64 // LRU clock
+	uses     int64   // LFU counter
+	pix      float64 // p/x score (PIX)
+}
+
+// Cache is one client's fixed-capacity item cache. Not safe for concurrent
+// use (the simulator is single-threaded per run).
+type Cache struct {
+	policy   PolicyKind
+	capacity int
+	entries  map[int]*entry
+	// Hits and Misses count lookups.
+	Hits, Misses int64
+}
+
+// New builds a cache. capacity must be positive.
+func New(capacity int, policy PolicyKind) (*Cache, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("cache: capacity %d", capacity)
+	}
+	if policy < LRU || policy > PIX {
+		return nil, fmt.Errorf("cache: unknown policy %d", int(policy))
+	}
+	return &Cache{
+		policy:   policy,
+		capacity: capacity,
+		entries:  make(map[int]*entry),
+	}, nil
+}
+
+// Len returns the number of cached items.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Capacity returns the configured capacity.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Lookup checks for the item at simulated time now, updating hit/miss
+// counters and recency/frequency bookkeeping.
+func (c *Cache) Lookup(item int, now float64) bool {
+	e, ok := c.entries[item]
+	if !ok {
+		c.Misses++
+		return false
+	}
+	c.Hits++
+	e.lastUsed = now
+	e.uses++
+	return true
+}
+
+// Insert caches an item the client just received. pix is the item's
+// p/x score (access probability over broadcast frequency), used only by the
+// PIX policy; pass 0 otherwise. Inserting an already-cached item refreshes
+// its bookkeeping. When full, the policy's victim is evicted — unless the
+// incoming item scores WORSE than every resident (PIX only), in which case
+// the insert is skipped (cache pollution control, per the broadcast-disk
+// paper).
+func (c *Cache) Insert(item int, pix, now float64) {
+	if math.IsNaN(pix) || pix < 0 {
+		panic(fmt.Sprintf("cache: invalid pix score %g", pix))
+	}
+	if e, ok := c.entries[item]; ok {
+		e.lastUsed = now
+		e.uses++
+		e.pix = pix
+		return
+	}
+	if len(c.entries) >= c.capacity {
+		victim := c.victim()
+		if c.policy == PIX && c.entries[victim].pix >= pix {
+			return // the newcomer is the worst candidate; do not pollute
+		}
+		delete(c.entries, victim)
+	}
+	c.entries[item] = &entry{item: item, lastUsed: now, uses: 1, pix: pix}
+}
+
+// victim returns the policy's eviction candidate. The cache must be
+// non-empty. Ties break toward the smaller item rank for determinism.
+func (c *Cache) victim() int {
+	best := -1
+	var bestEntry *entry
+	better := func(a, b *entry) bool {
+		switch c.policy {
+		case LRU:
+			if a.lastUsed != b.lastUsed {
+				return a.lastUsed < b.lastUsed
+			}
+		case LFU:
+			if a.uses != b.uses {
+				return a.uses < b.uses
+			}
+		case PIX:
+			if a.pix != b.pix {
+				return a.pix < b.pix
+			}
+		}
+		return a.item < b.item
+	}
+	for _, e := range c.entries {
+		if bestEntry == nil || better(e, bestEntry) {
+			best, bestEntry = e.item, e
+		}
+	}
+	return best
+}
+
+// HitRate returns Hits/(Hits+Misses), 0 when unused.
+func (c *Cache) HitRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(total)
+}
+
+// Population is a set of per-client caches.
+type Population struct {
+	caches []*Cache
+}
+
+// NewPopulation builds n independent caches.
+func NewPopulation(n, capacity int, policy PolicyKind) (*Population, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cache: population size %d", n)
+	}
+	p := &Population{caches: make([]*Cache, n)}
+	for i := range p.caches {
+		c, err := New(capacity, policy)
+		if err != nil {
+			return nil, err
+		}
+		p.caches[i] = c
+	}
+	return p, nil
+}
+
+// Size returns the number of clients.
+func (p *Population) Size() int { return len(p.caches) }
+
+// Client returns client id's cache.
+func (p *Population) Client(id int) *Cache {
+	if id < 0 || id >= len(p.caches) {
+		panic(fmt.Sprintf("cache: client %d out of [0,%d)", id, len(p.caches)))
+	}
+	return p.caches[id]
+}
+
+// HitRate returns the population-wide hit rate.
+func (p *Population) HitRate() float64 {
+	var hits, total int64
+	for _, c := range p.caches {
+		hits += c.Hits
+		total += c.Hits + c.Misses
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}

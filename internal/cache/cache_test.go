@@ -1,0 +1,195 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hybridqos/internal/rng"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, LRU); err == nil {
+		t.Fatal("capacity 0 accepted")
+	}
+	if _, err := New(5, PolicyKind(9)); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	c, err := New(3, LRU)
+	if err != nil || c.Capacity() != 3 || c.Len() != 0 {
+		t.Fatalf("valid cache rejected: %v", err)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if LRU.String() != "lru" || LFU.String() != "lfu" || PIX.String() != "pix" {
+		t.Fatal("policy names wrong")
+	}
+	if PolicyKind(9).String() != "PolicyKind(9)" {
+		t.Fatal("unknown policy string wrong")
+	}
+}
+
+func TestHitMissCounting(t *testing.T) {
+	c, _ := New(2, LRU)
+	if c.Lookup(1, 0) {
+		t.Fatal("hit on empty cache")
+	}
+	c.Insert(1, 0, 1)
+	if !c.Lookup(1, 2) {
+		t.Fatal("miss after insert")
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Fatalf("counts: %d/%d", c.Hits, c.Misses)
+	}
+	if c.HitRate() != 0.5 {
+		t.Fatalf("hit rate %g", c.HitRate())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c, _ := New(2, LRU)
+	c.Insert(1, 0, 1)
+	c.Insert(2, 0, 2)
+	c.Lookup(1, 3)    // refresh 1: now 2 is LRU
+	c.Insert(3, 0, 4) // evicts 2
+	if !c.Lookup(1, 5) || c.Lookup(2, 5) || !c.Lookup(3, 5) {
+		t.Fatal("LRU evicted the wrong item")
+	}
+}
+
+func TestLFUEviction(t *testing.T) {
+	c, _ := New(2, LFU)
+	c.Insert(1, 0, 1)
+	c.Insert(2, 0, 2)
+	c.Lookup(1, 3)
+	c.Lookup(1, 4) // item 1 used 3x, item 2 used 1x
+	c.Insert(3, 0, 5)
+	if !c.Lookup(1, 6) || c.Lookup(2, 6) {
+		t.Fatal("LFU evicted the wrong item")
+	}
+}
+
+func TestPIXKeepsHighScores(t *testing.T) {
+	c, _ := New(2, PIX)
+	c.Insert(1, 10, 1) // popular, rarely broadcast: precious
+	c.Insert(2, 1, 2)
+	c.Insert(3, 5, 3) // evicts item 2 (lowest pix)
+	if !c.Lookup(1, 4) || c.Lookup(2, 4) || !c.Lookup(3, 4) {
+		t.Fatal("PIX evicted the wrong item")
+	}
+	// A newcomer scoring below every resident is refused.
+	c.Insert(4, 0.5, 5)
+	if c.Lookup(4, 6) {
+		t.Fatal("PIX admitted a polluting item")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestReinsertRefreshes(t *testing.T) {
+	c, _ := New(2, LRU)
+	c.Insert(1, 0, 1)
+	c.Insert(2, 0, 2)
+	c.Insert(1, 0, 3) // refresh, must not evict
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d after refresh", c.Len())
+	}
+	c.Insert(3, 0, 4) // evicts 2 (1 was refreshed)
+	if !c.Lookup(1, 5) || c.Lookup(2, 5) {
+		t.Fatal("refresh did not update recency")
+	}
+}
+
+func TestInsertPanicsOnBadPix(t *testing.T) {
+	c, _ := New(2, PIX)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative pix accepted")
+		}
+	}()
+	c.Insert(1, -1, 0)
+}
+
+func TestPopulation(t *testing.T) {
+	p, err := NewPopulation(10, 3, LRU)
+	if err != nil || p.Size() != 10 {
+		t.Fatalf("population: %v", err)
+	}
+	p.Client(0).Insert(1, 0, 1)
+	if !p.Client(0).Lookup(1, 2) {
+		t.Fatal("client 0 cache broken")
+	}
+	if p.Client(1).Lookup(1, 2) {
+		t.Fatal("caches not independent")
+	}
+	if p.HitRate() != 0.5 {
+		t.Fatalf("population hit rate %g", p.HitRate())
+	}
+	if _, err := NewPopulation(0, 3, LRU); err == nil {
+		t.Fatal("empty population accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range client accepted")
+		}
+	}()
+	p.Client(10)
+}
+
+// Property: the cache never exceeds capacity and a just-inserted item is
+// present (except PIX pollution refusal, which keeps size ≤ capacity too).
+func TestPropertyCapacityInvariant(t *testing.T) {
+	r := rng.New(3)
+	check := func(capRaw, polRaw uint8, ops []uint16) bool {
+		capacity := int(capRaw%10) + 1
+		policy := PolicyKind(polRaw % 3)
+		c, err := New(capacity, policy)
+		if err != nil {
+			return false
+		}
+		now := 0.0
+		for _, op := range ops {
+			now += r.Float64()
+			item := int(op%50) + 1
+			if op%3 == 0 {
+				c.Lookup(item, now)
+			} else {
+				c.Insert(item, float64(op%7), now)
+			}
+			if c.Len() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: under a skewed reference stream, PIX with pull-biased scores
+// must reach a hit rate at least comparable to LRU (it is designed for
+// broadcast environments).
+func TestPIXCompetitiveWithLRU(t *testing.T) {
+	r := rng.New(9)
+	run := func(policy PolicyKind) float64 {
+		c, _ := New(5, policy)
+		now := 0.0
+		for i := 0; i < 50000; i++ {
+			now++
+			item := r.Intn(40) + 1
+			if r.Float64() < 0.7 { // 70% of traffic on items 1..8
+				item = r.Intn(8) + 1
+			}
+			if !c.Lookup(item, now) {
+				c.Insert(item, 1/float64(item), now) // pix ∝ popularity
+			}
+		}
+		return c.HitRate()
+	}
+	lru, pix := run(LRU), run(PIX)
+	if pix < lru*0.9 {
+		t.Fatalf("PIX hit rate %g far below LRU %g", pix, lru)
+	}
+}

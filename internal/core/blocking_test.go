@@ -1,0 +1,42 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"hybridqos/internal/analytic"
+	"hybridqos/internal/bandwidth"
+)
+
+func TestBlockingRateMatchesAnalyticModel(t *testing.T) {
+	// Under strict partitioning, each class's per-transmission blocking
+	// rate should match the Poisson-demand model integrated over the pull
+	// set's popularity-weighted length mix.
+	cfg := baseConfig(t)
+	cfg.Horizon = 60000
+	demandMean := 1.2
+	fractions := []float64{0.5, 0.3, 0.2}
+	total := 20.0
+	cfg.Bandwidth = &bandwidth.Config{Total: total, Fractions: fractions, DemandMean: demandMean}
+	m, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, frac := range fractions {
+		st := m.Bandwidth[c]
+		if st.Attempts < 200 {
+			continue // too few attempts for a rate comparison
+		}
+		got := st.BlockingRate()
+		want, err := analytic.ExpectedBlockingRate(cfg.Catalog, cfg.Cutoff, demandMean, total*frac)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The governing-class length mix differs slightly from the raw pull
+		// mix (popular items are more often A-governed), so allow a loose
+		// absolute tolerance.
+		if math.Abs(got-want) > 0.08 {
+			t.Errorf("class %d: sim blocking %.4f vs analytic %.4f", c, got, want)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"hybridqos/internal/cache"
+)
+
+func TestClientCacheProducesHits(t *testing.T) {
+	cfg := baseConfig(t)
+	cfg.Horizon = 15000
+	cfg.ClientCache = &CacheConfig{NumClients: 20, Capacity: 10, Policy: cache.PIX}
+	m, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hits, served int64
+	for _, cm := range m.PerClass {
+		hits += cm.CacheHits
+		served += cm.Served
+	}
+	if hits == 0 {
+		t.Fatal("PIX caches produced no hits on a Zipf workload")
+	}
+	if hits >= served {
+		t.Fatalf("hits %d not a subset of served %d", hits, served)
+	}
+	// Hits are zero-delay: every class's delay minimum must be 0 once it
+	// has at least one hit.
+	for c, cm := range m.PerClass {
+		if cm.CacheHits > 0 && cm.Delay.Min() != 0 {
+			t.Fatalf("class %d has hits but min delay %g", c, cm.Delay.Min())
+		}
+	}
+}
+
+func TestClientCacheLowersMeanDelay(t *testing.T) {
+	base := baseConfig(t)
+	base.Horizon = 15000
+	noCache, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := base
+	cached.ClientCache = &CacheConfig{NumClients: 20, Capacity: 10, Policy: cache.LRU}
+	withCache, err := Run(cached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withCache.OverallMeanDelay() >= noCache.OverallMeanDelay() {
+		t.Fatalf("caching did not lower delay: %g vs %g",
+			withCache.OverallMeanDelay(), noCache.OverallMeanDelay())
+	}
+}
+
+func TestClientCacheValidation(t *testing.T) {
+	cfg := baseConfig(t)
+	cfg.ClientCache = &CacheConfig{NumClients: 0, Capacity: 5}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("zero clients accepted")
+	}
+	cfg.ClientCache = &CacheConfig{NumClients: 5, Capacity: 0}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+}
+
+func TestCacheHitRateAccessor(t *testing.T) {
+	cfg := baseConfig(t)
+	cfg.Horizon = 4000
+	cfg.ClientCache = &CacheConfig{NumClients: 10, Capacity: 8, Policy: cache.LRU}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if hr := s.CacheHitRate(); hr <= 0 || hr >= 1 {
+		t.Fatalf("hit rate %g implausible", hr)
+	}
+	// Disabled caching reports zero.
+	s2, err := New(baseConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Run()
+	if s2.CacheHitRate() != 0 {
+		t.Fatal("hit rate nonzero without caches")
+	}
+}
+
+func TestPIXBeatsLRUOnHybridWorkload(t *testing.T) {
+	// PIX knows pull items are precious (rarely broadcast); on the hybrid
+	// workload its hit rate should be at least LRU's.
+	run := func(p cache.PolicyKind) float64 {
+		cfg := baseConfig(t)
+		cfg.Horizon = 20000
+		cfg.ClientCache = &CacheConfig{NumClients: 10, Capacity: 6, Policy: p}
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run()
+		return s.CacheHitRate()
+	}
+	lru, pix := run(cache.LRU), run(cache.PIX)
+	if pix < lru*0.95 {
+		t.Fatalf("PIX hit rate %g clearly below LRU %g on hybrid workload", pix, lru)
+	}
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hybridqos/internal/bandwidth"
+	"hybridqos/internal/catalog"
+	"hybridqos/internal/clients"
+	"hybridqos/internal/sched"
+)
+
+// TestPropertyRandomConfigInvariants fuzzes the whole server with random
+// valid configurations and checks the invariants that must hold for ANY of
+// them:
+//
+//   - accounting: served + dropped + expired + uplink-lost ≤ arrivals;
+//   - no negative or NaN delays; recorded delays respect the TTL;
+//   - alternation: pull transmissions ≤ push broadcasts + 1 when K ≥ 1;
+//   - queue means are non-negative; distinct items ≤ pending requests;
+//   - without bandwidth constraints nothing drops; without TTL nothing
+//     expires.
+func TestPropertyRandomConfigInvariants(t *testing.T) {
+	check := func(seedRaw uint16, kRaw, thetaRaw, alphaRaw, lenSeed, polRaw uint8, withBW, withTTL bool) bool {
+		theta := float64(thetaRaw%150) / 100
+		alpha := float64(alphaRaw%101) / 100
+		d := 40 + int(seedRaw%40)
+		k := int(kRaw) % (d + 1)
+		cat, err := catalog.Generate(catalog.Config{
+			D: d, Theta: theta, MinLen: 1, MaxLen: 5, Seed: uint64(lenSeed),
+		})
+		if err != nil {
+			return false
+		}
+		cl, err := clients.New(clients.PaperConfig())
+		if err != nil {
+			return false
+		}
+		cfg := Config{
+			Catalog:        cat,
+			Classes:        cl,
+			Lambda:         0.5 + float64(seedRaw%80)/10,
+			Cutoff:         k,
+			Alpha:          alpha,
+			Horizon:        600,
+			WarmupFraction: 0.1,
+			Seed:           uint64(seedRaw),
+		}
+		switch polRaw % 5 {
+		case 1:
+			cfg.PullPolicy = sched.FCFS{}
+		case 2:
+			cfg.PullPolicy = sched.MRF{}
+		case 3:
+			cfg.PullPolicy = sched.RxW{}
+		case 4:
+			cfg.PullPolicy = sched.ClassicStretch{}
+		}
+		if withBW {
+			cfg.Bandwidth = &bandwidth.Config{
+				Total:      4 + float64(seedRaw%20),
+				Fractions:  []float64{0.5, 0.3, 0.2},
+				DemandMean: float64(seedRaw%3) + 0.5,
+			}
+		}
+		if withTTL {
+			cfg.RequestTTL = 20 + float64(seedRaw%100)
+		}
+
+		m, err := Run(cfg)
+		if err != nil {
+			t.Logf("run error: %v", err)
+			return false
+		}
+		for _, cm := range m.PerClass {
+			if cm.Served+cm.Dropped+cm.Expired+cm.UplinkLost > cm.Arrivals {
+				t.Logf("accounting: served %d dropped %d expired %d lost %d arrivals %d",
+					cm.Served, cm.Dropped, cm.Expired, cm.UplinkLost, cm.Arrivals)
+				return false
+			}
+			if cm.Delay.N() > 0 {
+				if cm.Delay.Min() < 0 || math.IsNaN(cm.Delay.Mean()) {
+					return false
+				}
+				if cfg.RequestTTL > 0 && cm.Delay.Max() > cfg.RequestTTL {
+					return false
+				}
+			}
+			if !withBW && cm.Dropped != 0 {
+				return false
+			}
+			if !withTTL && cm.Expired != 0 {
+				return false
+			}
+		}
+		if cfg.Cutoff >= 1 && m.PullTransmissions > m.PushBroadcasts+1 {
+			return false
+		}
+		if cfg.Cutoff == 0 && m.PushBroadcasts != 0 {
+			return false
+		}
+		qi, qr := m.QueueItems.Mean(), m.QueueRequests.Mean()
+		if !math.IsNaN(qi) && qi < 0 {
+			return false
+		}
+		if !math.IsNaN(qi) && !math.IsNaN(qr) && qr < qi-1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertySeedDeterminismAcrossConfigs: any random config run twice with
+// the same seed must be bit-identical in its headline metrics.
+func TestPropertySeedDeterminismAcrossConfigs(t *testing.T) {
+	check := func(seedRaw uint16, kRaw uint8) bool {
+		cat, err := catalog.Generate(catalog.PaperConfig(0.8, uint64(seedRaw)))
+		if err != nil {
+			return false
+		}
+		cl, err := clients.New(clients.PaperConfig())
+		if err != nil {
+			return false
+		}
+		cfg := Config{
+			Catalog:        cat,
+			Classes:        cl,
+			Lambda:         5,
+			Cutoff:         int(kRaw) % 101,
+			Alpha:          0.5,
+			Horizon:        400,
+			WarmupFraction: 0.1,
+			Seed:           uint64(seedRaw),
+		}
+		a, err := Run(cfg)
+		if err != nil {
+			return false
+		}
+		b, err := Run(cfg)
+		if err != nil {
+			return false
+		}
+		if a.PushBroadcasts != b.PushBroadcasts || a.PullTransmissions != b.PullTransmissions {
+			return false
+		}
+		for c := range a.PerClass {
+			if a.PerClass[c].Served != b.PerClass[c].Served {
+				return false
+			}
+			am, bm := a.PerClass[c].Delay.Mean(), b.PerClass[c].Delay.Mean()
+			if !(math.IsNaN(am) && math.IsNaN(bm)) && am != bm {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,659 @@
+// Package core implements the paper's contribution: the hybrid
+// push/pull scheduling server with priority-based service classification
+// (section 3, Figure 1).
+//
+// The server owns a catalog split at a cutoff K: items 1..K are broadcast
+// cyclically by a push scheduler (flat round-robin in the paper), items
+// K+1..D are served on demand from a pull queue. After every push
+// transmission, if the pull queue is non-empty the server extracts the entry
+// with the maximum importance factor γ_i = α·S_i + (1−α)·Q_i, reserves
+// bandwidth from the pool of the entry's governing (highest-priority
+// requesting) class, and either transmits it — satisfying every pending
+// request for the item at once — or, when the Poisson bandwidth demand
+// exceeds the class's available bandwidth, drops the item and all its
+// pending requests (blocking).
+//
+// The implementation is a deterministic discrete-event simulation: a single
+// seed reproduces the full event trajectory.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"hybridqos/internal/bandwidth"
+	"hybridqos/internal/cache"
+	"hybridqos/internal/catalog"
+	"hybridqos/internal/clients"
+	"hybridqos/internal/event"
+	"hybridqos/internal/pullqueue"
+	"hybridqos/internal/rng"
+	"hybridqos/internal/sched"
+	"hybridqos/internal/stats"
+	"hybridqos/internal/trace"
+	"hybridqos/internal/uplink"
+	"hybridqos/internal/workload"
+)
+
+// Config parameterises one simulation run.
+type Config struct {
+	// Catalog is the item database (required).
+	Catalog *catalog.Catalog
+	// Classes is the service classification (required).
+	Classes *clients.Classification
+	// Lambda is the aggregate Poisson request rate λ′ (paper: 5).
+	Lambda float64
+	// Cutoff is K: items 1..K pushed, K+1..D pulled. 0 ≤ K ≤ D.
+	Cutoff int
+	// PullPolicy selects pull items; nil defaults to the paper's
+	// importance factor with Alpha.
+	PullPolicy sched.PullPolicy
+	// Alpha is Eq. 1's mixing fraction, used when PullPolicy is nil.
+	Alpha float64
+	// PushScheduler builds the push-side scheduler for a cutoff; nil
+	// defaults to the paper's flat round-robin.
+	PushScheduler func(cat *catalog.Catalog, k int) (sched.PushScheduler, error)
+	// Bandwidth, when non-nil, enables the per-class bandwidth pools and
+	// blocking behaviour. Nil disables bandwidth constraints entirely (no
+	// request is ever dropped).
+	Bandwidth *bandwidth.Config
+	// RetryOnBlock makes the server try the next-best pull entry after a
+	// blocked one within the same slot (extension; the paper's pseudocode
+	// gives up the slot).
+	RetryOnBlock bool
+	// Arrivals optionally replaces the Poisson(Lambda) arrival process
+	// with another workload.ArrivalProcess (bursty MMPP, batch arrivals).
+	// Lambda is ignored for gap generation when set, but must still be
+	// valid (it feeds analytic comparisons).
+	Arrivals workload.ArrivalProcess
+	// Items optionally replaces the catalog's static Zipf popularity with
+	// another workload.ItemSampler (e.g. rotating hot set).
+	Items workload.ItemSampler
+	// RequestTTL, when positive, gives every request a deadline: requests
+	// whose item completes transmission after arrival+TTL count as Expired
+	// rather than Served (the client has given up listening; the server —
+	// having no abandon signalling on the uplink — still transmits).
+	RequestTTL float64
+	// Tracer, when non-nil, receives a structured event stream (arrivals,
+	// transmissions, blocks, served requests) for offline analysis.
+	Tracer trace.Tracer
+	// Uplink, when non-nil, models the limited request back-channel: pull
+	// requests that fail uplink contention never reach the server and are
+	// counted as UplinkLost (push requests need no uplink — clients simply
+	// tune in to the broadcast).
+	Uplink uplink.Channel
+	// ClientCache, when non-nil, gives every client a fixed-capacity item
+	// cache (broadcast-disk style): a request hitting the requester's own
+	// cache is served instantly (zero access time) and never reaches the
+	// channel; on reception the requesting client caches the item.
+	ClientCache *CacheConfig
+	// Horizon is the simulated duration in broadcast units.
+	Horizon float64
+	// WarmupFraction of the horizon is discarded from delay statistics
+	// (requests ARRIVING before the warmup end are excluded).
+	WarmupFraction float64
+	// Seed drives all randomness in the run.
+	Seed uint64
+}
+
+// CacheConfig parameterises the client-side caches.
+type CacheConfig struct {
+	// NumClients is the cache population size.
+	NumClients int
+	// Capacity is each cache's item capacity.
+	Capacity int
+	// Policy selects the replacement policy (LRU, LFU, PIX).
+	Policy cache.PolicyKind
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Catalog == nil {
+		return fmt.Errorf("core: nil catalog")
+	}
+	if c.Classes == nil {
+		return fmt.Errorf("core: nil classification")
+	}
+	if c.Lambda <= 0 || math.IsNaN(c.Lambda) || math.IsInf(c.Lambda, 0) {
+		return fmt.Errorf("core: invalid lambda %g", c.Lambda)
+	}
+	if c.Cutoff < 0 || c.Cutoff > c.Catalog.D() {
+		return fmt.Errorf("core: cutoff %d out of [0,%d]", c.Cutoff, c.Catalog.D())
+	}
+	if c.PullPolicy == nil {
+		if c.Alpha < 0 || c.Alpha > 1 || math.IsNaN(c.Alpha) {
+			return fmt.Errorf("core: alpha %g outside [0,1]", c.Alpha)
+		}
+	}
+	if c.Horizon <= 0 || math.IsNaN(c.Horizon) || math.IsInf(c.Horizon, 0) {
+		return fmt.Errorf("core: invalid horizon %g", c.Horizon)
+	}
+	if c.WarmupFraction < 0 || c.WarmupFraction >= 1 || math.IsNaN(c.WarmupFraction) {
+		return fmt.Errorf("core: warmup fraction %g outside [0,1)", c.WarmupFraction)
+	}
+	if c.RequestTTL < 0 || math.IsNaN(c.RequestTTL) {
+		return fmt.Errorf("core: invalid request TTL %g", c.RequestTTL)
+	}
+	if c.ClientCache != nil {
+		if c.ClientCache.NumClients <= 0 || c.ClientCache.Capacity <= 0 {
+			return fmt.Errorf("core: invalid client cache config %+v", *c.ClientCache)
+		}
+	}
+	if c.Bandwidth != nil {
+		if err := c.Bandwidth.Validate(); err != nil {
+			return err
+		}
+		if len(c.Bandwidth.Fractions) != c.Classes.NumClasses() {
+			return fmt.Errorf("core: %d bandwidth fractions for %d classes",
+				len(c.Bandwidth.Fractions), c.Classes.NumClasses())
+		}
+	}
+	return nil
+}
+
+// ClassMetrics aggregates one service class's outcomes.
+type ClassMetrics struct {
+	// Class identifies the service class.
+	Class clients.Class
+	// Weight is the class's priority weight q_c.
+	Weight float64
+	// Arrivals counts requests from the class (after warmup).
+	Arrivals int64
+	// Served counts satisfied requests.
+	Served int64
+	// Dropped counts requests lost to bandwidth blocking.
+	Dropped int64
+	// Expired counts requests whose deadline passed before their item's
+	// transmission completed (RequestTTL mode).
+	Expired int64
+	// UplinkLost counts pull requests lost on the request back-channel.
+	UplinkLost int64
+	// CacheHits counts requests served from the requesting client's own
+	// cache (zero access time; included in Delay as 0).
+	CacheHits int64
+	// Delay accumulates access times (arrival → end of transmission).
+	Delay stats.Welford
+	// DelayHist holds the raw access-time samples for percentiles.
+	DelayHist stats.Histogram
+	// PushDelay and PullDelay split Delay by the serving subsystem.
+	PushDelay, PullDelay stats.Welford
+}
+
+// MeanDelay returns the class's mean access time.
+func (cm *ClassMetrics) MeanDelay() float64 { return cm.Delay.Mean() }
+
+// Cost returns the prioritised cost q_c · mean delay (§5.3).
+func (cm *ClassMetrics) Cost() float64 { return cm.Weight * cm.Delay.Mean() }
+
+// DropRate returns dropped/(served+dropped+expired), 0 when nothing
+// completed.
+func (cm *ClassMetrics) DropRate() float64 {
+	total := cm.Served + cm.Dropped + cm.Expired
+	if total == 0 {
+		return 0
+	}
+	return float64(cm.Dropped) / float64(total)
+}
+
+// ExpiryRate returns expired/(served+dropped+expired), 0 when nothing
+// completed.
+func (cm *ClassMetrics) ExpiryRate() float64 {
+	total := cm.Served + cm.Dropped + cm.Expired
+	if total == 0 {
+		return 0
+	}
+	return float64(cm.Expired) / float64(total)
+}
+
+// Metrics is the result of one run.
+type Metrics struct {
+	// PerClass holds one entry per service class, class 0 first.
+	PerClass []*ClassMetrics
+	// PushBroadcasts and PullTransmissions count completed transmissions.
+	PushBroadcasts, PullTransmissions int64
+	// BlockedTransmissions counts pull entries dropped for bandwidth.
+	BlockedTransmissions int64
+	// QueueItems tracks the time-averaged number of distinct queued items.
+	QueueItems stats.TimeWeighted
+	// QueueRequests tracks the time-averaged pending request count.
+	QueueRequests stats.TimeWeighted
+	// Bandwidth holds per-class allocator statistics when enabled.
+	Bandwidth []bandwidth.ClassStats
+	// Horizon is the simulated duration.
+	Horizon float64
+	// Cutoff echoes the run's K.
+	Cutoff int
+}
+
+// OverallMeanDelay returns the request-weighted mean access time across
+// classes; NaN when nothing was served.
+func (m *Metrics) OverallMeanDelay() float64 {
+	var sum float64
+	var n int64
+	for _, cm := range m.PerClass {
+		if cm.Delay.N() > 0 {
+			sum += cm.Delay.Mean() * float64(cm.Delay.N())
+			n += cm.Delay.N()
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// TotalCost returns Σ_c q_c · mean delay_c, the quantity Figures 5–6
+// minimise. Classes with no served requests contribute nothing.
+func (m *Metrics) TotalCost() float64 {
+	sum := 0.0
+	for _, cm := range m.PerClass {
+		if cm.Delay.N() > 0 {
+			sum += cm.Cost()
+		}
+	}
+	return sum
+}
+
+// TotalDropped sums dropped requests across classes.
+func (m *Metrics) TotalDropped() int64 {
+	var n int64
+	for _, cm := range m.PerClass {
+		n += cm.Dropped
+	}
+	return n
+}
+
+// pushWaiter is a client waiting for a push item's next broadcast.
+type pushWaiter struct {
+	class   clients.Class
+	arrival float64
+	client  int // −1 when client identity is not tracked
+}
+
+// Server is one configured simulation instance.
+type Server struct {
+	cfg      Config
+	sim      *event.Simulator
+	arrRng   *rng.Source
+	itemRng  *rng.Source
+	classRng *rng.Source
+
+	pushSched   sched.PushScheduler
+	selector    sched.Selector
+	alloc       *bandwidth.Allocator
+	arrivals    workload.ArrivalProcess
+	items       workload.ItemSampler
+	tracer      trace.Tracer
+	up          uplink.Channel
+	uplinkRng   *rng.Source
+	caches      *cache.Population
+	clientRng   *rng.Source
+	txCounts    []int64 // per-rank transmission counts (PIX frequency)
+	txTotal     int64
+	pushWaiters map[int][]pushWaiter
+
+	warmupEnd float64
+	metrics   *Metrics
+	idle      bool // only reachable when Cutoff == 0
+}
+
+// New builds a Server from the configuration.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	root := rng.New(cfg.Seed)
+	s := &Server{
+		cfg:         cfg,
+		sim:         event.New(),
+		arrRng:      root.Split("arrivals"),
+		itemRng:     root.Split("items"),
+		classRng:    root.Split("classes"),
+		pushWaiters: make(map[int][]pushWaiter),
+		warmupEnd:   cfg.Horizon * cfg.WarmupFraction,
+	}
+
+	policy := cfg.PullPolicy
+	if policy == nil {
+		p, err := sched.NewImportanceFactor(cfg.Alpha)
+		if err != nil {
+			return nil, err
+		}
+		policy = p
+	}
+	s.selector = sched.NewSelector(policy)
+
+	if cfg.Cutoff > 0 {
+		build := cfg.PushScheduler
+		if build == nil {
+			build = func(_ *catalog.Catalog, k int) (sched.PushScheduler, error) {
+				return sched.NewFlatRoundRobin(k), nil
+			}
+		}
+		ps, err := build(cfg.Catalog, cfg.Cutoff)
+		if err != nil {
+			return nil, err
+		}
+		s.pushSched = ps
+	}
+
+	if cfg.Bandwidth != nil {
+		a, err := bandwidth.New(*cfg.Bandwidth, root.Split("bandwidth"))
+		if err != nil {
+			return nil, err
+		}
+		s.alloc = a
+	}
+
+	s.arrivals = cfg.Arrivals
+	if s.arrivals == nil {
+		p, err := workload.NewPoisson(cfg.Lambda)
+		if err != nil {
+			return nil, err
+		}
+		s.arrivals = p
+	}
+	s.items = cfg.Items
+	if s.items == nil {
+		s.items = workload.StaticPopularity{Catalog: cfg.Catalog}
+	}
+	s.tracer = cfg.Tracer
+	if s.tracer == nil {
+		s.tracer = trace.Nop{}
+	}
+	s.up = cfg.Uplink
+	if s.up == nil {
+		s.up = uplink.Unlimited{}
+	}
+	s.uplinkRng = root.Split("uplink")
+	if cfg.ClientCache != nil {
+		pop, err := cache.NewPopulation(cfg.ClientCache.NumClients, cfg.ClientCache.Capacity, cfg.ClientCache.Policy)
+		if err != nil {
+			return nil, err
+		}
+		s.caches = pop
+		s.clientRng = root.Split("clients")
+		s.txCounts = make([]int64, cfg.Catalog.D()+1)
+	}
+
+	s.metrics = &Metrics{Horizon: cfg.Horizon, Cutoff: cfg.Cutoff}
+	for c := 0; c < cfg.Classes.NumClasses(); c++ {
+		s.metrics.PerClass = append(s.metrics.PerClass, &ClassMetrics{
+			Class:  clients.Class(c),
+			Weight: cfg.Classes.Weight(clients.Class(c)),
+		})
+	}
+	return s, nil
+}
+
+// Run executes the simulation to its horizon and returns the metrics.
+// Run may be called once per Server.
+func (s *Server) Run() *Metrics {
+	s.observeQueue()
+	s.scheduleNextArrival()
+	if s.cfg.Cutoff > 0 {
+		s.startPush()
+	} else {
+		s.idle = true
+	}
+	s.sim.RunUntil(s.cfg.Horizon)
+	s.metrics.QueueItems.MeanAt(s.cfg.Horizon)
+	s.metrics.QueueRequests.MeanAt(s.cfg.Horizon)
+	if s.alloc != nil {
+		for c := 0; c < s.alloc.NumClasses(); c++ {
+			s.metrics.Bandwidth = append(s.metrics.Bandwidth, s.alloc.Stats(clients.Class(c)))
+		}
+	}
+	return s.metrics
+}
+
+// observeQueue snapshots queue sizes into the time-weighted trackers.
+func (s *Server) observeQueue() {
+	now := s.sim.Now()
+	s.metrics.QueueItems.Observe(now, float64(s.selector.Items()))
+	s.metrics.QueueRequests.Observe(now, float64(s.selector.Requests()))
+}
+
+// scheduleNextArrival draws the next arrival event from the configured
+// process and registers its handler; events beyond the horizon are simply
+// never scheduled (RunUntil would cut them anyway).
+func (s *Server) scheduleNextArrival() {
+	gap, batch := s.arrivals.Next(s.arrRng)
+	t := s.sim.Now() + gap
+	if t > s.cfg.Horizon {
+		return
+	}
+	s.sim.At(t, func(*event.Simulator) {
+		for i := 0; i < batch; i++ {
+			s.handleArrival()
+		}
+		s.scheduleNextArrival()
+	})
+}
+
+// handleArrival draws the request's item and class and routes it.
+func (s *Server) handleArrival() {
+	now := s.sim.Now()
+	rank := s.items.SampleItem(s.itemRng, now)
+	class := s.cfg.Classes.SampleClass(s.classRng)
+	if now >= s.warmupEnd {
+		s.metrics.PerClass[class].Arrivals++
+	}
+	s.tracer.Event(trace.Event{T: now, Kind: trace.KindArrival, Item: rank, Class: class})
+	clientID := -1
+	if s.caches != nil {
+		clientID = s.clientRng.Intn(s.caches.Size())
+		if s.caches.Client(clientID).Lookup(rank, now) {
+			// Served from the client's own cache: zero access time.
+			if now >= s.warmupEnd {
+				cm := s.metrics.PerClass[class]
+				cm.CacheHits++
+				cm.Served++
+				cm.Delay.Add(0)
+				cm.DelayHist.Add(0)
+			}
+			s.tracer.Event(trace.Event{T: now, Kind: trace.KindServed, Class: class, Arrival: now})
+			return
+		}
+	}
+	if rank <= s.cfg.Cutoff {
+		// Push item: the server ignores the request (flat broadcast will
+		// deliver it); the simulator tracks the waiter to measure delay.
+		s.pushWaiters[rank] = append(s.pushWaiters[rank], pushWaiter{class: class, arrival: now, client: clientID})
+		return
+	}
+	if !s.up.TryRequest(now, s.uplinkRng) {
+		if now >= s.warmupEnd {
+			s.metrics.PerClass[class].UplinkLost++
+		}
+		return
+	}
+	s.selector.Add(pullqueue.Request{
+		Item:     rank,
+		Class:    class,
+		Priority: s.cfg.Classes.Weight(class),
+		Arrival:  now,
+		Client:   clientID,
+	}, s.cfg.Catalog.Length(rank))
+	s.observeQueue()
+	if s.idle {
+		s.idle = false
+		s.attemptPull()
+	}
+}
+
+// startPush begins the next flat broadcast transmission.
+func (s *Server) startPush() {
+	item := s.pushSched.Next()
+	length := s.cfg.Catalog.Length(item)
+	s.tracer.Event(trace.Event{T: s.sim.Now(), Kind: trace.KindPushStart, Item: item, Class: -1})
+	s.sim.After(length, func(*event.Simulator) {
+		s.completePush(item)
+	})
+}
+
+// completePush satisfies every waiter of the broadcast item, then gives the
+// pull system its slot.
+func (s *Server) completePush(item int) {
+	now := s.sim.Now()
+	s.metrics.PushBroadcasts++
+	s.noteTransmission(item)
+	s.tracer.Event(trace.Event{
+		T: now, Kind: trace.KindPushComplete, Item: item, Class: -1,
+		Requests: len(s.pushWaiters[item]),
+	})
+	for _, w := range s.pushWaiters[item] {
+		s.recordServed(w.class, w.arrival, now, true)
+		s.fillCache(w.client, item, now)
+	}
+	delete(s.pushWaiters, item)
+	s.attemptPull()
+}
+
+// attemptPull serves the best pull entry if one exists and bandwidth allows,
+// otherwise returns control to the push system (or idles when K = 0).
+func (s *Server) attemptPull() {
+	for {
+		entry := s.selector.ExtractBest(s.sim.Now())
+		if entry == nil {
+			if s.cfg.Cutoff > 0 {
+				s.startPush()
+			} else {
+				s.idle = true
+			}
+			return
+		}
+		s.observeQueue()
+
+		var grant *bandwidth.Grant
+		if s.alloc != nil {
+			g, blocked := s.alloc.Reserve(entry.HighestClass(), entry.Length)
+			if blocked {
+				// Paper: the item and all its pending requests are lost.
+				s.metrics.BlockedTransmissions++
+				s.tracer.Event(trace.Event{
+					T: s.sim.Now(), Kind: trace.KindBlocked, Item: entry.Item,
+					Class: entry.HighestClass(), Requests: len(entry.Requests),
+				})
+				for _, r := range entry.Requests {
+					if r.Arrival >= s.warmupEnd {
+						s.metrics.PerClass[r.Class].Dropped++
+					}
+				}
+				if s.cfg.RetryOnBlock {
+					continue
+				}
+				if s.cfg.Cutoff > 0 {
+					s.startPush()
+				} else {
+					// Try the next entry anyway: with no push system the
+					// slot has no other use.
+					continue
+				}
+				return
+			}
+			grant = g
+		}
+
+		s.tracer.Event(trace.Event{
+			T: s.sim.Now(), Kind: trace.KindPullStart, Item: entry.Item,
+			Class: entry.HighestClass(), Requests: len(entry.Requests),
+		})
+		s.sim.After(entry.Length, func(*event.Simulator) {
+			s.completePull(entry, grant)
+		})
+		return
+	}
+}
+
+// completePull satisfies all of the entry's pending requests and hands the
+// channel back to the push system.
+func (s *Server) completePull(entry *pullqueue.Entry, grant *bandwidth.Grant) {
+	now := s.sim.Now()
+	s.metrics.PullTransmissions++
+	s.noteTransmission(entry.Item)
+	s.tracer.Event(trace.Event{
+		T: now, Kind: trace.KindPullComplete, Item: entry.Item,
+		Class: entry.HighestClass(), Requests: len(entry.Requests),
+	})
+	for _, r := range entry.Requests {
+		s.recordServed(r.Class, r.Arrival, now, false)
+		s.fillCache(r.Client, entry.Item, now)
+	}
+	if grant != nil {
+		s.alloc.Release(grant)
+	}
+	if s.cfg.Cutoff > 0 {
+		s.startPush()
+	} else {
+		s.attemptPull()
+	}
+}
+
+// noteTransmission updates the empirical broadcast-frequency counters that
+// feed PIX scores (only maintained when caching is enabled).
+func (s *Server) noteTransmission(item int) {
+	if s.txCounts == nil {
+		return
+	}
+	s.txCounts[item]++
+	s.txTotal++
+}
+
+// fillCache stores a just-received item in the requesting client's cache.
+// The PIX score is the item's access probability over its MEASURED
+// broadcast frequency (add-one smoothed), exactly as the broadcast-disk
+// policy prescribes: items that are popular but appear on the channel
+// rarely are the most valuable to cache.
+func (s *Server) fillCache(clientID, item int, now float64) {
+	if s.caches == nil || clientID < 0 {
+		return
+	}
+	x := float64(s.txCounts[item]+1) / float64(s.txTotal+int64(s.cfg.Catalog.D()))
+	s.caches.Client(clientID).Insert(item, s.cfg.Catalog.Prob(item)/x, now)
+}
+
+// CacheHitRate returns the population-wide client cache hit rate, 0 when
+// caching is disabled.
+func (s *Server) CacheHitRate() float64 {
+	if s.caches == nil {
+		return 0
+	}
+	return s.caches.HitRate()
+}
+
+// recordServed logs one satisfied request (post-warmup arrivals only).
+// Under RequestTTL, a request whose deadline passed before the transmission
+// completed is counted as Expired instead.
+func (s *Server) recordServed(class clients.Class, arrival, completion float64, push bool) {
+	if arrival < s.warmupEnd {
+		return
+	}
+	cm := s.metrics.PerClass[class]
+	d := completion - arrival
+	if s.cfg.RequestTTL > 0 && d > s.cfg.RequestTTL {
+		cm.Expired++
+		return
+	}
+	cm.Served++
+	cm.Delay.Add(d)
+	cm.DelayHist.Add(d)
+	s.tracer.Event(trace.Event{
+		T: completion, Kind: trace.KindServed, Class: class,
+		Arrival: arrival, Push: push,
+	})
+	if push {
+		cm.PushDelay.Add(d)
+	} else {
+		cm.PullDelay.Add(d)
+	}
+}
+
+// Run is a convenience: build a Server from cfg and run it.
+func Run(cfg Config) (*Metrics, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(), nil
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Objective scores a run's metrics; lower is better.
+type Objective func(*Metrics) float64
+
+// ByOverallDelay minimises the mean access time across all requests.
+func ByOverallDelay(m *Metrics) float64 { return m.OverallMeanDelay() }
+
+// ByTotalCost minimises Σ_c q_c·delay_c, the paper's prioritised cost.
+func ByTotalCost(m *Metrics) float64 { return m.TotalCost() }
+
+// ByTopClassDelay minimises the premium class's delay only.
+func ByTopClassDelay(m *Metrics) float64 { return m.PerClass[0].MeanDelay() }
+
+// SweepPoint is one cutoff evaluation.
+type SweepPoint struct {
+	K       int
+	Metrics *Metrics
+	Value   float64
+}
+
+// SweepCutoff runs one simulation per cutoff in [kMin, kMax] stepping by
+// step, scoring each with the objective. Every run reuses the base
+// configuration (including its seed, so the runs are common-random-number
+// coupled — differences between cutoffs are not drowned in sampling noise).
+func SweepCutoff(base Config, kMin, kMax, step int, objective Objective) ([]SweepPoint, error) {
+	if base.Catalog == nil {
+		return nil, fmt.Errorf("core: nil catalog")
+	}
+	if kMin < 0 || kMax > base.Catalog.D() || kMin > kMax || step <= 0 {
+		return nil, fmt.Errorf("core: invalid sweep [%d,%d] step %d", kMin, kMax, step)
+	}
+	if objective == nil {
+		return nil, fmt.Errorf("core: nil objective")
+	}
+	var out []SweepPoint
+	for k := kMin; k <= kMax; k += step {
+		cfg := base
+		cfg.Cutoff = k
+		m, err := Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: sweep at K=%d: %w", k, err)
+		}
+		out = append(out, SweepPoint{K: k, Metrics: m, Value: objective(m)})
+	}
+	return out, nil
+}
+
+// OptimizeCutoff picks the sweep point with the smallest objective value.
+// NaN values (e.g. no served requests) lose to any finite value. This is the
+// paper's periodic "execute for different cutoff-points and obtain the
+// optimal" step (§3), realised as a simulation sweep; the analytic package
+// offers the model-based equivalent.
+func OptimizeCutoff(base Config, kMin, kMax, step int, objective Objective) (SweepPoint, error) {
+	points, err := SweepCutoff(base, kMin, kMax, step, objective)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	best := points[0]
+	for _, p := range points[1:] {
+		if better(p.Value, best.Value) {
+			best = p
+		}
+	}
+	return best, nil
+}
+
+// better reports whether a beats b as an objective value (NaN always loses;
+// ties keep the incumbent, i.e. the smaller K).
+func better(a, b float64) bool {
+	if math.IsNaN(a) {
+		return false
+	}
+	if math.IsNaN(b) {
+		return true
+	}
+	return a < b
+}

@@ -1,0 +1,149 @@
+// Package event implements the discrete-event simulation engine underlying
+// the wireless-cell simulator: a simulated clock and a priority queue of
+// timestamped events with deterministic FIFO tie-breaking, so that two runs
+// with the same seed replay the exact same event order.
+package event
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Handler is the action executed when an event fires. It receives the
+// simulator so it can schedule further events.
+type Handler func(sim *Simulator)
+
+// event is one scheduled occurrence.
+type event struct {
+	time    float64
+	seq     uint64 // insertion order, breaks time ties deterministically
+	handler Handler
+	index   int // heap index, -1 once popped or cancelled
+}
+
+// Token identifies a scheduled event so it can be cancelled.
+type Token struct{ ev *event }
+
+// eventHeap orders events by (time, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Simulator owns the clock and the pending-event set.
+type Simulator struct {
+	now     float64
+	queue   eventHeap
+	nextSeq uint64
+	fired   uint64
+	stopped bool
+}
+
+// New returns a Simulator with the clock at zero.
+func New() *Simulator { return &Simulator{} }
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Fired returns the number of events executed so far.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// Pending returns the number of scheduled-but-unfired events.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// At schedules h to run at absolute time t. Scheduling in the past panics —
+// it would silently corrupt causality. Returns a Token for cancellation.
+func (s *Simulator) At(t float64, h Handler) Token {
+	if t < s.now || math.IsNaN(t) {
+		panic(fmt.Sprintf("event: scheduling at t=%g before now=%g", t, s.now))
+	}
+	if h == nil {
+		panic("event: nil handler")
+	}
+	ev := &event{time: t, seq: s.nextSeq, handler: h}
+	s.nextSeq++
+	heap.Push(&s.queue, ev)
+	return Token{ev: ev}
+}
+
+// After schedules h to run delay time units from now. Negative delay panics.
+func (s *Simulator) After(delay float64, h Handler) Token {
+	if delay < 0 || math.IsNaN(delay) {
+		panic(fmt.Sprintf("event: negative delay %g", delay))
+	}
+	return s.At(s.now+delay, h)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired or
+// already-cancelled event is a no-op and returns false.
+func (s *Simulator) Cancel(tok Token) bool {
+	if tok.ev == nil || tok.ev.index < 0 {
+		return false
+	}
+	heap.Remove(&s.queue, tok.ev.index)
+	tok.ev.index = -1
+	return true
+}
+
+// Stop makes the current Run/RunUntil call return after the in-flight
+// handler finishes. Pending events remain queued.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// step pops and fires the earliest event. Returns false if none remain.
+func (s *Simulator) step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&s.queue).(*event)
+	s.now = ev.time
+	s.fired++
+	ev.handler(s)
+	return true
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (s *Simulator) Run() {
+	s.stopped = false
+	for !s.stopped && s.step() {
+	}
+}
+
+// RunUntil executes events with time <= horizon, then advances the clock to
+// exactly horizon. Events scheduled beyond the horizon stay queued.
+func (s *Simulator) RunUntil(horizon float64) {
+	if horizon < s.now {
+		panic(fmt.Sprintf("event: horizon %g before now %g", horizon, s.now))
+	}
+	s.stopped = false
+	for !s.stopped && len(s.queue) > 0 && s.queue[0].time <= horizon {
+		s.step()
+	}
+	if !s.stopped && s.now < horizon {
+		s.now = horizon
+	}
+}

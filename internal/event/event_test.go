@@ -1,0 +1,282 @@
+package event
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"hybridqos/internal/rng"
+)
+
+func TestFiresInTimeOrder(t *testing.T) {
+	s := New()
+	var got []float64
+	for _, tm := range []float64{5, 1, 3, 2, 4} {
+		tm := tm
+		s.At(tm, func(sim *Simulator) { got = append(got, sim.Now()) })
+	}
+	s.Run()
+	want := []float64{1, 2, 3, 4, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fire order %v, want %v", got, want)
+		}
+	}
+	if s.Fired() != 5 || s.Pending() != 0 {
+		t.Fatalf("Fired=%d Pending=%d", s.Fired(), s.Pending())
+	}
+}
+
+func TestTieBreakIsFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(7, func(*Simulator) { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events fired out of insertion order: %v", order)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	s := New()
+	var at float64
+	s.At(10, func(sim *Simulator) {
+		sim.After(5, func(sim2 *Simulator) { at = sim2.Now() })
+	})
+	s.Run()
+	if at != 15 {
+		t.Fatalf("After(5) from t=10 fired at %g", at)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New()
+	s.At(10, func(sim *Simulator) {
+		defer func() {
+			if recover() == nil {
+				t.Error("At(past) did not panic")
+			}
+		}()
+		sim.At(9, func(*Simulator) {})
+	})
+	s.Run()
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("After(-1) did not panic")
+		}
+	}()
+	s.After(-1, func(*Simulator) {})
+}
+
+func TestNaNTimePanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(NaN) did not panic")
+		}
+	}()
+	s.At(math.NaN(), func(*Simulator) {})
+}
+
+func TestNilHandlerPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil handler did not panic")
+		}
+	}()
+	s.At(1, nil)
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	tok := s.At(5, func(*Simulator) { fired = true })
+	if !s.Cancel(tok) {
+		t.Fatal("Cancel returned false on pending event")
+	}
+	if s.Cancel(tok) {
+		t.Fatal("double Cancel returned true")
+	}
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelFiredEventIsNoop(t *testing.T) {
+	s := New()
+	tok := s.At(1, func(*Simulator) {})
+	s.Run()
+	if s.Cancel(tok) {
+		t.Fatal("Cancel of fired event returned true")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	s := New()
+	var got []float64
+	var toks []Token
+	for _, tm := range []float64{1, 2, 3, 4, 5} {
+		tm := tm
+		toks = append(toks, s.At(tm, func(sim *Simulator) { got = append(got, sim.Now()) }))
+	}
+	s.Cancel(toks[2]) // remove t=3
+	s.Run()
+	want := []float64{1, 2, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		i := i
+		s.At(float64(i), func(sim *Simulator) {
+			count++
+			if i == 3 {
+				sim.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 3 {
+		t.Fatalf("fired %d events, want 3", count)
+	}
+	if s.Pending() != 7 {
+		t.Fatalf("Pending = %d, want 7", s.Pending())
+	}
+	// Resume.
+	s.Run()
+	if count != 10 {
+		t.Fatalf("after resume fired %d total", count)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var fired []float64
+	for _, tm := range []float64{1, 2, 3, 10, 20} {
+		tm := tm
+		s.At(tm, func(sim *Simulator) { fired = append(fired, sim.Now()) })
+	}
+	s.RunUntil(5)
+	if len(fired) != 3 {
+		t.Fatalf("fired %v before horizon 5", fired)
+	}
+	if s.Now() != 5 {
+		t.Fatalf("clock at %g after RunUntil(5)", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Fatalf("Pending = %d", s.Pending())
+	}
+	s.RunUntil(25)
+	if len(fired) != 5 || s.Now() != 25 {
+		t.Fatalf("after second horizon: fired=%v now=%g", fired, s.Now())
+	}
+}
+
+func TestRunUntilPastHorizonPanics(t *testing.T) {
+	s := New()
+	s.At(3, func(*Simulator) {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunUntil(past) did not panic")
+		}
+	}()
+	s.RunUntil(1)
+}
+
+func TestRunUntilInclusiveBoundary(t *testing.T) {
+	s := New()
+	fired := false
+	s.At(5, func(*Simulator) { fired = true })
+	s.RunUntil(5)
+	if !fired {
+		t.Fatal("event exactly at horizon did not fire")
+	}
+}
+
+func TestCascadingEvents(t *testing.T) {
+	// A self-rescheduling process: verifies handlers can schedule while the
+	// engine is mid-run, the standard DES usage pattern.
+	s := New()
+	ticks := 0
+	var tick Handler
+	tick = func(sim *Simulator) {
+		ticks++
+		if ticks < 100 {
+			sim.After(1, tick)
+		}
+	}
+	s.At(0, tick)
+	s.Run()
+	if ticks != 100 {
+		t.Fatalf("ticks = %d", ticks)
+	}
+	if s.Now() != 99 {
+		t.Fatalf("clock at %g, want 99", s.Now())
+	}
+}
+
+// Property: random schedules always fire in non-decreasing time order, and
+// the clock never goes backwards.
+func TestPropertyOrdering(t *testing.T) {
+	r := rng.New(13)
+	check := func(nRaw uint8) bool {
+		n := int(nRaw%200) + 1
+		s := New()
+		times := make([]float64, n)
+		var fired []float64
+		for i := range times {
+			times[i] = math.Floor(r.Float64()*50) / 2 // coarse grid forces ties
+			tm := times[i]
+			s.At(tm, func(sim *Simulator) { fired = append(fired, sim.Now()) })
+		}
+		s.Run()
+		if len(fired) != n {
+			return false
+		}
+		sort.Float64s(times)
+		for i := range fired {
+			if fired[i] != times[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleAndFire(b *testing.B) {
+	s := New()
+	h := func(*Simulator) {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.At(s.Now()+float64(i%16), h)
+		if s.Pending() > 1024 {
+			s.RunUntil(s.Now() + 8)
+		}
+	}
+	s.Run()
+}

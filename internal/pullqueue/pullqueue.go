@@ -1,0 +1,350 @@
+// Package pullqueue implements the server-side pull queue of the hybrid
+// scheduler. Each queued entry aggregates every pending client request for
+// one item, maintaining the two quantities the paper's selection rule needs:
+//
+//	stretch   S_i = R_i / L_i²                    (max-request min-service-time)
+//	priority  Q_i = Σ_{requests j for i} q_j      (summed client priorities)
+//
+// The item extracted is argmax γ_i = α·S_i + (1−α)·Q_i (paper Eq. 1), ties
+// broken by lowest rank so runs are deterministic.
+//
+// Two implementations are provided: Heap (indexed binary max-heap,
+// O(log n) add/extract — scores only grow while an item waits, so position
+// fixes are pure sift-ups) and Linear (O(n) scan), which serves as the
+// obviously-correct reference in property tests and as an ablation baseline.
+package pullqueue
+
+import (
+	"fmt"
+	"math"
+
+	"hybridqos/internal/clients"
+)
+
+// Request is one pending client request for a pull item.
+type Request struct {
+	// Item is the requested item's catalog rank.
+	Item int
+	// Class is the requesting client's service class.
+	Class clients.Class
+	// Priority is the requesting client's priority weight q_j.
+	Priority float64
+	// Arrival is the simulated time the request reached the server.
+	Arrival float64
+	// Client identifies the requesting client for client-side cache fills;
+	// −1 when client identity is not tracked.
+	Client int
+}
+
+// Entry aggregates the pending requests for one item.
+type Entry struct {
+	// Item is the catalog rank.
+	Item int
+	// Length is the item's transmission length, fixed at first enqueue.
+	Length float64
+	// Requests holds every pending request, in arrival order.
+	Requests []Request
+	// SumPriority is Q_i.
+	SumPriority float64
+	// FirstArrival is the earliest pending arrival time (for RxW-style
+	// policies and ageing diagnostics).
+	FirstArrival float64
+
+	heapIndex int // position in the heap; -1 when not enqueued
+}
+
+// NumRequests returns R_i.
+func (e *Entry) NumRequests() int { return len(e.Requests) }
+
+// Stretch returns S_i = R_i / L_i².
+func (e *Entry) Stretch() float64 {
+	return float64(len(e.Requests)) / (e.Length * e.Length)
+}
+
+// Gamma returns the importance factor γ_i = α·S_i + (1−α)·Q_i.
+func (e *Entry) Gamma(alpha float64) float64 {
+	return alpha*e.Stretch() + (1-alpha)*e.SumPriority
+}
+
+// HighestClass returns the most important (numerically lowest) class among
+// the pending requests. It panics on an empty entry.
+func (e *Entry) HighestClass() clients.Class {
+	if len(e.Requests) == 0 {
+		panic("pullqueue: HighestClass on empty entry")
+	}
+	best := e.Requests[0].Class
+	for _, r := range e.Requests[1:] {
+		if r.Class < best {
+			best = r.Class
+		}
+	}
+	return best
+}
+
+// Queue is the interface shared by the heap and linear implementations.
+type Queue interface {
+	// Add enqueues a request; the item's length must be supplied (used only
+	// on the item's first pending request).
+	Add(req Request, length float64)
+	// ExtractMax removes and returns the entry with the largest γ under the
+	// queue's α, or nil if the queue is empty.
+	ExtractMax() *Entry
+	// Peek returns the current max entry without removing it, or nil.
+	Peek() *Entry
+	// Items returns the number of distinct items queued.
+	Items() int
+	// Requests returns the total number of pending requests.
+	Requests() int
+	// Alpha returns the stretch/priority mixing fraction.
+	Alpha() float64
+}
+
+// validateAlpha rejects α outside [0,1].
+func validateAlpha(alpha float64) {
+	if alpha < 0 || alpha > 1 || math.IsNaN(alpha) {
+		panic(fmt.Sprintf("pullqueue: alpha %g outside [0,1]", alpha))
+	}
+}
+
+func validateRequest(req Request, length float64) {
+	if req.Item < 1 {
+		panic(fmt.Sprintf("pullqueue: invalid item rank %d", req.Item))
+	}
+	if req.Priority <= 0 || math.IsNaN(req.Priority) {
+		panic(fmt.Sprintf("pullqueue: invalid priority %g", req.Priority))
+	}
+	if length <= 0 || math.IsNaN(length) {
+		panic(fmt.Sprintf("pullqueue: invalid length %g for item %d", length, req.Item))
+	}
+}
+
+// Heap is the production pull queue: an indexed binary max-heap over
+// entries keyed by γ, with an item-rank index for O(1) entry lookup.
+type Heap struct {
+	alpha    float64
+	heap     []*Entry
+	byItem   map[int]*Entry
+	requests int
+}
+
+// NewHeap returns an empty heap-backed queue with the given α.
+func NewHeap(alpha float64) *Heap {
+	validateAlpha(alpha)
+	return &Heap{alpha: alpha, byItem: make(map[int]*Entry)}
+}
+
+// Alpha returns the mixing fraction.
+func (h *Heap) Alpha() float64 { return h.alpha }
+
+// Items returns the number of distinct queued items.
+func (h *Heap) Items() int { return len(h.heap) }
+
+// Requests returns the total pending request count.
+func (h *Heap) Requests() int { return h.requests }
+
+// Entry returns the queued entry for an item rank, or nil.
+func (h *Heap) Entry(item int) *Entry { return h.byItem[item] }
+
+// Add enqueues a request, creating the item's entry if needed. Adding a
+// request can only increase the entry's γ, so a sift-up restores heap order.
+func (h *Heap) Add(req Request, length float64) {
+	validateRequest(req, length)
+	e := h.byItem[req.Item]
+	if e == nil {
+		e = &Entry{
+			Item:         req.Item,
+			Length:       length,
+			FirstArrival: req.Arrival,
+			heapIndex:    len(h.heap),
+		}
+		h.byItem[req.Item] = e
+		h.heap = append(h.heap, e)
+	}
+	e.Requests = append(e.Requests, req)
+	e.SumPriority += req.Priority
+	if req.Arrival < e.FirstArrival {
+		e.FirstArrival = req.Arrival
+	}
+	h.requests++
+	h.siftUp(e.heapIndex)
+}
+
+// less reports whether heap[i] has strictly lower selection precedence than
+// heap[j]: smaller γ, or equal γ and larger rank.
+func (h *Heap) less(i, j int) bool {
+	gi, gj := h.heap[i].Gamma(h.alpha), h.heap[j].Gamma(h.alpha)
+	if gi != gj {
+		return gi < gj
+	}
+	return h.heap[i].Item > h.heap[j].Item
+}
+
+func (h *Heap) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.heap[i].heapIndex = i
+	h.heap[j].heapIndex = j
+}
+
+func (h *Heap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(parent, i) {
+			return
+		}
+		h.swap(parent, i)
+		i = parent
+	}
+}
+
+func (h *Heap) siftDown(i int) {
+	n := len(h.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && h.less(largest, l) {
+			largest = l
+		}
+		if r < n && h.less(largest, r) {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h.swap(i, largest)
+		i = largest
+	}
+}
+
+// Peek returns the max-γ entry without removing it.
+func (h *Heap) Peek() *Entry {
+	if len(h.heap) == 0 {
+		return nil
+	}
+	return h.heap[0]
+}
+
+// ExtractMax removes and returns the max-γ entry.
+func (h *Heap) ExtractMax() *Entry {
+	if len(h.heap) == 0 {
+		return nil
+	}
+	top := h.heap[0]
+	last := len(h.heap) - 1
+	h.swap(0, last)
+	h.heap[last] = nil
+	h.heap = h.heap[:last]
+	if last > 0 {
+		h.siftDown(0)
+	}
+	top.heapIndex = -1
+	delete(h.byItem, top.Item)
+	h.requests -= len(top.Requests)
+	return top
+}
+
+// Remove drops a specific item's entry (used when a blocked item's requests
+// are discarded without service). Returns the removed entry or nil.
+func (h *Heap) Remove(item int) *Entry {
+	e := h.byItem[item]
+	if e == nil {
+		return nil
+	}
+	i := e.heapIndex
+	last := len(h.heap) - 1
+	h.swap(i, last)
+	h.heap[last] = nil
+	h.heap = h.heap[:last]
+	if i < last {
+		h.siftDown(i)
+		h.siftUp(i)
+	}
+	e.heapIndex = -1
+	delete(h.byItem, item)
+	h.requests -= len(e.Requests)
+	return e
+}
+
+// Linear is the O(n)-scan reference implementation of Queue.
+type Linear struct {
+	alpha    float64
+	entries  []*Entry
+	byItem   map[int]*Entry
+	requests int
+}
+
+// NewLinear returns an empty scan-backed queue with the given α.
+func NewLinear(alpha float64) *Linear {
+	validateAlpha(alpha)
+	return &Linear{alpha: alpha, byItem: make(map[int]*Entry)}
+}
+
+// Alpha returns the mixing fraction.
+func (l *Linear) Alpha() float64 { return l.alpha }
+
+// Items returns the number of distinct queued items.
+func (l *Linear) Items() int { return len(l.entries) }
+
+// Requests returns the total pending request count.
+func (l *Linear) Requests() int { return l.requests }
+
+// Add enqueues a request.
+func (l *Linear) Add(req Request, length float64) {
+	validateRequest(req, length)
+	e := l.byItem[req.Item]
+	if e == nil {
+		e = &Entry{Item: req.Item, Length: length, FirstArrival: req.Arrival, heapIndex: -1}
+		l.byItem[req.Item] = e
+		l.entries = append(l.entries, e)
+	}
+	e.Requests = append(e.Requests, req)
+	e.SumPriority += req.Priority
+	if req.Arrival < e.FirstArrival {
+		e.FirstArrival = req.Arrival
+	}
+	l.requests++
+}
+
+// argMax returns the index of the max-γ entry, or -1 when empty.
+func (l *Linear) argMax() int {
+	best := -1
+	for i, e := range l.entries {
+		if best == -1 {
+			best = i
+			continue
+		}
+		gb, ge := l.entries[best].Gamma(l.alpha), e.Gamma(l.alpha)
+		if ge > gb || (ge == gb && e.Item < l.entries[best].Item) {
+			best = i
+		}
+	}
+	return best
+}
+
+// Peek returns the max-γ entry without removing it.
+func (l *Linear) Peek() *Entry {
+	i := l.argMax()
+	if i < 0 {
+		return nil
+	}
+	return l.entries[i]
+}
+
+// ExtractMax removes and returns the max-γ entry.
+func (l *Linear) ExtractMax() *Entry {
+	i := l.argMax()
+	if i < 0 {
+		return nil
+	}
+	e := l.entries[i]
+	l.entries[i] = l.entries[len(l.entries)-1]
+	l.entries[len(l.entries)-1] = nil
+	l.entries = l.entries[:len(l.entries)-1]
+	delete(l.byItem, e.Item)
+	l.requests -= len(e.Requests)
+	return e
+}
+
+var (
+	_ Queue = (*Heap)(nil)
+	_ Queue = (*Linear)(nil)
+)

@@ -1,0 +1,98 @@
+package rng
+
+import (
+	"fmt"
+	"math"
+)
+
+// Alias is a Walker/Vose alias table: O(n) construction, O(1) sampling from an
+// arbitrary discrete distribution. It is immutable after construction and safe
+// for concurrent Sample calls (each call only reads the table and draws from
+// the caller-supplied Source).
+type Alias struct {
+	prob  []float64
+	alias []int
+}
+
+// NewAlias builds an alias table for the given non-negative weights. The
+// weights need not sum to one; they are normalised internally. It returns an
+// error if weights is empty, contains a negative/NaN/Inf entry, or sums to 0.
+func NewAlias(weights []float64) (*Alias, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("rng: NewAlias: empty weight slice")
+	}
+	sum := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("rng: NewAlias: invalid weight %g at index %d", w, i)
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("rng: NewAlias: weights sum to %g", sum)
+	}
+
+	a := &Alias{
+		prob:  make([]float64, n),
+		alias: make([]int, n),
+	}
+	// Scaled probabilities; the classic small/large worklist construction.
+	scaled := make([]float64, n)
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, w := range weights {
+		scaled[i] = w / sum * float64(n)
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Leftovers are 1 up to floating-point error.
+	for _, i := range large {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	for _, i := range small {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	return a, nil
+}
+
+// MustAlias is NewAlias that panics on error, for statically valid weights.
+func MustAlias(weights []float64) *Alias {
+	a, err := NewAlias(weights)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// N returns the number of outcomes.
+func (a *Alias) N() int { return len(a.prob) }
+
+// Sample draws an index in [0, N()) with probability proportional to the
+// weight it was constructed with.
+func (a *Alias) Sample(r *Source) int {
+	i := r.Intn(len(a.prob))
+	if r.Float64() < a.prob[i] {
+		return i
+	}
+	return a.alias[i]
+}

@@ -1,0 +1,159 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAliasErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		weights []float64
+	}{
+		{"empty", nil},
+		{"negative", []float64{1, -1}},
+		{"nan", []float64{1, math.NaN()}},
+		{"inf", []float64{math.Inf(1)}},
+		{"all-zero", []float64{0, 0, 0}},
+	}
+	for _, c := range cases {
+		if _, err := NewAlias(c.weights); err == nil {
+			t.Errorf("NewAlias(%s) succeeded, want error", c.name)
+		}
+	}
+}
+
+func TestMustAliasPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAlias(nil) did not panic")
+		}
+	}()
+	MustAlias(nil)
+}
+
+func TestAliasSingleton(t *testing.T) {
+	a := MustAlias([]float64{3.5})
+	r := New(1)
+	for i := 0; i < 100; i++ {
+		if v := a.Sample(r); v != 0 {
+			t.Fatalf("singleton alias sampled %d", v)
+		}
+	}
+}
+
+func TestAliasZeroWeightNeverSampled(t *testing.T) {
+	a := MustAlias([]float64{1, 0, 1})
+	r := New(2)
+	for i := 0; i < 100000; i++ {
+		if a.Sample(r) == 1 {
+			t.Fatal("zero-weight outcome was sampled")
+		}
+	}
+}
+
+func TestAliasMatchesWeights(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	a := MustAlias(weights)
+	r := New(3)
+	const draws = 400000
+	counts := make([]int, len(weights))
+	for i := 0; i < draws; i++ {
+		counts[a.Sample(r)]++
+	}
+	for i, w := range weights {
+		want := w / 10 * draws
+		if math.Abs(float64(counts[i])-want)/want > 0.03 {
+			t.Errorf("outcome %d: %d draws, want ~%g", i, counts[i], want)
+		}
+	}
+}
+
+func TestAliasSkewedWeights(t *testing.T) {
+	// Very skewed distribution: the rare outcome must still appear with
+	// roughly its assigned probability.
+	weights := []float64{1000, 1}
+	a := MustAlias(weights)
+	r := New(5)
+	const draws = 2000000
+	rare := 0
+	for i := 0; i < draws; i++ {
+		if a.Sample(r) == 1 {
+			rare++
+		}
+	}
+	want := float64(draws) / 1001
+	if math.Abs(float64(rare)-want)/want > 0.10 {
+		t.Fatalf("rare outcome drawn %d times, want ~%g", rare, want)
+	}
+}
+
+// Property: for arbitrary positive weight vectors the empirical distribution
+// converges to the normalised weights.
+func TestAliasPropertyDistribution(t *testing.T) {
+	r := New(7)
+	check := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 12 {
+			return true
+		}
+		weights := make([]float64, len(raw))
+		sum := 0.0
+		for i, b := range raw {
+			weights[i] = float64(b%16) + 1 // 1..16, strictly positive
+			sum += weights[i]
+		}
+		a, err := NewAlias(weights)
+		if err != nil {
+			return false
+		}
+		const draws = 60000
+		counts := make([]int, len(weights))
+		for i := 0; i < draws; i++ {
+			counts[a.Sample(r)]++
+		}
+		for i, w := range weights {
+			want := w / sum * draws
+			if math.Abs(float64(counts[i])-want) > 5*math.Sqrt(want)+10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAliasN(t *testing.T) {
+	if n := MustAlias([]float64{1, 2, 3}).N(); n != 3 {
+		t.Fatalf("N() = %d, want 3", n)
+	}
+}
+
+func BenchmarkAliasSample(b *testing.B) {
+	weights := make([]float64, 1000)
+	for i := range weights {
+		weights[i] = 1 / float64(i+1)
+	}
+	a := MustAlias(weights)
+	r := New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Sample(r)
+	}
+}
+
+func BenchmarkPoissonSmallMean(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Poisson(4)
+	}
+}
+
+func BenchmarkPoissonLargeMean(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Poisson(200)
+	}
+}

@@ -1,0 +1,302 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("step %d: sources with equal seeds diverged: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("sources with different seeds produced %d/100 equal outputs", same)
+	}
+}
+
+func TestReseedRestartsStream(t *testing.T) {
+	r := New(7)
+	first := make([]uint64, 10)
+	for i := range first {
+		first[i] = r.Uint64()
+	}
+	r.Reseed(7)
+	for i := range first {
+		if got := r.Uint64(); got != first[i] {
+			t.Fatalf("step %d after Reseed: got %d want %d", i, got, first[i])
+		}
+	}
+}
+
+func TestZeroSeedNotDegenerate(t *testing.T) {
+	r := New(0)
+	zeros := 0
+	for i := 0; i < 100; i++ {
+		if r.Uint64() == 0 {
+			zeros++
+		}
+	}
+	if zeros > 1 {
+		t.Fatalf("seed 0 produced %d zero outputs of 100", zeros)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(99)
+	a := parent.Split("arrivals")
+	parent2 := New(99)
+	b := parent2.Split("arrivals")
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-name splits from same parent state diverged at step %d", i)
+		}
+	}
+	// Different names give different streams.
+	p := New(99)
+	c := p.Split("arrivals")
+	p2 := New(99)
+	d := p2.Split("lengths")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c.Uint64() == d.Uint64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("different-name splits produced %d/100 equal outputs", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %g", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(5)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean %g, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(11)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := New(13)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want)/want > 0.05 {
+			t.Fatalf("Intn(%d): bucket %d has %d draws, want ~%g", n, i, c, want)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntRange(t *testing.T) {
+	r := New(17)
+	seen := map[int]bool{}
+	for i := 0; i < 10000; i++ {
+		v := r.IntRange(3, 7)
+		if v < 3 || v > 7 {
+			t.Fatalf("IntRange(3,7) = %d", v)
+		}
+		seen[v] = true
+	}
+	for v := 3; v <= 7; v++ {
+		if !seen[v] {
+			t.Fatalf("IntRange(3,7) never produced %d in 10000 draws", v)
+		}
+	}
+}
+
+func TestIntRangeSingleton(t *testing.T) {
+	r := New(19)
+	if v := r.IntRange(5, 5); v != 5 {
+		t.Fatalf("IntRange(5,5) = %d", v)
+	}
+}
+
+func TestExpMeanAndPositivity(t *testing.T) {
+	r := New(23)
+	for _, rate := range []float64{0.5, 1, 5} {
+		const n = 200000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			x := r.Exp(rate)
+			if x < 0 {
+				t.Fatalf("Exp(%g) returned negative %g", rate, x)
+			}
+			sum += x
+		}
+		mean := sum / n
+		want := 1 / rate
+		if math.Abs(mean-want)/want > 0.02 {
+			t.Fatalf("Exp(%g) mean %g, want ~%g", rate, mean, want)
+		}
+	}
+}
+
+func TestExpPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exp(0) did not panic")
+		}
+	}()
+	New(1).Exp(0)
+}
+
+func TestPoissonMoments(t *testing.T) {
+	r := New(29)
+	// Covers both the Knuth branch (<30) and the PTRS branch (>=30).
+	for _, mean := range []float64{0.3, 2, 12, 29.9, 30, 75, 500} {
+		const n = 100000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			k := float64(r.Poisson(mean))
+			sum += k
+			sumSq += k * k
+		}
+		m := sum / n
+		v := sumSq/n - m*m
+		tol := 4 * math.Sqrt(mean/n) // ~4 sigma on the sample mean
+		if math.Abs(m-mean) > tol+0.02 {
+			t.Errorf("Poisson(%g): sample mean %g, want within %g", mean, m, tol)
+		}
+		if math.Abs(v-mean)/mean > 0.06 {
+			t.Errorf("Poisson(%g): sample variance %g, want ~%g", mean, v, mean)
+		}
+	}
+}
+
+func TestPoissonZeroMean(t *testing.T) {
+	r := New(31)
+	for i := 0; i < 100; i++ {
+		if k := r.Poisson(0); k != 0 {
+			t.Fatalf("Poisson(0) = %d", k)
+		}
+	}
+}
+
+func TestPoissonPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Poisson(-1) did not panic")
+		}
+	}()
+	New(1).Poisson(-1)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(37)
+	check := func(n int) bool {
+		if n < 0 || n > 5000 {
+			return true
+		}
+		p := r.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffleUniformOnThree(t *testing.T) {
+	r := New(41)
+	counts := map[[3]int]int{}
+	const draws = 60000
+	for i := 0; i < draws; i++ {
+		p := [3]int{0, 1, 2}
+		r.Shuffle(3, func(a, b int) { p[a], p[b] = p[b], p[a] })
+		counts[p]++
+	}
+	if len(counts) != 6 {
+		t.Fatalf("Shuffle(3) produced %d distinct permutations, want 6", len(counts))
+	}
+	want := float64(draws) / 6
+	for p, c := range counts {
+		if math.Abs(float64(c)-want)/want > 0.06 {
+			t.Fatalf("permutation %v occurred %d times, want ~%g", p, c, want)
+		}
+	}
+}
+
+func TestMul64AgainstBig(t *testing.T) {
+	cases := []struct{ a, b uint64 }{
+		{0, 0}, {1, 1}, {math.MaxUint64, math.MaxUint64},
+		{1 << 32, 1 << 32}, {0xDEADBEEF, 0xFEEDFACECAFEBEEF},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.a, c.b)
+		// Verify via decomposition: a*b mod 2^64 must equal lo.
+		if lo != c.a*c.b {
+			t.Fatalf("mul64(%d,%d) lo=%d want %d", c.a, c.b, lo, c.a*c.b)
+		}
+		// hi spot checks.
+		if c.a == math.MaxUint64 && c.b == math.MaxUint64 && hi != math.MaxUint64-1 {
+			t.Fatalf("mul64(max,max) hi=%d", hi)
+		}
+		if c.a == 1<<32 && c.b == 1<<32 && hi != 1 {
+			t.Fatalf("mul64(2^32,2^32) hi=%d want 1", hi)
+		}
+	}
+}

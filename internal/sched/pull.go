@@ -1,0 +1,256 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"hybridqos/internal/pullqueue"
+)
+
+// PullPolicy selects which queued pull item to transmit next. now is the
+// current simulated time (RxW-style policies age entries).
+type PullPolicy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Score returns the selection score of an entry; the highest score wins,
+	// ties broken by lowest item rank.
+	Score(e *pullqueue.Entry, now float64) float64
+	// TimeDependent reports whether scores change as time passes with no
+	// queue mutation (true for RxW-style ageing policies). Time-independent
+	// monotone policies admit heap-backed selection.
+	TimeDependent() bool
+}
+
+// ImportanceFactor is the paper's policy: γ_i = α·S_i + (1−α)·Q_i (Eq. 1).
+type ImportanceFactor struct {
+	// Alpha is the stretch/priority mixing fraction in [0,1].
+	Alpha float64
+}
+
+// NewImportanceFactor validates α and returns the paper's policy.
+func NewImportanceFactor(alpha float64) (ImportanceFactor, error) {
+	if alpha < 0 || alpha > 1 || math.IsNaN(alpha) {
+		return ImportanceFactor{}, fmt.Errorf("sched: alpha %g outside [0,1]", alpha)
+	}
+	return ImportanceFactor{Alpha: alpha}, nil
+}
+
+// Name implements PullPolicy.
+func (p ImportanceFactor) Name() string { return fmt.Sprintf("importance-factor(α=%.2f)", p.Alpha) }
+
+// Score implements PullPolicy.
+func (p ImportanceFactor) Score(e *pullqueue.Entry, _ float64) float64 { return e.Gamma(p.Alpha) }
+
+// TimeDependent implements PullPolicy.
+func (p ImportanceFactor) TimeDependent() bool { return false }
+
+// StretchOptimal is the α = 1 special case (the authors' WMAN'04 scheduler):
+// max-request min-service-time first, S_i = R_i/L_i².
+type StretchOptimal struct{}
+
+// Name implements PullPolicy.
+func (StretchOptimal) Name() string { return "stretch-optimal" }
+
+// Score implements PullPolicy.
+func (StretchOptimal) Score(e *pullqueue.Entry, _ float64) float64 { return e.Stretch() }
+
+// TimeDependent implements PullPolicy.
+func (StretchOptimal) TimeDependent() bool { return false }
+
+// PriorityOnly is the α = 0 special case: highest summed client priority
+// first.
+type PriorityOnly struct{}
+
+// Name implements PullPolicy.
+func (PriorityOnly) Name() string { return "priority-only" }
+
+// Score implements PullPolicy.
+func (PriorityOnly) Score(e *pullqueue.Entry, _ float64) float64 { return e.SumPriority }
+
+// TimeDependent implements PullPolicy.
+func (PriorityOnly) TimeDependent() bool { return false }
+
+// FCFS serves the item whose oldest pending request arrived first.
+type FCFS struct{}
+
+// Name implements PullPolicy.
+func (FCFS) Name() string { return "fcfs" }
+
+// Score implements PullPolicy.
+func (FCFS) Score(e *pullqueue.Entry, _ float64) float64 { return -e.FirstArrival }
+
+// TimeDependent implements PullPolicy.
+func (FCFS) TimeDependent() bool { return false }
+
+// MRF is most-requests-first.
+type MRF struct{}
+
+// Name implements PullPolicy.
+func (MRF) Name() string { return "mrf" }
+
+// Score implements PullPolicy.
+func (MRF) Score(e *pullqueue.Entry, _ float64) float64 { return float64(e.NumRequests()) }
+
+// TimeDependent implements PullPolicy.
+func (MRF) TimeDependent() bool { return false }
+
+// RxW is Aksoy–Franklin's on-demand broadcast policy: requests × wait of the
+// oldest pending request.
+type RxW struct{}
+
+// Name implements PullPolicy.
+func (RxW) Name() string { return "rxw" }
+
+// Score implements PullPolicy.
+func (RxW) Score(e *pullqueue.Entry, now float64) float64 {
+	return float64(e.NumRequests()) * (now - e.FirstArrival)
+}
+
+// TimeDependent implements PullPolicy.
+func (RxW) TimeDependent() bool { return true }
+
+// ClassicStretch is the traditional stretch metric R·(now−firstArrival)/L —
+// ageing-normalised, unlike the paper's S = R/L². Included as a baseline.
+type ClassicStretch struct{}
+
+// Name implements PullPolicy.
+func (ClassicStretch) Name() string { return "classic-stretch" }
+
+// Score implements PullPolicy.
+func (ClassicStretch) Score(e *pullqueue.Entry, now float64) float64 {
+	return float64(e.NumRequests()) * (now - e.FirstArrival) / e.Length
+}
+
+// TimeDependent implements PullPolicy.
+func (ClassicStretch) TimeDependent() bool { return true }
+
+// Selector owns the pending pull entries and extracts the best entry under a
+// policy.
+type Selector interface {
+	// Add enqueues a request (length fixes the item's transmission time on
+	// first enqueue).
+	Add(req pullqueue.Request, length float64)
+	// ExtractBest removes and returns the best entry at time now, nil when
+	// empty.
+	ExtractBest(now float64) *pullqueue.Entry
+	// Remove discards a specific item's entry (blocked transmissions),
+	// returning it or nil.
+	Remove(item int) *pullqueue.Entry
+	// Items is the number of distinct queued items.
+	Items() int
+	// Requests is the total number of pending requests.
+	Requests() int
+}
+
+// NewSelector returns the fastest selector able to realise the policy: a
+// γ-heap for the importance-factor family, a scan selector otherwise.
+func NewSelector(p PullPolicy) Selector {
+	switch pol := p.(type) {
+	case ImportanceFactor:
+		return &heapSelector{h: pullqueue.NewHeap(pol.Alpha)}
+	case StretchOptimal:
+		return &heapSelector{h: pullqueue.NewHeap(1)}
+	case PriorityOnly:
+		return &heapSelector{h: pullqueue.NewHeap(0)}
+	default:
+		return NewScanSelector(p)
+	}
+}
+
+// heapSelector adapts pullqueue.Heap to the Selector interface.
+type heapSelector struct {
+	h *pullqueue.Heap
+}
+
+func (s *heapSelector) Add(req pullqueue.Request, length float64) { s.h.Add(req, length) }
+func (s *heapSelector) ExtractBest(_ float64) *pullqueue.Entry    { return s.h.ExtractMax() }
+func (s *heapSelector) Remove(item int) *pullqueue.Entry          { return s.h.Remove(item) }
+func (s *heapSelector) Items() int                                { return s.h.Items() }
+func (s *heapSelector) Requests() int                             { return s.h.Requests() }
+
+// ScanSelector evaluates an arbitrary (possibly time-dependent) policy by
+// linear scan. O(n) extraction, but n ≤ D−K which is small in the paper's
+// regime.
+type ScanSelector struct {
+	policy   PullPolicy
+	entries  []*pullqueue.Entry
+	byItem   map[int]*pullqueue.Entry
+	requests int
+}
+
+// NewScanSelector returns a scan-based selector for the policy.
+func NewScanSelector(p PullPolicy) *ScanSelector {
+	if p == nil {
+		panic("sched: nil pull policy")
+	}
+	return &ScanSelector{policy: p, byItem: make(map[int]*pullqueue.Entry)}
+}
+
+// Add implements Selector.
+func (s *ScanSelector) Add(req pullqueue.Request, length float64) {
+	if req.Item < 1 {
+		panic(fmt.Sprintf("sched: invalid item rank %d", req.Item))
+	}
+	if length <= 0 || math.IsNaN(length) {
+		panic(fmt.Sprintf("sched: invalid length %g", length))
+	}
+	e := s.byItem[req.Item]
+	if e == nil {
+		e = &pullqueue.Entry{Item: req.Item, Length: length, FirstArrival: req.Arrival}
+		s.byItem[req.Item] = e
+		s.entries = append(s.entries, e)
+	}
+	e.Requests = append(e.Requests, req)
+	e.SumPriority += req.Priority
+	if req.Arrival < e.FirstArrival {
+		e.FirstArrival = req.Arrival
+	}
+	s.requests++
+}
+
+// ExtractBest implements Selector.
+func (s *ScanSelector) ExtractBest(now float64) *pullqueue.Entry {
+	best := -1
+	var bestScore float64
+	for i, e := range s.entries {
+		score := s.policy.Score(e, now)
+		if best == -1 || score > bestScore || (score == bestScore && e.Item < s.entries[best].Item) {
+			best, bestScore = i, score
+		}
+	}
+	if best == -1 {
+		return nil
+	}
+	return s.removeAt(best)
+}
+
+// Remove implements Selector.
+func (s *ScanSelector) Remove(item int) *pullqueue.Entry {
+	for i, e := range s.entries {
+		if e.Item == item {
+			return s.removeAt(i)
+		}
+	}
+	return nil
+}
+
+func (s *ScanSelector) removeAt(i int) *pullqueue.Entry {
+	e := s.entries[i]
+	s.entries[i] = s.entries[len(s.entries)-1]
+	s.entries[len(s.entries)-1] = nil
+	s.entries = s.entries[:len(s.entries)-1]
+	delete(s.byItem, e.Item)
+	s.requests -= len(e.Requests)
+	return e
+}
+
+// Items implements Selector.
+func (s *ScanSelector) Items() int { return len(s.entries) }
+
+// Requests implements Selector.
+func (s *ScanSelector) Requests() int { return s.requests }
+
+var (
+	_ Selector = (*heapSelector)(nil)
+	_ Selector = (*ScanSelector)(nil)
+)

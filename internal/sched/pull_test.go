@@ -1,0 +1,252 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hybridqos/internal/clients"
+	"hybridqos/internal/pullqueue"
+	"hybridqos/internal/rng"
+)
+
+func rq(item int, class clients.Class, prio, arrival float64) pullqueue.Request {
+	return pullqueue.Request{Item: item, Class: class, Priority: prio, Arrival: arrival}
+}
+
+func TestNewImportanceFactorValidation(t *testing.T) {
+	for _, bad := range []float64{-0.1, 1.1, math.NaN()} {
+		if _, err := NewImportanceFactor(bad); err == nil {
+			t.Errorf("alpha %g accepted", bad)
+		}
+	}
+	p, err := NewImportanceFactor(0.25)
+	if err != nil || p.Alpha != 0.25 {
+		t.Fatalf("valid alpha rejected: %v", err)
+	}
+}
+
+func TestPolicyNamesAndTimeDependence(t *testing.T) {
+	cases := []struct {
+		p  PullPolicy
+		td bool
+	}{
+		{ImportanceFactor{Alpha: 0.5}, false},
+		{StretchOptimal{}, false},
+		{PriorityOnly{}, false},
+		{FCFS{}, false},
+		{MRF{}, false},
+		{RxW{}, true},
+		{ClassicStretch{}, true},
+	}
+	seen := map[string]bool{}
+	for _, c := range cases {
+		name := c.p.Name()
+		if name == "" || seen[name] {
+			t.Errorf("policy name %q empty or duplicated", name)
+		}
+		seen[name] = true
+		if c.p.TimeDependent() != c.td {
+			t.Errorf("%s TimeDependent = %v, want %v", name, c.p.TimeDependent(), c.td)
+		}
+	}
+}
+
+func TestPolicyScores(t *testing.T) {
+	e := &pullqueue.Entry{Item: 3, Length: 2, FirstArrival: 10}
+	e.Requests = []pullqueue.Request{rq(3, 0, 3, 10), rq(3, 2, 1, 12)}
+	e.SumPriority = 4
+
+	if got := (ImportanceFactor{Alpha: 0.5}).Score(e, 20); math.Abs(got-(0.5*2.0/4+0.5*4)) > 1e-12 {
+		t.Fatalf("importance-factor score %g", got)
+	}
+	if got := (StretchOptimal{}).Score(e, 20); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("stretch score %g, want R/L²=0.5", got)
+	}
+	if got := (PriorityOnly{}).Score(e, 20); got != 4 {
+		t.Fatalf("priority score %g", got)
+	}
+	if got := (FCFS{}).Score(e, 20); got != -10 {
+		t.Fatalf("fcfs score %g", got)
+	}
+	if got := (MRF{}).Score(e, 20); got != 2 {
+		t.Fatalf("mrf score %g", got)
+	}
+	if got := (RxW{}).Score(e, 20); got != 2*10 {
+		t.Fatalf("rxw score %g", got)
+	}
+	if got := (ClassicStretch{}).Score(e, 20); math.Abs(got-2*10/2.0) > 1e-12 {
+		t.Fatalf("classic stretch score %g", got)
+	}
+}
+
+func TestNewSelectorPicksHeapForGammaFamily(t *testing.T) {
+	for _, p := range []PullPolicy{ImportanceFactor{Alpha: 0.3}, StretchOptimal{}, PriorityOnly{}} {
+		if _, ok := NewSelector(p).(*heapSelector); !ok {
+			t.Errorf("%s did not get a heap selector", p.Name())
+		}
+	}
+	for _, p := range []PullPolicy{FCFS{}, MRF{}, RxW{}, ClassicStretch{}} {
+		if _, ok := NewSelector(p).(*ScanSelector); !ok {
+			t.Errorf("%s did not get a scan selector", p.Name())
+		}
+	}
+}
+
+func TestScanSelectorFCFSOrder(t *testing.T) {
+	s := NewSelector(FCFS{})
+	s.Add(rq(5, 0, 1, 30), 1)
+	s.Add(rq(2, 0, 1, 10), 1)
+	s.Add(rq(8, 0, 1, 20), 1)
+	want := []int{2, 8, 5}
+	for _, w := range want {
+		if got := s.ExtractBest(100).Item; got != w {
+			t.Fatalf("FCFS order got %d want %d", got, w)
+		}
+	}
+	if s.ExtractBest(100) != nil {
+		t.Fatal("empty selector returned entry")
+	}
+}
+
+func TestScanSelectorRxWAging(t *testing.T) {
+	s := NewSelector(RxW{})
+	// Item 1: 3 requests arriving at t=10; item 2: 1 request at t=0.
+	for i := 0; i < 3; i++ {
+		s.Add(rq(1, 0, 1, 10), 1)
+	}
+	s.Add(rq(2, 0, 1, 0), 1)
+	// At t=12: item1 RxW = 3·2=6 > item2 1·12=12? No: 6 < 12 → item 2 first.
+	if got := s.ExtractBest(12).Item; got != 2 {
+		t.Fatalf("RxW at t=12 picked %d, want 2", got)
+	}
+	s.Add(rq(2, 0, 1, 13), 1)
+	// At t=14: item1 = 3·4=12 > item2 = 1·1=1 → item 1.
+	if got := s.ExtractBest(14).Item; got != 1 {
+		t.Fatalf("RxW at t=14 picked %d, want 1", got)
+	}
+}
+
+func TestScanSelectorMRF(t *testing.T) {
+	s := NewSelector(MRF{})
+	s.Add(rq(1, 0, 1, 0), 1)
+	s.Add(rq(1, 0, 1, 1), 1)
+	s.Add(rq(2, 0, 5, 2), 1)
+	if got := s.ExtractBest(5).Item; got != 1 {
+		t.Fatalf("MRF picked %d, want most-requested 1", got)
+	}
+}
+
+func TestScanSelectorTieBreakLowestRank(t *testing.T) {
+	s := NewSelector(MRF{})
+	s.Add(rq(7, 0, 1, 0), 1)
+	s.Add(rq(4, 0, 1, 0), 1)
+	if got := s.ExtractBest(1).Item; got != 4 {
+		t.Fatalf("tie-break picked %d, want 4", got)
+	}
+}
+
+func TestScanSelectorRemove(t *testing.T) {
+	s := NewSelector(RxW{})
+	s.Add(rq(1, 0, 1, 0), 1)
+	s.Add(rq(2, 0, 1, 0), 1)
+	s.Add(rq(2, 1, 2, 1), 1)
+	if e := s.Remove(2); e == nil || e.NumRequests() != 2 {
+		t.Fatal("Remove(2) failed")
+	}
+	if s.Remove(2) != nil {
+		t.Fatal("double remove returned entry")
+	}
+	if s.Items() != 1 || s.Requests() != 1 {
+		t.Fatalf("Items=%d Requests=%d", s.Items(), s.Requests())
+	}
+}
+
+func TestScanSelectorValidation(t *testing.T) {
+	s := NewScanSelector(MRF{})
+	for i, f := range []func(){
+		func() { s.Add(rq(0, 0, 1, 0), 1) },
+		func() { s.Add(rq(1, 0, 1, 0), 0) },
+		func() { NewScanSelector(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHeapSelectorMatchesScanForImportanceFactor(t *testing.T) {
+	// The heap fast path must agree with a scan selector evaluating the
+	// same policy.
+	r := rng.New(17)
+	check := func(alphaRaw uint8, ops []uint16) bool {
+		alpha := float64(alphaRaw%101) / 100
+		pol := ImportanceFactor{Alpha: alpha}
+		fast := NewSelector(pol)
+		slow := NewScanSelector(pol)
+		now := 0.0
+		for _, op := range ops {
+			now += r.Float64()
+			if op%5 == 4 && fast.Items() > 0 {
+				fe, se := fast.ExtractBest(now), slow.ExtractBest(now)
+				if fe.Item != se.Item {
+					return false
+				}
+				continue
+			}
+			q := rq(int(op%30)+1, clients.Class(op%3), float64(op%3)+1, now)
+			l := float64(op%5) + 1
+			fast.Add(q, l)
+			slow.Add(q, l)
+		}
+		for fast.Items() > 0 {
+			fe, se := fast.ExtractBest(now), slow.ExtractBest(now)
+			if fe == nil || se == nil || fe.Item != se.Item {
+				return false
+			}
+		}
+		return slow.Items() == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScanSelectorExtract(b *testing.B) {
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewScanSelector(RxW{})
+		for j := 0; j < 256; j++ {
+			s.Add(rq(r.Intn(64)+1, clients.Class(r.Intn(3)), float64(r.Intn(3)+1), float64(j)), float64(r.Intn(5)+1))
+		}
+		for s.Items() > 0 {
+			s.ExtractBest(300)
+		}
+	}
+}
+
+func TestHeapSelectorRemoveAndRequests(t *testing.T) {
+	s := NewSelector(ImportanceFactor{Alpha: 0.5})
+	s.Add(rq(3, 0, 2, 0), 2)
+	s.Add(rq(3, 1, 1, 1), 2)
+	s.Add(rq(7, 2, 1, 2), 1)
+	if s.Requests() != 3 || s.Items() != 2 {
+		t.Fatalf("Requests=%d Items=%d", s.Requests(), s.Items())
+	}
+	e := s.Remove(3)
+	if e == nil || e.NumRequests() != 2 {
+		t.Fatal("heap selector Remove failed")
+	}
+	if s.Remove(3) != nil {
+		t.Fatal("double remove returned entry")
+	}
+	if s.Requests() != 1 {
+		t.Fatalf("Requests after remove = %d", s.Requests())
+	}
+}

@@ -1,0 +1,232 @@
+// Package sim orchestrates simulation experiments: independent replications
+// run in parallel across CPU cores, per-class summaries with confidence
+// intervals, and the common-random-number seed discipline that keeps sweep
+// comparisons sharp.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"hybridqos/internal/clients"
+	"hybridqos/internal/core"
+	"hybridqos/internal/stats"
+)
+
+// ClassSummary aggregates one class's results across replications.
+type ClassSummary struct {
+	// Class is the service class.
+	Class clients.Class
+	// Weight is the class's priority weight.
+	Weight float64
+	// Delay collects the per-replication MEAN delays, so Delay.CI95()
+	// yields a replication-based confidence interval.
+	Delay stats.Welford
+	// Cost collects per-replication prioritised costs.
+	Cost stats.Welford
+	// DropRate collects per-replication drop rates.
+	DropRate stats.Welford
+	// DelayHist pools every served request's delay across replications,
+	// for percentile queries (P95 etc.).
+	DelayHist stats.Histogram
+	// Served, Dropped, Expired, UplinkLost and CacheHits are pooled counts
+	// over all replications.
+	Served, Dropped, Expired, UplinkLost, CacheHits int64
+}
+
+// Summary is the replication-aggregated result of one configuration.
+type Summary struct {
+	// Config echoes the base configuration (Seed is the base seed).
+	Config core.Config
+	// Replications is the number of independent runs.
+	Replications int
+	// PerClass holds one summary per service class.
+	PerClass []*ClassSummary
+	// OverallDelay, TotalCost collect per-replication aggregates.
+	OverallDelay, TotalCost stats.Welford
+	// QueueItems collects per-replication mean distinct-item queue lengths.
+	QueueItems stats.Welford
+	// PullTransmissions, PushBroadcasts, Blocked pool counts.
+	PullTransmissions, PushBroadcasts, Blocked int64
+}
+
+// MeanDelay returns class c's mean delay across replications.
+func (s *Summary) MeanDelay(c clients.Class) float64 { return s.PerClass[c].Delay.Mean() }
+
+// MeanCost returns class c's mean prioritised cost across replications.
+func (s *Summary) MeanCost(c clients.Class) float64 { return s.PerClass[c].Cost.Mean() }
+
+// RunReplications executes reps independent runs of cfg, varying only the
+// seed (base seed + replication index), in parallel across CPU cores. The
+// returned summary is deterministic: the same cfg and reps always produce
+// identical numbers regardless of scheduling order.
+//
+// Stateful per-run components (uplink channels, MMPP arrival processes,
+// tracers) must NOT be shared across replications; use RunReplicationsWith
+// and construct fresh instances in the perRun hook.
+func RunReplications(cfg core.Config, reps int) (*Summary, error) {
+	return RunReplicationsWith(cfg, reps, nil)
+}
+
+// RunReplicationsWith is RunReplications with a per-replication
+// customisation hook, called with each replication's config (after the seed
+// is set) before the run starts. The hook runs concurrently across
+// replications and must only touch its own config.
+func RunReplicationsWith(cfg core.Config, reps int, perRun func(rep int, c *core.Config) error) (*Summary, error) {
+	if reps <= 0 {
+		return nil, fmt.Errorf("sim: replications %d", reps)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	results := make([]*core.Metrics, reps)
+	errs := make([]error, reps)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxParallel())
+	for i := 0; i < reps; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			repCfg := cfg
+			repCfg.Seed = cfg.Seed + uint64(i)
+			if perRun != nil {
+				if err := perRun(i, &repCfg); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+			results[i], errs[i] = core.Run(repCfg)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sim: replication %d: %w", i, err)
+		}
+	}
+
+	s := &Summary{Config: cfg, Replications: reps}
+	for c := 0; c < cfg.Classes.NumClasses(); c++ {
+		s.PerClass = append(s.PerClass, &ClassSummary{
+			Class:  clients.Class(c),
+			Weight: cfg.Classes.Weight(clients.Class(c)),
+		})
+	}
+	for _, m := range results {
+		for c, cm := range m.PerClass {
+			cs := s.PerClass[c]
+			if cm.Delay.N() > 0 {
+				cs.Delay.Add(cm.Delay.Mean())
+				cs.Cost.Add(cm.Cost())
+			}
+			cs.DelayHist.Merge(&cm.DelayHist)
+			cs.DropRate.Add(cm.DropRate())
+			cs.Served += cm.Served
+			cs.Dropped += cm.Dropped
+			cs.Expired += cm.Expired
+			cs.UplinkLost += cm.UplinkLost
+			cs.CacheHits += cm.CacheHits
+		}
+		if v := m.OverallMeanDelay(); !math.IsNaN(v) {
+			s.OverallDelay.Add(v)
+		}
+		s.TotalCost.Add(m.TotalCost())
+		if v := m.QueueItems.Mean(); !math.IsNaN(v) {
+			s.QueueItems.Add(v)
+		}
+		s.PullTransmissions += m.PullTransmissions
+		s.PushBroadcasts += m.PushBroadcasts
+		s.Blocked += m.BlockedTransmissions
+	}
+	return s, nil
+}
+
+// maxParallel bounds the worker pool: all cores but one, at least one.
+func maxParallel() int {
+	n := runtime.NumCPU() - 1
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// SweepPoint is one swept configuration's summary.
+type SweepPoint struct {
+	// K is the cutoff (for cutoff sweeps) or the index of the swept value.
+	K int
+	// Alpha is the α used (for α sweeps).
+	Alpha float64
+	// Summary is the replication-aggregated result.
+	Summary *Summary
+}
+
+// SweepCutoffs runs RunReplications at each cutoff, reusing the base seed so
+// the cutoffs are compared under common random numbers.
+func SweepCutoffs(cfg core.Config, cutoffs []int, reps int) ([]SweepPoint, error) {
+	if len(cutoffs) == 0 {
+		return nil, fmt.Errorf("sim: no cutoffs")
+	}
+	out := make([]SweepPoint, 0, len(cutoffs))
+	for _, k := range cutoffs {
+		c := cfg
+		c.Cutoff = k
+		sum, err := RunReplications(c, reps)
+		if err != nil {
+			return nil, fmt.Errorf("sim: cutoff %d: %w", k, err)
+		}
+		out = append(out, SweepPoint{K: k, Alpha: c.Alpha, Summary: sum})
+	}
+	return out, nil
+}
+
+// SweepAlphas runs RunReplications at each α (with the paper's
+// importance-factor policy), reusing the base seed.
+func SweepAlphas(cfg core.Config, alphas []float64, reps int) ([]SweepPoint, error) {
+	if len(alphas) == 0 {
+		return nil, fmt.Errorf("sim: no alphas")
+	}
+	out := make([]SweepPoint, 0, len(alphas))
+	for _, a := range alphas {
+		c := cfg
+		c.Alpha = a
+		c.PullPolicy = nil // force the importance-factor policy at this α
+		sum, err := RunReplications(c, reps)
+		if err != nil {
+			return nil, fmt.Errorf("sim: alpha %g: %w", a, err)
+		}
+		out = append(out, SweepPoint{K: c.Cutoff, Alpha: a, Summary: sum})
+	}
+	return out, nil
+}
+
+// OptimalByTotalCost returns the sweep point with the lowest mean total
+// prioritised cost.
+func OptimalByTotalCost(points []SweepPoint) (SweepPoint, error) {
+	return optimal(points, func(p SweepPoint) float64 { return p.Summary.TotalCost.Mean() })
+}
+
+// OptimalByOverallDelay returns the sweep point with the lowest mean overall
+// delay.
+func OptimalByOverallDelay(points []SweepPoint) (SweepPoint, error) {
+	return optimal(points, func(p SweepPoint) float64 { return p.Summary.OverallDelay.Mean() })
+}
+
+func optimal(points []SweepPoint, value func(SweepPoint) float64) (SweepPoint, error) {
+	if len(points) == 0 {
+		return SweepPoint{}, fmt.Errorf("sim: no sweep points")
+	}
+	best := points[0]
+	bestVal := value(best)
+	for _, p := range points[1:] {
+		v := value(p)
+		if math.IsNaN(bestVal) || (!math.IsNaN(v) && v < bestVal) {
+			best, bestVal = p, v
+		}
+	}
+	return best, nil
+}

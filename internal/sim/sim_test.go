@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"hybridqos/internal/catalog"
+	"hybridqos/internal/clients"
+	"hybridqos/internal/core"
+)
+
+func baseConfig(t *testing.T) core.Config {
+	t.Helper()
+	cat, err := catalog.Generate(catalog.PaperConfig(0.6, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := clients.New(clients.PaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Config{
+		Catalog:        cat,
+		Classes:        cl,
+		Lambda:         5,
+		Cutoff:         40,
+		Alpha:          0.5,
+		Horizon:        3000,
+		WarmupFraction: 0.1,
+		Seed:           100,
+	}
+}
+
+func TestRunReplicationsErrors(t *testing.T) {
+	cfg := baseConfig(t)
+	if _, err := RunReplications(cfg, 0); err == nil {
+		t.Fatal("reps=0 accepted")
+	}
+	cfg.Lambda = -1
+	if _, err := RunReplications(cfg, 2); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestRunReplicationsDeterministic(t *testing.T) {
+	cfg := baseConfig(t)
+	a, err := RunReplications(cfg, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunReplications(cfg, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range a.PerClass {
+		if a.PerClass[c].Delay.Mean() != b.PerClass[c].Delay.Mean() {
+			t.Fatalf("class %d delay differs across identical replication sets", c)
+		}
+		if a.PerClass[c].Served != b.PerClass[c].Served {
+			t.Fatalf("class %d served counts differ", c)
+		}
+	}
+	if a.OverallDelay.Mean() != b.OverallDelay.Mean() {
+		t.Fatal("overall delay differs")
+	}
+}
+
+func TestReplicationsActuallyIndependent(t *testing.T) {
+	cfg := baseConfig(t)
+	s, err := RunReplications(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Replications != 8 {
+		t.Fatalf("Replications = %d", s.Replications)
+	}
+	// Eight replications of a stochastic system must show variance.
+	if v := s.OverallDelay.Variance(); math.IsNaN(v) || v == 0 {
+		t.Fatalf("replication variance %g — seeds not varied?", v)
+	}
+	if s.OverallDelay.N() != 8 {
+		t.Fatalf("overall delay N = %d", s.OverallDelay.N())
+	}
+}
+
+func TestSummaryAggregates(t *testing.T) {
+	cfg := baseConfig(t)
+	s, err := RunReplications(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.PerClass) != 3 {
+		t.Fatalf("%d class summaries", len(s.PerClass))
+	}
+	for c, cs := range s.PerClass {
+		if cs.Served == 0 {
+			t.Fatalf("class %d served 0", c)
+		}
+		if cs.Dropped != 0 {
+			t.Fatalf("class %d dropped without bandwidth constraint", c)
+		}
+		if math.IsNaN(cs.Delay.Mean()) || cs.Delay.Mean() <= 0 {
+			t.Fatalf("class %d delay %g", c, cs.Delay.Mean())
+		}
+		wantCost := cs.Weight * cs.Delay.Mean()
+		// Cost is collected per replication; its mean is close to (not
+		// exactly) weight × mean delay. Loose agreement check.
+		if math.Abs(cs.Cost.Mean()-wantCost)/wantCost > 0.05 {
+			t.Fatalf("class %d cost %g vs weight·delay %g", c, cs.Cost.Mean(), wantCost)
+		}
+	}
+	if s.MeanDelay(0) != s.PerClass[0].Delay.Mean() {
+		t.Fatal("MeanDelay accessor wrong")
+	}
+	if s.MeanCost(1) != s.PerClass[1].Cost.Mean() {
+		t.Fatal("MeanCost accessor wrong")
+	}
+	if s.PushBroadcasts == 0 || s.PullTransmissions == 0 {
+		t.Fatal("pooled transmission counts empty")
+	}
+}
+
+func TestCIWidthShrinksWithReps(t *testing.T) {
+	cfg := baseConfig(t)
+	few, err := RunReplications(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := RunReplications(cfg, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, hwFew := few.OverallDelay.CI95()
+	_, hwMany := many.OverallDelay.CI95()
+	if hwMany >= hwFew {
+		t.Fatalf("CI half-width did not shrink: %g (4 reps) vs %g (16 reps)", hwFew, hwMany)
+	}
+}
+
+func TestSweepCutoffs(t *testing.T) {
+	cfg := baseConfig(t)
+	points, err := SweepCutoffs(cfg, []int{20, 40, 60}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("%d points", len(points))
+	}
+	for i, k := range []int{20, 40, 60} {
+		if points[i].K != k {
+			t.Fatalf("point %d has K=%d", i, points[i].K)
+		}
+		if points[i].Summary.Config.Cutoff != k {
+			t.Fatalf("summary config cutoff %d", points[i].Summary.Config.Cutoff)
+		}
+	}
+	if _, err := SweepCutoffs(cfg, nil, 3); err == nil {
+		t.Fatal("empty cutoffs accepted")
+	}
+}
+
+func TestSweepAlphas(t *testing.T) {
+	cfg := baseConfig(t)
+	points, err := SweepAlphas(cfg, []float64{0, 0.5, 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("%d points", len(points))
+	}
+	// α=0 must differentiate classes; α=1 must not (compare spreads).
+	spread := func(p SweepPoint) float64 {
+		return p.Summary.MeanDelay(2) - p.Summary.MeanDelay(0)
+	}
+	if spread(points[0]) <= spread(points[2]) {
+		t.Fatalf("class spread at α=0 (%g) not above α=1 (%g)", spread(points[0]), spread(points[2]))
+	}
+	if _, err := SweepAlphas(cfg, nil, 3); err == nil {
+		t.Fatal("empty alphas accepted")
+	}
+}
+
+func TestOptimalSelectors(t *testing.T) {
+	cfg := baseConfig(t)
+	points, err := SweepCutoffs(cfg, []int{10, 40, 90}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestCost, err := OptimalByTotalCost(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		if p.Summary.TotalCost.Mean() < bestCost.Summary.TotalCost.Mean() {
+			t.Fatalf("OptimalByTotalCost missed K=%d", p.K)
+		}
+	}
+	bestDelay, err := OptimalByOverallDelay(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		if p.Summary.OverallDelay.Mean() < bestDelay.Summary.OverallDelay.Mean() {
+			t.Fatalf("OptimalByOverallDelay missed K=%d", p.K)
+		}
+	}
+	if _, err := OptimalByTotalCost(nil); err == nil {
+		t.Fatal("empty points accepted")
+	}
+}
+
+func TestMaxParallelAtLeastOne(t *testing.T) {
+	if maxParallel() < 1 {
+		t.Fatal("maxParallel < 1")
+	}
+}
+
+func TestPooledDelayHistogram(t *testing.T) {
+	cfg := baseConfig(t)
+	s, err := RunReplications(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, cs := range s.PerClass {
+		if int64(cs.DelayHist.N()) != cs.Served {
+			t.Fatalf("class %d: hist N %d vs served %d", c, cs.DelayHist.N(), cs.Served)
+		}
+		p50, p95 := cs.DelayHist.Percentile(50), cs.DelayHist.Percentile(95)
+		if !(p50 > 0 && p95 >= p50) {
+			t.Fatalf("class %d: P50 %g P95 %g", c, p50, p95)
+		}
+	}
+}

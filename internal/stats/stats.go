@@ -1,0 +1,290 @@
+// Package stats provides the statistics machinery used to reduce simulation
+// output: streaming moments (Welford), confidence intervals over independent
+// replications, histograms with percentile queries, and time-weighted
+// averages for quantities sampled over simulated time (queue lengths,
+// bandwidth occupancy).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Welford accumulates streaming mean and variance in one pass with good
+// numerical behaviour. The zero value is ready to use.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the sample mean, or NaN when empty.
+func (w *Welford) Mean() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.mean
+}
+
+// Variance returns the unbiased sample variance, or NaN with fewer than two
+// observations.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return math.NaN()
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Min returns the minimum observation, or NaN when empty.
+func (w *Welford) Min() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.min
+}
+
+// Max returns the maximum observation, or NaN when empty.
+func (w *Welford) Max() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.max
+}
+
+// Merge folds other into w, as if every observation of other had been Added
+// to w (Chan et al. parallel variance combination).
+func (w *Welford) Merge(other *Welford) {
+	if other.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = *other
+		return
+	}
+	n := w.n + other.n
+	delta := other.mean - w.mean
+	w.m2 += other.m2 + delta*delta*float64(w.n)*float64(other.n)/float64(n)
+	w.mean += delta * float64(other.n) / float64(n)
+	if other.min < w.min {
+		w.min = other.min
+	}
+	if other.max > w.max {
+		w.max = other.max
+	}
+	w.n = n
+}
+
+// CI95 returns the sample mean and the half-width of its 95% confidence
+// interval, using the normal approximation for n >= 30 and Student-t critical
+// values for smaller n. Half-width is NaN with fewer than two observations.
+func (w *Welford) CI95() (mean, halfWidth float64) {
+	mean = w.Mean()
+	if w.n < 2 {
+		return mean, math.NaN()
+	}
+	se := w.StdDev() / math.Sqrt(float64(w.n))
+	return mean, tCritical95(w.n-1) * se
+}
+
+// tCritical95 returns the two-sided 95% Student-t critical value for the
+// given degrees of freedom (exact table for df <= 30, 1.96 beyond).
+func tCritical95(df int64) float64 {
+	table := []float64{ // df = 1..30
+		12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+		2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+		2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+	}
+	if df <= 0 {
+		return math.NaN()
+	}
+	if df <= int64(len(table)) {
+		return table[df-1]
+	}
+	return 1.96
+}
+
+// TimeWeighted tracks the time-average of a piecewise-constant signal, e.g.
+// queue length or allocated bandwidth over simulated time.
+type TimeWeighted struct {
+	started   bool
+	lastT     float64
+	lastV     float64
+	area      float64
+	elapsed   float64
+	max       float64
+	haveValue bool
+}
+
+// Observe records that the signal took value v at time t and holds it until
+// the next call. Calls must have non-decreasing t; an earlier t panics since
+// it indicates a broken simulation clock.
+func (tw *TimeWeighted) Observe(t, v float64) {
+	if tw.started {
+		if t < tw.lastT {
+			panic(fmt.Sprintf("stats: TimeWeighted.Observe time went backwards: %g < %g", t, tw.lastT))
+		}
+		dt := t - tw.lastT
+		tw.area += tw.lastV * dt
+		tw.elapsed += dt
+	}
+	tw.started = true
+	tw.lastT, tw.lastV = t, v
+	if !tw.haveValue || v > tw.max {
+		tw.max, tw.haveValue = v, true
+	}
+}
+
+// Mean returns the time-average of the signal up to the last observation, or
+// NaN if less than two distinct times were observed.
+func (tw *TimeWeighted) Mean() float64 {
+	if tw.elapsed == 0 {
+		return math.NaN()
+	}
+	return tw.area / tw.elapsed
+}
+
+// MeanAt closes the signal at time t (holding the last value) and returns the
+// time-average over the whole horizon.
+func (tw *TimeWeighted) MeanAt(t float64) float64 {
+	if !tw.started {
+		return math.NaN()
+	}
+	tw.Observe(t, tw.lastV)
+	return tw.Mean()
+}
+
+// Max returns the maximum observed value, or NaN when empty.
+func (tw *TimeWeighted) Max() float64 {
+	if !tw.haveValue {
+		return math.NaN()
+	}
+	return tw.max
+}
+
+// Elapsed returns the total time span covered.
+func (tw *TimeWeighted) Elapsed() float64 { return tw.elapsed }
+
+// Histogram collects observations for percentile queries. It stores raw
+// samples (simulations here produce at most a few million observations, well
+// within memory) so percentiles are exact.
+type Histogram struct {
+	samples []float64
+	sorted  bool
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.samples = append(h.samples, x)
+	h.sorted = false
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() int { return len(h.samples) }
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between closest ranks. NaN when empty; panics on p outside
+// [0, 100].
+func (h *Histogram) Percentile(p float64) float64 {
+	if p < 0 || p > 100 || math.IsNaN(p) {
+		panic(fmt.Sprintf("stats: percentile %g out of [0,100]", p))
+	}
+	if len(h.samples) == 0 {
+		return math.NaN()
+	}
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+	if len(h.samples) == 1 {
+		return h.samples[0]
+	}
+	rank := p / 100 * float64(len(h.samples)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return h.samples[lo]
+	}
+	frac := rank - float64(lo)
+	return h.samples[lo]*(1-frac) + h.samples[hi]*frac
+}
+
+// Mean returns the sample mean, or NaN when empty.
+func (h *Histogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range h.samples {
+		sum += x
+	}
+	return sum / float64(len(h.samples))
+}
+
+// Merge appends all of other's samples into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || len(other.samples) == 0 {
+		return
+	}
+	h.samples = append(h.samples, other.samples...)
+	h.sorted = false
+}
+
+// Buckets returns counts of samples falling into nBuckets equal-width buckets
+// spanning [min, max], plus the bucket edges. Useful for ASCII rendering.
+func (h *Histogram) Buckets(nBuckets int) (counts []int, edges []float64) {
+	if nBuckets <= 0 {
+		panic(fmt.Sprintf("stats: nBuckets = %d", nBuckets))
+	}
+	counts = make([]int, nBuckets)
+	edges = make([]float64, nBuckets+1)
+	if len(h.samples) == 0 {
+		return counts, edges
+	}
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+	lo, hi := h.samples[0], h.samples[len(h.samples)-1]
+	if hi == lo {
+		hi = lo + 1
+	}
+	width := (hi - lo) / float64(nBuckets)
+	for i := range edges {
+		edges[i] = lo + float64(i)*width
+	}
+	for _, x := range h.samples {
+		b := int((x - lo) / width)
+		if b >= nBuckets {
+			b = nBuckets - 1
+		}
+		counts[b]++
+	}
+	return counts, edges
+}

@@ -1,0 +1,355 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hybridqos/internal/rng"
+)
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if !math.IsNaN(w.Mean()) || !math.IsNaN(w.Variance()) || !math.IsNaN(w.Min()) || !math.IsNaN(w.Max()) {
+		t.Fatal("empty Welford should report NaN moments")
+	}
+	if w.N() != 0 {
+		t.Fatalf("N = %d", w.N())
+	}
+}
+
+func TestWelfordKnownValues(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("N = %d", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Fatalf("Mean = %g, want 5", w.Mean())
+	}
+	// Sample variance of that classic set is 32/7.
+	if math.Abs(w.Variance()-32.0/7) > 1e-12 {
+		t.Fatalf("Variance = %g, want %g", w.Variance(), 32.0/7)
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Fatalf("Min/Max = %g/%g", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordSingleObservation(t *testing.T) {
+	var w Welford
+	w.Add(3.5)
+	if w.Mean() != 3.5 || !math.IsNaN(w.Variance()) {
+		t.Fatalf("single obs: mean %g var %g", w.Mean(), w.Variance())
+	}
+	_, hw := w.CI95()
+	if !math.IsNaN(hw) {
+		t.Fatalf("CI half-width with one obs = %g, want NaN", hw)
+	}
+}
+
+func TestWelfordMergeEqualsSequential(t *testing.T) {
+	r := rng.New(5)
+	var all, a, b Welford
+	for i := 0; i < 1000; i++ {
+		x := r.Float64()*10 - 5
+		all.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(&b)
+	if a.N() != all.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), all.N())
+	}
+	if math.Abs(a.Mean()-all.Mean()) > 1e-10 {
+		t.Fatalf("merged mean %g, want %g", a.Mean(), all.Mean())
+	}
+	if math.Abs(a.Variance()-all.Variance()) > 1e-10 {
+		t.Fatalf("merged variance %g, want %g", a.Variance(), all.Variance())
+	}
+	if a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Fatal("merged min/max wrong")
+	}
+}
+
+func TestWelfordMergeEmptyCases(t *testing.T) {
+	var a, b Welford
+	a.Add(1)
+	a.Add(3)
+	before := a.Mean()
+	a.Merge(&b) // merging empty is a no-op
+	if a.Mean() != before || a.N() != 2 {
+		t.Fatal("merge with empty changed state")
+	}
+	var c Welford
+	c.Merge(&a) // merging into empty copies
+	if c.Mean() != a.Mean() || c.N() != a.N() {
+		t.Fatal("merge into empty did not copy")
+	}
+}
+
+func TestCI95CoversTrueMean(t *testing.T) {
+	// 200 experiments, each estimating the mean of U(0,1) from 50 samples;
+	// the 95% CI should cover 0.5 roughly 95% of the time.
+	r := rng.New(77)
+	covered := 0
+	const experiments = 200
+	for e := 0; e < experiments; e++ {
+		var w Welford
+		for i := 0; i < 50; i++ {
+			w.Add(r.Float64())
+		}
+		mean, hw := w.CI95()
+		if math.Abs(mean-0.5) <= hw {
+			covered++
+		}
+	}
+	if covered < 175 || covered > 200 {
+		t.Fatalf("CI covered true mean in %d/%d experiments, want ~190", covered, experiments)
+	}
+}
+
+func TestTCritical(t *testing.T) {
+	if got := tCritical95(1); got != 12.706 {
+		t.Fatalf("t(1) = %g", got)
+	}
+	if got := tCritical95(30); got != 2.042 {
+		t.Fatalf("t(30) = %g", got)
+	}
+	if got := tCritical95(1000); got != 1.96 {
+		t.Fatalf("t(1000) = %g", got)
+	}
+	if !math.IsNaN(tCritical95(0)) {
+		t.Fatal("t(0) should be NaN")
+	}
+}
+
+func TestTimeWeightedBasic(t *testing.T) {
+	var tw TimeWeighted
+	if !math.IsNaN(tw.Mean()) || !math.IsNaN(tw.Max()) {
+		t.Fatal("empty TimeWeighted should be NaN")
+	}
+	tw.Observe(0, 2)  // value 2 on [0,10)
+	tw.Observe(10, 4) // value 4 on [10,20)
+	tw.Observe(20, 0)
+	// mean = (2*10 + 4*10) / 20 = 3
+	if math.Abs(tw.Mean()-3) > 1e-12 {
+		t.Fatalf("Mean = %g, want 3", tw.Mean())
+	}
+	if tw.Max() != 4 {
+		t.Fatalf("Max = %g", tw.Max())
+	}
+	if tw.Elapsed() != 20 {
+		t.Fatalf("Elapsed = %g", tw.Elapsed())
+	}
+}
+
+func TestTimeWeightedMeanAt(t *testing.T) {
+	var tw TimeWeighted
+	tw.Observe(0, 1)
+	// Hold value 1 until t=5: mean over [0,5] is 1.
+	if got := tw.MeanAt(5); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("MeanAt(5) = %g", got)
+	}
+}
+
+func TestTimeWeightedBackwardsTimePanics(t *testing.T) {
+	var tw TimeWeighted
+	tw.Observe(5, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backwards time did not panic")
+		}
+	}()
+	tw.Observe(4, 1)
+}
+
+func TestTimeWeightedZeroDurationSteps(t *testing.T) {
+	var tw TimeWeighted
+	tw.Observe(1, 10)
+	tw.Observe(1, 20) // same instant: previous value contributes 0 area
+	tw.Observe(2, 20)
+	if math.Abs(tw.Mean()-20) > 1e-12 {
+		t.Fatalf("Mean = %g, want 20", tw.Mean())
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	var h Histogram
+	if !math.IsNaN(h.Percentile(50)) || !math.IsNaN(h.Mean()) {
+		t.Fatal("empty histogram should be NaN")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i))
+	}
+	if h.N() != 100 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if got := h.Percentile(0); got != 1 {
+		t.Fatalf("P0 = %g", got)
+	}
+	if got := h.Percentile(100); got != 100 {
+		t.Fatalf("P100 = %g", got)
+	}
+	if got := h.Percentile(50); math.Abs(got-50.5) > 1e-9 {
+		t.Fatalf("P50 = %g, want 50.5", got)
+	}
+	if got := h.Mean(); math.Abs(got-50.5) > 1e-9 {
+		t.Fatalf("Mean = %g", got)
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	var h Histogram
+	h.Add(7)
+	for _, p := range []float64{0, 50, 100} {
+		if got := h.Percentile(p); got != 7 {
+			t.Fatalf("P%g = %g", p, got)
+		}
+	}
+}
+
+func TestHistogramAddAfterQueryStaysSorted(t *testing.T) {
+	var h Histogram
+	h.Add(3)
+	h.Add(1)
+	_ = h.Percentile(50)
+	h.Add(2)
+	if got := h.Percentile(50); got != 2 {
+		t.Fatalf("P50 after interleaved add = %g, want 2", got)
+	}
+}
+
+func TestHistogramPercentilePanics(t *testing.T) {
+	var h Histogram
+	h.Add(1)
+	for _, p := range []float64{-1, 101, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Percentile(%g) did not panic", p)
+				}
+			}()
+			h.Percentile(p)
+		}()
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i)) // 0..9
+	}
+	counts, edges := h.Buckets(5)
+	if len(counts) != 5 || len(edges) != 6 {
+		t.Fatalf("shape: %d counts, %d edges", len(counts), len(edges))
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 10 {
+		t.Fatalf("bucket counts sum to %d", total)
+	}
+	if edges[0] != 0 || math.Abs(edges[5]-9) > 1e-12 {
+		t.Fatalf("edges [%g,%g]", edges[0], edges[5])
+	}
+}
+
+func TestHistogramBucketsDegenerate(t *testing.T) {
+	var h Histogram
+	h.Add(5)
+	h.Add(5)
+	counts, _ := h.Buckets(3)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 2 {
+		t.Fatalf("identical samples lost in buckets: %v", counts)
+	}
+}
+
+// Property: Welford mean/variance match the two-pass formulas on arbitrary
+// inputs.
+func TestPropertyWelfordMatchesTwoPass(t *testing.T) {
+	check := func(raw []int16) bool {
+		if len(raw) < 2 || len(raw) > 200 {
+			return true
+		}
+		var w Welford
+		sum := 0.0
+		for _, v := range raw {
+			x := float64(v) / 16
+			w.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(raw))
+		ss := 0.0
+		for _, v := range raw {
+			x := float64(v) / 16
+			ss += (x - mean) * (x - mean)
+		}
+		variance := ss / float64(len(raw)-1)
+		return math.Abs(w.Mean()-mean) < 1e-9 && math.Abs(w.Variance()-variance) < 1e-6
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestPropertyPercentileMonotone(t *testing.T) {
+	r := rng.New(31)
+	check := func(nRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		var h Histogram
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < n; i++ {
+			x := r.Float64() * 100
+			h.Add(x)
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := h.Percentile(p)
+			if v < prev-1e-12 || v < lo-1e-12 || v > hi+1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 1; i <= 5; i++ {
+		a.Add(float64(i))
+	}
+	for i := 6; i <= 10; i++ {
+		b.Add(float64(i))
+	}
+	_ = a.Percentile(50) // force sorted state, Merge must invalidate it
+	a.Merge(&b)
+	if a.N() != 10 {
+		t.Fatalf("merged N = %d", a.N())
+	}
+	if got := a.Percentile(100); got != 10 {
+		t.Fatalf("merged P100 = %g", got)
+	}
+	a.Merge(nil) // no-op
+	a.Merge(&Histogram{})
+	if a.N() != 10 {
+		t.Fatal("empty merges changed N")
+	}
+}

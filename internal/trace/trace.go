@@ -1,0 +1,184 @@
+// Package trace provides structured event tracing for the simulator: every
+// request arrival, transmission and blocking decision can be streamed to a
+// JSON-lines writer for offline analysis, replayed to recompute metrics
+// independently of the live collectors (a strong cross-check used in tests),
+// or counted cheaply.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"hybridqos/internal/clients"
+)
+
+// Kind enumerates traced event types.
+type Kind string
+
+// Trace event kinds.
+const (
+	KindArrival      Kind = "arrival"       // a request reached the server
+	KindPushStart    Kind = "push-start"    // flat broadcast transmission began
+	KindPushComplete Kind = "push-complete" // broadcast finished; waiters satisfied
+	KindPullStart    Kind = "pull-start"    // pull transmission began
+	KindPullComplete Kind = "pull-complete" // pull finished; pending requests satisfied
+	KindBlocked      Kind = "blocked"       // pull entry dropped for bandwidth
+	KindServed       Kind = "served"        // one request satisfied
+)
+
+// Event is one trace record. Fields are pointer-free and compact so a run
+// can emit millions of them.
+type Event struct {
+	// T is the simulated time.
+	T float64 `json:"t"`
+	// Kind is the event type.
+	Kind Kind `json:"kind"`
+	// Item is the catalog rank involved (0 when not applicable).
+	Item int `json:"item,omitempty"`
+	// Class is the service class involved (−1 when not applicable).
+	Class clients.Class `json:"class"`
+	// Arrival is the request's arrival time (KindServed only).
+	Arrival float64 `json:"arrival,omitempty"`
+	// Requests is the pending-request count involved (transmissions/blocks).
+	Requests int `json:"requests,omitempty"`
+	// Push distinguishes push-served from pull-served (KindServed).
+	Push bool `json:"push,omitempty"`
+}
+
+// Tracer consumes events. Implementations must tolerate high event rates;
+// Event is called synchronously from the simulation loop.
+type Tracer interface {
+	Event(e Event)
+}
+
+// Nop discards all events.
+type Nop struct{}
+
+// Event implements Tracer.
+func (Nop) Event(Event) {}
+
+// Counter tallies events by kind — cheap tracing for tests and sanity
+// checks.
+type Counter struct {
+	counts map[Kind]int64
+}
+
+// NewCounter returns an empty Counter.
+func NewCounter() *Counter { return &Counter{counts: make(map[Kind]int64)} }
+
+// Event implements Tracer.
+func (c *Counter) Event(e Event) { c.counts[e.Kind]++ }
+
+// Count returns the tally for one kind.
+func (c *Counter) Count(k Kind) int64 { return c.counts[k] }
+
+// Total returns the total event count.
+func (c *Counter) Total() int64 {
+	var n int64
+	for _, v := range c.counts {
+		n += v
+	}
+	return n
+}
+
+// JSONL streams events as JSON lines. Close (or Flush) must be called to
+// drain the buffer.
+type JSONL struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+	err error
+	n   int64
+}
+
+// NewJSONL wraps a writer.
+func NewJSONL(w io.Writer) *JSONL {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	return &JSONL{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Event implements Tracer. The first encoding error sticks and is reported
+// by Flush.
+func (j *JSONL) Event(e Event) {
+	if j.err != nil {
+		return
+	}
+	if err := j.enc.Encode(e); err != nil {
+		j.err = err
+		return
+	}
+	j.n++
+}
+
+// Events returns the number of successfully encoded events.
+func (j *JSONL) Events() int64 { return j.n }
+
+// Flush drains the buffer and returns the first error encountered.
+func (j *JSONL) Flush() error {
+	if j.err != nil {
+		return j.err
+	}
+	return j.w.Flush()
+}
+
+// Multi fans events out to several tracers.
+type Multi []Tracer
+
+// Event implements Tracer.
+func (m Multi) Event(e Event) {
+	for _, t := range m {
+		t.Event(e)
+	}
+}
+
+// Read parses a JSONL trace stream back into events.
+func Read(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for dec.More() {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			return nil, fmt.Errorf("trace: decoding event %d: %w", len(out), err)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// ClassStats is the per-class aggregate recomputed from a trace.
+type ClassStats struct {
+	// Served counts KindServed events for the class.
+	Served int64
+	// SumDelay accumulates completion − arrival over served requests.
+	SumDelay float64
+}
+
+// MeanDelay returns SumDelay/Served, 0 when empty.
+func (cs ClassStats) MeanDelay() float64 {
+	if cs.Served == 0 {
+		return 0
+	}
+	return cs.SumDelay / float64(cs.Served)
+}
+
+// Replay recomputes per-class delay statistics from a trace — an
+// independent audit of the simulator's live metric collectors. numClasses
+// bounds the class index; out-of-range classes error.
+func Replay(events []Event, numClasses int) ([]ClassStats, error) {
+	if numClasses <= 0 {
+		return nil, fmt.Errorf("trace: numClasses %d", numClasses)
+	}
+	out := make([]ClassStats, numClasses)
+	for i, e := range events {
+		if e.Kind != KindServed {
+			continue
+		}
+		if e.Class < 0 || int(e.Class) >= numClasses {
+			return nil, fmt.Errorf("trace: event %d has class %d outside [0,%d)", i, e.Class, numClasses)
+		}
+		out[e.Class].Served++
+		out[e.Class].SumDelay += e.T - e.Arrival
+	}
+	return out, nil
+}

@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNopAcceptsEverything(t *testing.T) {
+	var n Nop
+	n.Event(Event{T: 1, Kind: KindArrival})
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	c.Event(Event{Kind: KindArrival})
+	c.Event(Event{Kind: KindArrival})
+	c.Event(Event{Kind: KindServed})
+	if c.Count(KindArrival) != 2 || c.Count(KindServed) != 1 {
+		t.Fatalf("counts: %d, %d", c.Count(KindArrival), c.Count(KindServed))
+	}
+	if c.Count(KindBlocked) != 0 {
+		t.Fatal("absent kind nonzero")
+	}
+	if c.Total() != 3 {
+		t.Fatalf("Total = %d", c.Total())
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	events := []Event{
+		{T: 1.5, Kind: KindArrival, Item: 42, Class: 1},
+		{T: 2.5, Kind: KindServed, Class: 0, Arrival: 1.5, Push: true},
+		{T: 3, Kind: KindBlocked, Item: 7, Class: 2, Requests: 4},
+	}
+	for _, e := range events {
+		j.Event(e)
+	}
+	if err := j.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Events() != 3 {
+		t.Fatalf("Events = %d", j.Events())
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("%d events decoded", len(got))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d: got %+v want %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestJSONLStickyError(t *testing.T) {
+	j := NewJSONL(failWriter{})
+	for i := 0; i < 10000; i++ { // enough to overflow the buffer
+		j.Event(Event{T: float64(i), Kind: KindArrival})
+	}
+	if err := j.Flush(); err == nil {
+		t.Fatal("error not surfaced")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errFail }
+
+var errFail = &failError{}
+
+type failError struct{}
+
+func (*failError) Error() string { return "write failed" }
+
+func TestReadMalformed(t *testing.T) {
+	if _, err := Read(strings.NewReader(`{"t":1}{bad json`)); err == nil {
+		t.Fatal("malformed stream accepted")
+	}
+}
+
+func TestMultiFansOut(t *testing.T) {
+	a, b := NewCounter(), NewCounter()
+	m := Multi{a, b}
+	m.Event(Event{Kind: KindArrival})
+	if a.Total() != 1 || b.Total() != 1 {
+		t.Fatal("multi did not fan out")
+	}
+}
+
+func TestReplay(t *testing.T) {
+	events := []Event{
+		{T: 10, Kind: KindServed, Class: 0, Arrival: 4},  // delay 6
+		{T: 20, Kind: KindServed, Class: 0, Arrival: 10}, // delay 10
+		{T: 30, Kind: KindServed, Class: 2, Arrival: 25}, // delay 5
+		{T: 99, Kind: KindArrival, Class: 1},             // ignored
+	}
+	stats, err := Replay(events, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[0].Served != 2 || stats[0].MeanDelay() != 8 {
+		t.Fatalf("class 0: %+v", stats[0])
+	}
+	if stats[1].Served != 0 || stats[1].MeanDelay() != 0 {
+		t.Fatalf("class 1: %+v", stats[1])
+	}
+	if stats[2].Served != 1 || stats[2].MeanDelay() != 5 {
+		t.Fatalf("class 2: %+v", stats[2])
+	}
+}
+
+func TestReplayErrors(t *testing.T) {
+	if _, err := Replay(nil, 0); err == nil {
+		t.Fatal("numClasses 0 accepted")
+	}
+	if _, err := Replay([]Event{{Kind: KindServed, Class: 5}}, 3); err == nil {
+		t.Fatal("out-of-range class accepted")
+	}
+}

@@ -1,0 +1,294 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"hybridqos/internal/catalog"
+	"hybridqos/internal/rng"
+)
+
+func TestNewPoissonValidation(t *testing.T) {
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := NewPoisson(bad); err == nil {
+			t.Errorf("rate %g accepted", bad)
+		}
+	}
+	p, err := NewPoisson(5)
+	if err != nil || p.Rate() != 5 {
+		t.Fatalf("valid rate rejected: %v", err)
+	}
+}
+
+func TestPoissonEmpiricalRate(t *testing.T) {
+	p, _ := NewPoisson(5)
+	r := rng.New(1)
+	var total float64
+	const events = 100000
+	for i := 0; i < events; i++ {
+		gap, batch := p.Next(r)
+		if gap <= 0 || batch != 1 {
+			t.Fatalf("gap %g batch %d", gap, batch)
+		}
+		total += gap
+	}
+	rate := events / total
+	if math.Abs(rate-5)/5 > 0.02 {
+		t.Fatalf("empirical rate %g, want ~5", rate)
+	}
+}
+
+func TestNewMMPPValidation(t *testing.T) {
+	cases := []struct {
+		rates, switches []float64
+	}{
+		{nil, nil},
+		{[]float64{1}, []float64{1}},
+		{[]float64{1, 2}, []float64{1}},
+		{[]float64{-1, 2}, []float64{1, 1}},
+		{[]float64{0, 0}, []float64{1, 1}},
+		{[]float64{1, 2}, []float64{0, 1}},
+		{[]float64{1, math.NaN()}, []float64{1, 1}},
+	}
+	for i, c := range cases {
+		if _, err := NewMMPP(c.rates, c.switches); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestMMPPRateFormula(t *testing.T) {
+	// States: rate 10 with mean sojourn 1, rate 2 with mean sojourn 3:
+	// mean = (10·1 + 2·3)/(1+3) = 4.
+	m, err := NewMMPP([]float64{10, 2}, []float64{1, 1.0 / 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Rate()-4) > 1e-12 {
+		t.Fatalf("Rate() = %g, want 4", m.Rate())
+	}
+}
+
+func TestMMPPEmpiricalRate(t *testing.T) {
+	m, err := Bursty(5, 3, 0.01) // slow switching, strong burst contrast
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2)
+	var total float64
+	const events = 300000
+	for i := 0; i < events; i++ {
+		gap, batch := m.Next(r)
+		if gap <= 0 || batch != 1 {
+			t.Fatalf("gap %g batch %d", gap, batch)
+		}
+		total += gap
+	}
+	rate := events / total
+	want := m.Rate()
+	if math.Abs(rate-want)/want > 0.05 {
+		t.Fatalf("empirical rate %g, want ~%g", rate, want)
+	}
+}
+
+func TestMMPPIsBurstier(t *testing.T) {
+	// The squared coefficient of variation of MMPP inter-arrivals must
+	// exceed the Poisson value of 1.
+	m, _ := Bursty(5, 4, 0.05)
+	r := rng.New(3)
+	var sum, sumSq float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		gap, _ := m.Next(r)
+		sum += gap
+		sumSq += gap * gap
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	cv2 := variance / (mean * mean)
+	if cv2 < 1.2 {
+		t.Fatalf("MMPP CV² = %g, expected clearly above Poisson's 1", cv2)
+	}
+}
+
+func TestMMPPSilentState(t *testing.T) {
+	// One silent state: arrivals still happen (process skips through it).
+	m, err := NewMMPP([]float64{10, 0}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(4)
+	for i := 0; i < 1000; i++ {
+		gap, _ := m.Next(r)
+		if gap <= 0 || math.IsInf(gap, 0) {
+			t.Fatalf("gap %g", gap)
+		}
+	}
+}
+
+func TestBurstyValidation(t *testing.T) {
+	for _, c := range [][3]float64{{0, 2, 1}, {5, 1, 1}, {5, 2, 0}} {
+		if _, err := Bursty(c[0], c[1], c[2]); err == nil {
+			t.Errorf("Bursty%v accepted", c)
+		}
+	}
+	m, err := Bursty(5, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Rate()-(10+2.5)/2) > 1e-12 {
+		t.Fatalf("Bursty mean rate %g", m.Rate())
+	}
+}
+
+func TestNewBatchPoissonValidation(t *testing.T) {
+	cases := [][2]float64{{0, 2}, {-1, 2}, {1, 0.5}, {1, math.NaN()}}
+	for i, c := range cases {
+		if _, err := NewBatchPoisson(c[0], c[1]); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestBatchPoissonMoments(t *testing.T) {
+	b, err := NewBatchPoisson(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Rate() != 6 {
+		t.Fatalf("Rate = %g, want 6", b.Rate())
+	}
+	r := rng.New(5)
+	var gaps, batches float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		gap, batch := b.Next(r)
+		if batch < 1 {
+			t.Fatalf("batch %d", batch)
+		}
+		gaps += gap
+		batches += float64(batch)
+	}
+	if got := n / gaps; math.Abs(got-2)/2 > 0.02 {
+		t.Fatalf("event rate %g, want ~2", got)
+	}
+	if got := batches / n; math.Abs(got-3)/3 > 0.02 {
+		t.Fatalf("mean batch %g, want ~3", got)
+	}
+}
+
+func TestBatchPoissonUnitBatch(t *testing.T) {
+	b, _ := NewBatchPoisson(1, 1)
+	r := rng.New(6)
+	for i := 0; i < 100; i++ {
+		if _, batch := b.Next(r); batch != 1 {
+			t.Fatalf("MeanBatch=1 produced batch %d", batch)
+		}
+	}
+}
+
+func testCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	c, err := catalog.Generate(catalog.PaperConfig(0.6, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestStaticPopularity(t *testing.T) {
+	cat := testCatalog(t)
+	s := StaticPopularity{Catalog: cat}
+	r := rng.New(7)
+	counts := make([]int, cat.D()+1)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		rank := s.SampleItem(r, 12345)
+		if rank < 1 || rank > cat.D() {
+			t.Fatalf("rank %d", rank)
+		}
+		counts[rank]++
+	}
+	if counts[1] <= counts[50] {
+		t.Fatal("static popularity not skewed toward rank 1")
+	}
+}
+
+func TestRotatingPopularityValidation(t *testing.T) {
+	cat := testCatalog(t)
+	if _, err := NewRotatingPopularity(nil, 10, 1); err == nil {
+		t.Fatal("nil catalog accepted")
+	}
+	if _, err := NewRotatingPopularity(cat, 0, 1); err == nil {
+		t.Fatal("period 0 accepted")
+	}
+	if _, err := NewRotatingPopularity(cat, 10, 0); err == nil {
+		t.Fatal("shift 0 accepted")
+	}
+}
+
+func TestRotatingPopularityShifts(t *testing.T) {
+	cat := testCatalog(t)
+	rot, err := NewRotatingPopularity(cat, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	countsAt := func(now float64) []int {
+		r := rng.New(8)
+		counts := make([]int, cat.D()+1)
+		for i := 0; i < 50000; i++ {
+			counts[rot.SampleItem(r, now)]++
+		}
+		return counts
+	}
+	// Epoch 0: hottest item is rank 1. Epoch 1 (t=150): hottest is rank 11.
+	c0 := countsAt(0)
+	c1 := countsAt(150)
+	max0, max1 := argmax(c0), argmax(c1)
+	if max0 != 1 {
+		t.Fatalf("epoch 0 hottest rank %d, want 1", max0)
+	}
+	if max1 != 11 {
+		t.Fatalf("epoch 1 hottest rank %d, want 11", max1)
+	}
+}
+
+func TestRotatingPopularityWrapsAround(t *testing.T) {
+	cat := testCatalog(t)
+	rot, _ := NewRotatingPopularity(cat, 1, 30)
+	r := rng.New(9)
+	// After many epochs ranks must still be in range.
+	for i := 0; i < 10000; i++ {
+		rank := rot.SampleItem(r, 1e6)
+		if rank < 1 || rank > cat.D() {
+			t.Fatalf("rank %d out of range after wrap", rank)
+		}
+	}
+}
+
+func TestNamesNonEmpty(t *testing.T) {
+	cat := testCatalog(t)
+	p, _ := NewPoisson(1)
+	m, _ := Bursty(5, 2, 1)
+	b, _ := NewBatchPoisson(1, 2)
+	rot, _ := NewRotatingPopularity(cat, 10, 1)
+	for _, name := range []string{
+		p.Name(), m.Name(), b.Name(),
+		StaticPopularity{Catalog: cat}.Name(), rot.Name(),
+	} {
+		if name == "" {
+			t.Fatal("empty name")
+		}
+	}
+}
+
+func argmax(xs []int) int {
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	_ = xs[best]
+	return best
+}

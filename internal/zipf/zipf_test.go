@@ -1,0 +1,194 @@
+package zipf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hybridqos/internal/rng"
+)
+
+func TestNewErrors(t *testing.T) {
+	for _, c := range []struct {
+		n     int
+		theta float64
+	}{
+		{0, 1}, {-5, 1}, {10, -0.1}, {10, math.NaN()}, {10, math.Inf(1)},
+	} {
+		if _, err := New(c.n, c.theta); err == nil {
+			t.Errorf("New(%d, %g) succeeded, want error", c.n, c.theta)
+		}
+	}
+}
+
+func TestMustPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Must(0,1) did not panic")
+		}
+	}()
+	Must(0, 1)
+}
+
+func TestProbsSumToOne(t *testing.T) {
+	for _, theta := range []float64{0, 0.2, 0.6, 1.0, 1.4, 3} {
+		d := Must(100, theta)
+		sum := 0.0
+		for rank := 1; rank <= 100; rank++ {
+			sum += d.Prob(rank)
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("theta=%g: probabilities sum to %g", theta, sum)
+		}
+	}
+}
+
+func TestUniformWhenThetaZero(t *testing.T) {
+	d := Must(50, 0)
+	for rank := 1; rank <= 50; rank++ {
+		if math.Abs(d.Prob(rank)-0.02) > 1e-12 {
+			t.Fatalf("theta=0: P_%d = %g, want 0.02", rank, d.Prob(rank))
+		}
+	}
+}
+
+func TestMonotoneDecreasing(t *testing.T) {
+	for _, theta := range []float64{0.2, 0.6, 1.0, 1.4} {
+		d := Must(100, theta)
+		for rank := 2; rank <= 100; rank++ {
+			if d.Prob(rank) > d.Prob(rank-1)+1e-15 {
+				t.Fatalf("theta=%g: P_%d=%g > P_%d=%g", theta, rank, d.Prob(rank), rank-1, d.Prob(rank-1))
+			}
+		}
+	}
+}
+
+func TestPaperFormulaExactValues(t *testing.T) {
+	// Direct check against P_i = (1/i)^θ / Σ (1/j)^θ for a small case we can
+	// compute by hand: n=3, θ=1 -> weights 1, 1/2, 1/3; sum = 11/6.
+	d := Must(3, 1)
+	want := []float64{6.0 / 11, 3.0 / 11, 2.0 / 11}
+	for i, w := range want {
+		if math.Abs(d.Prob(i+1)-w) > 1e-12 {
+			t.Errorf("P_%d = %g, want %g", i+1, d.Prob(i+1), w)
+		}
+	}
+}
+
+func TestHigherThetaMoreSkewed(t *testing.T) {
+	lo := Must(100, 0.2)
+	hi := Must(100, 1.4)
+	if hi.Prob(1) <= lo.Prob(1) {
+		t.Fatalf("P_1 at theta=1.4 (%g) not greater than at theta=0.2 (%g)", hi.Prob(1), lo.Prob(1))
+	}
+	if hi.Prob(100) >= lo.Prob(100) {
+		t.Fatalf("P_100 at theta=1.4 (%g) not smaller than at theta=0.2 (%g)", hi.Prob(100), lo.Prob(100))
+	}
+}
+
+func TestCumAndTailConsistency(t *testing.T) {
+	d := Must(100, 0.6)
+	if d.CumProb(0) != 0 {
+		t.Fatalf("CumProb(0) = %g", d.CumProb(0))
+	}
+	if d.CumProb(100) != 1 {
+		t.Fatalf("CumProb(100) = %g", d.CumProb(100))
+	}
+	if d.TailProb(1) != 1 {
+		t.Fatalf("TailProb(1) = %g", d.TailProb(1))
+	}
+	if d.TailProb(101) != 0 {
+		t.Fatalf("TailProb(101) = %g", d.TailProb(101))
+	}
+	for k := 0; k <= 100; k++ {
+		if math.Abs(d.CumProb(k)+d.TailProb(k+1)-1) > 1e-12 {
+			t.Fatalf("CumProb(%d)+TailProb(%d) = %g, want 1", k, k+1, d.CumProb(k)+d.TailProb(k+1))
+		}
+	}
+}
+
+func TestCumMatchesManualSum(t *testing.T) {
+	d := Must(40, 1.1)
+	run := 0.0
+	for rank := 1; rank <= 40; rank++ {
+		run += d.Prob(rank)
+		if math.Abs(d.CumProb(rank)-run) > 1e-9 {
+			t.Fatalf("CumProb(%d) = %g, manual sum %g", rank, d.CumProb(rank), run)
+		}
+	}
+}
+
+func TestProbPanicsOutOfRange(t *testing.T) {
+	d := Must(10, 1)
+	for _, rank := range []int{0, -1, 11} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Prob(%d) did not panic", rank)
+				}
+			}()
+			d.Prob(rank)
+		}()
+	}
+}
+
+func TestSampleMatchesDistribution(t *testing.T) {
+	d := Must(20, 0.8)
+	r := rng.New(42)
+	const draws = 400000
+	counts := make([]int, 21)
+	for i := 0; i < draws; i++ {
+		counts[d.Sample(r)]++
+	}
+	for rank := 1; rank <= 20; rank++ {
+		want := d.Prob(rank) * draws
+		if math.Abs(float64(counts[rank])-want) > 5*math.Sqrt(want)+10 {
+			t.Errorf("rank %d sampled %d times, want ~%.0f", rank, counts[rank], want)
+		}
+	}
+}
+
+func TestProbsReturnsCopy(t *testing.T) {
+	d := Must(5, 1)
+	p := d.Probs()
+	p[0] = 99
+	if d.Prob(1) == 99 {
+		t.Fatal("Probs() exposed internal state")
+	}
+}
+
+// Property: for any valid (n, theta), probabilities are positive, sorted
+// descending, and sum to one.
+func TestPropertyValidDistribution(t *testing.T) {
+	check := func(nRaw uint8, thetaRaw uint8) bool {
+		n := int(nRaw%200) + 1
+		theta := float64(thetaRaw) / 100 // 0..2.55
+		d, err := New(n, theta)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		prev := math.Inf(1)
+		for rank := 1; rank <= n; rank++ {
+			p := d.Prob(rank)
+			if p <= 0 || p > prev+1e-15 {
+				return false
+			}
+			prev = p
+			sum += p
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSample(b *testing.B) {
+	d := Must(100, 0.6)
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Sample(r)
+	}
+}
