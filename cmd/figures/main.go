@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 3|4|5|6|7|blocking|multiclass|all")
+		fig     = flag.String("fig", "all", "figure to regenerate: 3|4|5|6|7|blocking|multiclass|channels|indexing|load|faults|all")
 		csvDir  = flag.String("csv", "", "directory to write per-figure CSV files (optional)")
 		svgDir  = flag.String("svg", "", "directory to write per-figure SVG charts (optional)")
 		horizon = flag.Float64("horizon", 20000, "simulated duration per replication")
@@ -49,15 +49,16 @@ func main() {
 		"channels":   experiments.ExtChannels,
 		"indexing":   experiments.ExtIndexing,
 		"load":       experiments.ExtLoad,
+		"faults":     experiments.ExtFaults,
 	}
-	order := []string{"3", "4", "5", "6", "7", "blocking", "multiclass", "channels", "indexing", "load"}
+	order := []string{"3", "4", "5", "6", "7", "blocking", "multiclass", "channels", "indexing", "load", "faults"}
 
 	var selected []string
 	if *fig == "all" {
 		selected = order
 	} else {
 		if _, ok := gens[*fig]; !ok {
-			fatal("unknown figure %q (want 3|4|5|6|7|blocking|multiclass|all)", *fig)
+			fatal("unknown figure %q (want 3|4|5|6|7|blocking|multiclass|channels|indexing|load|faults|all)", *fig)
 		}
 		selected = []string{*fig}
 	}

@@ -10,6 +10,7 @@
 //	hybridsim -theta 0.6 -alpha 0.25 -cutoff 40
 //	hybridsim -bandwidth 8 -fractions 0.5,0.3,0.2 -demand 1.5
 //	hybridsim -policy rxw -push square-root
+//	hybridsim -loss 0.2 -gilbert 5 -retries 3 -backoff 1 -shed-high 260 -shed-low 200
 package main
 
 import (
@@ -42,6 +43,13 @@ func main() {
 		fracs    = flag.String("fractions", "", "per-class bandwidth fractions, e.g. 0.5,0.3,0.2")
 		demand   = flag.Float64("demand", 1.5, "Poisson bandwidth demand mean per length unit")
 		borrow   = flag.Bool("borrow", false, "allow borrowing from lower-priority pools")
+		loss     = flag.Float64("loss", 0, "mean downlink corruption probability (0 disables)")
+		gilbert  = flag.Float64("gilbert", 0, "mean loss-burst length ≥1 (Gilbert–Elliott; 0 = i.i.d. loss)")
+		retries  = flag.Int("retries", 0, "client re-requests allowed after a corrupted pull delivery")
+		backoff  = flag.Float64("backoff", 1, "base retry backoff (broadcast units, doubling per attempt)")
+		jitter   = flag.Float64("jitter", 0, "retry backoff jitter in [0,1]")
+		shedHigh = flag.Int("shed-high", 0, "pending-load high-water mark for class shedding (0 disables)")
+		shedLow  = flag.Int("shed-low", 0, "pending-load low-water mark restoring admission")
 		predict  = flag.Bool("predict", false, "also print the analytic model's prediction")
 		traceOut = flag.String("trace", "", "write a JSONL event trace of one run to this file")
 		confIn   = flag.String("config", "", "load configuration from a JSON file (flags are ignored)")
@@ -81,6 +89,18 @@ func main() {
 		}
 	}
 
+	if *loss > 0 || *gilbert > 0 || *retries > 0 || *shedHigh > 0 {
+		cfg.Faults = &hybridqos.FaultsConfig{
+			LossProb:     *loss,
+			MeanBurst:    *gilbert,
+			MaxRetries:   *retries,
+			RetryBackoff: *backoff,
+			RetryJitter:  *jitter,
+			ShedHigh:     *shedHigh,
+			ShedLow:      *shedLow,
+		}
+	}
+
 	if *confIn != "" {
 		loaded, err := hybridqos.LoadConfig(*confIn)
 		if err != nil {
@@ -112,7 +132,8 @@ func main() {
 
 	tbl := report.NewTable("Per-class results",
 		"class", "weight", "mean delay", "±95% CI", "p95", "cost", "drop rate",
-		"served", "dropped", "expired", "cache hits", "uplink lost")
+		"served", "dropped", "expired", "cache hits", "uplink lost",
+		"retries", "failed", "shed", "failure rate")
 	for _, c := range res.PerClass {
 		tbl.AddRow(c.Class,
 			report.FormatFloat(c.Weight, "%.0f"),
@@ -125,7 +146,11 @@ func main() {
 			strconv.FormatInt(c.Dropped, 10),
 			strconv.FormatInt(c.Expired, 10),
 			strconv.FormatInt(c.CacheHits, 10),
-			strconv.FormatInt(c.UplinkLost, 10))
+			strconv.FormatInt(c.UplinkLost, 10),
+			strconv.FormatInt(c.Retries, 10),
+			strconv.FormatInt(c.Failed, 10),
+			strconv.FormatInt(c.Shed, 10),
+			report.FormatFloat(c.FailureRate, "%.4f"))
 	}
 	fmt.Println(tbl.String())
 
@@ -133,6 +158,12 @@ func main() {
 	fmt.Printf("total prioritised cost: %.2f\n", res.TotalCost)
 	fmt.Printf("push broadcasts: %d, pull transmissions: %d, blocked: %d\n",
 		res.PushBroadcasts, res.PullTransmissions, res.BlockedTransmissions)
+	if cfg.Faults != nil {
+		fmt.Printf("corrupted: %d push, %d pull (goodput %d of %d transmissions)\n",
+			res.CorruptedPushes, res.CorruptedPulls,
+			res.PushBroadcasts+res.PullTransmissions-res.CorruptedPushes-res.CorruptedPulls,
+			res.PushBroadcasts+res.PullTransmissions)
+	}
 	fmt.Printf("mean distinct items queued: %.2f\n", res.MeanQueueItems)
 
 	if *predict {

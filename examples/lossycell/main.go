@@ -1,0 +1,60 @@
+// Lossycell: a wireless cell whose downlink fades in bursts — the
+// Gilbert–Elliott channel the paper's error-free assumption hides. Clients
+// re-request corrupted pull deliveries with exponential backoff, and the
+// server's class-aware admission controller sheds Class-C under the
+// resulting overload. The point of the exercise: even when the channel
+// itself fails, service classification keeps the premium class whole —
+// Class-A's delay and failure rate stay nearly flat across loss levels
+// while Class-C absorbs the damage.
+//
+// Run with:
+//
+//	go run ./examples/lossycell
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hybridqos"
+)
+
+func main() {
+	fmt.Println("A bursty cell: Gilbert–Elliott loss (mean burst 5 transmissions),")
+	fmt.Println("3 client retries with doubling backoff, shedding at 260/200 pending requests.")
+	fmt.Println()
+	fmt.Printf("%8s  %18s %18s %14s %14s %12s\n",
+		"loss", "A delay (fail%)", "C delay (fail%)", "corrupted", "retries", "C shed")
+
+	for _, loss := range []float64{0, 0.1, 0.2, 0.3} {
+		cfg := hybridqos.PaperConfig()
+		cfg.Horizon = 10000
+		cfg.Faults = &hybridqos.FaultsConfig{
+			LossProb:    loss,
+			MeanBurst:   5,
+			MaxRetries:  3,
+			RetryJitter: 0.5,
+			ShedHigh:    260,
+			ShedLow:     200,
+		}
+		res, err := hybridqos.Simulate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a, c := res.PerClass[0], res.PerClass[2]
+		var retries int64
+		for _, pc := range res.PerClass {
+			retries += pc.Retries
+		}
+		fmt.Printf("%8.0f%%  %10.1f (%4.1f%%) %10.1f (%4.1f%%) %14d %14d %12d\n",
+			loss*100,
+			a.MeanDelay, a.FailureRate*100,
+			c.MeanDelay, c.FailureRate*100,
+			res.CorruptedPushes+res.CorruptedPulls, retries, c.Shed)
+	}
+
+	fmt.Println()
+	fmt.Println("Class-A rides out the bursts: its requests are never shed and its")
+	fmt.Println("retries win the queue back, so its failure rate stays near zero while")
+	fmt.Println("Class-C — shed first at the high-water mark — pays for the channel.")
+}

@@ -34,6 +34,7 @@ import (
 	"hybridqos/internal/catalog"
 	"hybridqos/internal/clients"
 	"hybridqos/internal/core"
+	"hybridqos/internal/faults"
 	"hybridqos/internal/sched"
 	"hybridqos/internal/sim"
 	"hybridqos/internal/trace"
@@ -124,6 +125,81 @@ type Config struct {
 	// ClientCache, when non-nil, gives every client a broadcast-disk-style
 	// item cache; hits cost zero access time.
 	ClientCache *ClientCacheConfig
+	// Faults, when non-nil, enables the failure model: a lossy downlink
+	// (i.i.d. or bursty), client retry with exponential backoff, and
+	// class-aware overload shedding. Nil keeps the paper's error-free
+	// channel; a zero-valued FaultsConfig is equivalent to nil.
+	Faults *FaultsConfig
+}
+
+// FaultsConfig parameterises the failure model: downlink loss, client
+// retries and server-side admission shedding. Any of the three parts may be
+// enabled independently.
+type FaultsConfig struct {
+	// LossProb is the mean downlink corruption probability in [0,1); 0
+	// disables loss.
+	LossProb float64
+	// MeanBurst, when ≥ 1, makes corruption bursty: a Gilbert–Elliott chain
+	// whose loss bursts average MeanBurst consecutive transmissions, with
+	// stationary loss LossProb. 0 selects i.i.d. Bernoulli loss.
+	MeanBurst float64
+	// MaxRetries is the number of client re-requests allowed after corrupted
+	// pull deliveries; 0 disables retries (a corrupted delivery fails
+	// immediately).
+	MaxRetries int
+	// RetryBackoff is the backoff before the first re-request in broadcast
+	// units (default 1 when retries are enabled).
+	RetryBackoff float64
+	// BackoffMultiplier grows the backoff per attempt (default 2).
+	BackoffMultiplier float64
+	// MaxBackoff, when positive, caps the un-jittered backoff.
+	MaxBackoff float64
+	// RetryJitter in [0,1] spreads each backoff uniformly over
+	// [1−J/2, 1+J/2] times its nominal value.
+	RetryJitter float64
+	// ShedHigh, when positive, enables class-aware overload shedding: at
+	// ShedHigh pending pull requests (queued plus awaiting retry) the server
+	// refuses lowest-class requests, restoring admission at ShedLow
+	// (hysteresis; ShedLow < ShedHigh).
+	ShedHigh int
+	// ShedLow is the low-water mark (≥ 0).
+	ShedLow int
+	// MaxShedClasses bounds how many of the lowest classes can be shed at
+	// once; 0 means only the bottom class. Class-A is never shed.
+	MaxShedClasses int
+}
+
+// lossModel constructs a fresh loss model, nil when loss is disabled. Loss
+// models are stateful and must be built once per replication.
+func (f *FaultsConfig) lossModel() (faults.LossModel, error) {
+	if f.LossProb == 0 && f.MeanBurst == 0 {
+		return nil, nil
+	}
+	if f.MeanBurst > 0 {
+		return faults.NewBurstLoss(f.LossProb, f.MeanBurst)
+	}
+	return faults.NewBernoulli(f.LossProb)
+}
+
+// retryPolicy lowers the retry fields, applying defaults.
+func (f *FaultsConfig) retryPolicy() faults.RetryPolicy {
+	if f.MaxRetries <= 0 {
+		return faults.RetryPolicy{}
+	}
+	p := faults.RetryPolicy{
+		MaxAttempts: f.MaxRetries,
+		Base:        f.RetryBackoff,
+		Multiplier:  f.BackoffMultiplier,
+		Max:         f.MaxBackoff,
+		Jitter:      f.RetryJitter,
+	}
+	if p.Base == 0 {
+		p.Base = 1
+	}
+	if p.Multiplier == 0 {
+		p.Multiplier = 2
+	}
+	return p
 }
 
 // ClientCacheConfig parameterises client-side caching.
@@ -241,6 +317,25 @@ func (c Config) build() (core.Config, error) {
 		}
 	}
 	cfg.RequestTTL = c.RequestTTL
+	if c.Faults != nil {
+		// Validate the loss parameters eagerly; per-run instances are
+		// created in perRun (the Gilbert–Elliott chain is stateful and must
+		// not be shared across the parallel replications).
+		if _, err := c.Faults.lossModel(); err != nil {
+			return core.Config{}, err
+		}
+		if c.Faults.MaxRetries < 0 {
+			return core.Config{}, fmt.Errorf("faults: retry count %d negative", c.Faults.MaxRetries)
+		}
+		cfg.Retry = c.Faults.retryPolicy()
+		if c.Faults.ShedHigh > 0 {
+			cfg.Shed = &faults.ShedConfig{
+				High:           c.Faults.ShedHigh,
+				Low:            c.Faults.ShedLow,
+				MaxShedClasses: c.Faults.MaxShedClasses,
+			}
+		}
+	}
 	if c.ClientCache != nil {
 		policy, err := cachePolicyByName(c.ClientCache.Policy)
 		if err != nil {
@@ -330,6 +425,15 @@ type ClassResult struct {
 	CacheHits int64
 	// UplinkLost counts pull requests lost on the request back-channel.
 	UplinkLost int64
+	// Retries counts client re-requests after corrupted pull deliveries.
+	Retries int64
+	// Failed counts requests whose retry budget corruption exhausted.
+	Failed int64
+	// Shed counts requests refused by the overload admission controller.
+	Shed int64
+	// FailureRate is the mean per-replication fraction of completed requests
+	// that ended in failure (drop, expiry, retry exhaustion or shedding).
+	FailureRate float64
 }
 
 // Result reports one configuration's measured performance.
@@ -348,6 +452,9 @@ type Result struct {
 	// PushBroadcasts, PullTransmissions and BlockedTransmissions are pooled
 	// counts over all replications.
 	PushBroadcasts, PullTransmissions, BlockedTransmissions int64
+	// CorruptedPushes and CorruptedPulls count transmissions lost on the
+	// lossy downlink — the gap between raw throughput and goodput.
+	CorruptedPushes, CorruptedPulls int64
 	// MeanQueueItems is the time-averaged number of distinct queued pull
 	// items.
 	MeanQueueItems float64
@@ -374,18 +481,27 @@ func Simulate(c Config) (*Result, error) {
 }
 
 // perRun returns the per-replication hook instantiating fresh stateful
-// components (currently the uplink token bucket), or nil when none are
-// configured.
+// components (the uplink token bucket and the downlink loss model), or nil
+// when none are configured.
 func (c Config) perRun() func(int, *core.Config) error {
-	if c.Uplink == nil {
+	if c.Uplink == nil && c.Faults == nil {
 		return nil
 	}
 	return func(_ int, cfg *core.Config) error {
-		tb, err := uplink.NewTokenBucket(c.Uplink.Rate, c.Uplink.Burst)
-		if err != nil {
-			return err
+		if c.Uplink != nil {
+			tb, err := uplink.NewTokenBucket(c.Uplink.Rate, c.Uplink.Burst)
+			if err != nil {
+				return err
+			}
+			cfg.Uplink = tb
 		}
-		cfg.Uplink = tb
+		if c.Faults != nil {
+			lm, err := c.Faults.lossModel()
+			if err != nil {
+				return err
+			}
+			cfg.Loss = lm
+		}
 		return nil
 	}
 }
@@ -398,6 +514,8 @@ func resultFromSummary(s *sim.Summary, c Config) *Result {
 		PushBroadcasts:       s.PushBroadcasts,
 		PullTransmissions:    s.PullTransmissions,
 		BlockedTransmissions: s.Blocked,
+		CorruptedPushes:      s.CorruptedPushes,
+		CorruptedPulls:       s.CorruptedPulls,
 		MeanQueueItems:       s.QueueItems.Mean(),
 		Replications:         s.Replications,
 	}
@@ -405,18 +523,22 @@ func resultFromSummary(s *sim.Summary, c Config) *Result {
 	for _, cs := range s.PerClass {
 		mean, ci := cs.Delay.CI95()
 		res.PerClass = append(res.PerClass, ClassResult{
-			Class:      cs.Class.String(),
-			Weight:     cs.Weight,
-			MeanDelay:  mean,
-			DelayCI95:  ci,
-			P95Delay:   cs.DelayHist.Percentile(95),
-			Cost:       cs.Cost.Mean(),
-			DropRate:   cs.DropRate.Mean(),
-			Served:     cs.Served,
-			Dropped:    cs.Dropped,
-			Expired:    cs.Expired,
-			CacheHits:  cs.CacheHits,
-			UplinkLost: cs.UplinkLost,
+			Class:       cs.Class.String(),
+			Weight:      cs.Weight,
+			MeanDelay:   mean,
+			DelayCI95:   ci,
+			P95Delay:    cs.DelayHist.Percentile(95),
+			Cost:        cs.Cost.Mean(),
+			DropRate:    cs.DropRate.Mean(),
+			Served:      cs.Served,
+			Dropped:     cs.Dropped,
+			Expired:     cs.Expired,
+			CacheHits:   cs.CacheHits,
+			UplinkLost:  cs.UplinkLost,
+			Retries:     cs.Retries,
+			Failed:      cs.Failed,
+			Shed:        cs.Shed,
+			FailureRate: cs.FailureRate.Mean(),
 		})
 	}
 	return res

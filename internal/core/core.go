@@ -26,6 +26,7 @@ import (
 	"hybridqos/internal/catalog"
 	"hybridqos/internal/clients"
 	"hybridqos/internal/event"
+	"hybridqos/internal/faults"
 	"hybridqos/internal/pullqueue"
 	"hybridqos/internal/rng"
 	"hybridqos/internal/sched"
@@ -87,6 +88,24 @@ type Config struct {
 	// cache is served instantly (zero access time) and never reaches the
 	// channel; on reception the requesting client caches the item.
 	ClientCache *CacheConfig
+	// Loss, when non-nil, makes the downlink lossy: every completed
+	// transmission may be corrupted (no client decodes it). A corrupted push
+	// broadcast leaves its waiters waiting for the item's next cycle; a
+	// corrupted pull delivery sends the entry's requests through Retry. Loss
+	// models are stateful — like Uplink they must not be shared across
+	// parallel replications. Nil keeps the paper's error-free channel.
+	Loss faults.LossModel
+	// Retry governs client re-requests after corrupted pull deliveries:
+	// bounded attempts with exponential backoff and jitter, re-contending on
+	// the uplink and re-entering admission control. The zero value disables
+	// retries (a corrupted delivery immediately counts as Failed).
+	Retry faults.RetryPolicy
+	// Shed, when non-nil, enables the class-aware overload admission
+	// controller: when pending pull load (queued requests plus outstanding
+	// retries) reaches the high-water mark the server refuses
+	// lowest-priority-class requests, restoring admission at the low-water
+	// mark (hysteresis).
+	Shed *faults.ShedConfig
 	// Horizon is the simulated duration in broadcast units.
 	Horizon float64
 	// WarmupFraction of the horizon is discarded from delay statistics
@@ -106,13 +125,39 @@ type CacheConfig struct {
 	Policy cache.PolicyKind
 }
 
-// Validate reports whether the configuration is usable.
+// Validate reports whether the configuration is usable. Beyond structural
+// checks it audits every invariant whose violation would otherwise panic
+// deep inside internal/pullqueue or internal/catalog mid-run (zero-value
+// catalogs/classifications, non-positive item lengths or class weights,
+// hand-built importance-factor policies with α outside [0,1]), so a bad
+// configuration fails here rather than after Server.Run has started.
 func (c Config) Validate() error {
 	if c.Catalog == nil {
 		return fmt.Errorf("core: nil catalog")
 	}
+	if c.Catalog.D() == 0 {
+		return fmt.Errorf("core: empty catalog")
+	}
+	for rank := 1; rank <= c.Catalog.D(); rank++ {
+		if l := c.Catalog.Length(rank); l <= 0 || math.IsNaN(l) || math.IsInf(l, 0) {
+			return fmt.Errorf("core: invalid length %g for item %d", l, rank)
+		}
+	}
 	if c.Classes == nil {
 		return fmt.Errorf("core: nil classification")
+	}
+	if c.Classes.NumClasses() == 0 {
+		return fmt.Errorf("core: classification has no classes")
+	}
+	for i, w := range c.Classes.Weights() {
+		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("core: invalid weight %g for class %d", w, i)
+		}
+	}
+	if pol, ok := c.PullPolicy.(sched.ImportanceFactor); ok {
+		if pol.Alpha < 0 || pol.Alpha > 1 || math.IsNaN(pol.Alpha) {
+			return fmt.Errorf("core: pull policy alpha %g outside [0,1]", pol.Alpha)
+		}
 	}
 	if c.Lambda <= 0 || math.IsNaN(c.Lambda) || math.IsInf(c.Lambda, 0) {
 		return fmt.Errorf("core: invalid lambda %g", c.Lambda)
@@ -148,6 +193,14 @@ func (c Config) Validate() error {
 				len(c.Bandwidth.Fractions), c.Classes.NumClasses())
 		}
 	}
+	if err := c.Retry.Validate(); err != nil {
+		return err
+	}
+	if c.Shed != nil {
+		if err := c.Shed.Validate(c.Classes.NumClasses()); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -166,11 +219,21 @@ type ClassMetrics struct {
 	// Expired counts requests whose deadline passed before their item's
 	// transmission completed (RequestTTL mode).
 	Expired int64
-	// UplinkLost counts pull requests lost on the request back-channel.
+	// UplinkLost counts pull requests lost on the request back-channel
+	// (first attempts and retries whose uplink budget ran out).
 	UplinkLost int64
 	// CacheHits counts requests served from the requesting client's own
 	// cache (zero access time; included in Delay as 0).
 	CacheHits int64
+	// Retries counts client re-requests issued after corrupted pull
+	// deliveries (lossy-downlink mode).
+	Retries int64
+	// Failed counts requests abandoned after downlink corruption exhausted
+	// their retry budget.
+	Failed int64
+	// Shed counts requests refused by the class-aware overload admission
+	// controller.
+	Shed int64
 	// Delay accumulates access times (arrival → end of transmission).
 	Delay stats.Welford
 	// DelayHist holds the raw access-time samples for percentiles.
@@ -205,14 +268,37 @@ func (cm *ClassMetrics) ExpiryRate() float64 {
 	return float64(cm.Expired) / float64(total)
 }
 
+// Failures sums the class's terminal failure outcomes: bandwidth drops,
+// deadline expiries, retry-budget exhaustion and admission shedding.
+// First-attempt uplink losses are excluded — the back-channel is class-blind
+// and its losses never reach the server's scheduling decisions.
+func (cm *ClassMetrics) Failures() int64 {
+	return cm.Dropped + cm.Expired + cm.Failed + cm.Shed
+}
+
+// FailureRate returns Failures/(Served+Failures) — the per-class probability
+// a request that reached the server ended without delivery. 0 when nothing
+// completed.
+func (cm *ClassMetrics) FailureRate() float64 {
+	total := cm.Served + cm.Failures()
+	if total == 0 {
+		return 0
+	}
+	return float64(cm.Failures()) / float64(total)
+}
+
 // Metrics is the result of one run.
 type Metrics struct {
 	// PerClass holds one entry per service class, class 0 first.
 	PerClass []*ClassMetrics
-	// PushBroadcasts and PullTransmissions count completed transmissions.
+	// PushBroadcasts and PullTransmissions count completed transmissions,
+	// including corrupted ones (raw channel throughput).
 	PushBroadcasts, PullTransmissions int64
 	// BlockedTransmissions counts pull entries dropped for bandwidth.
 	BlockedTransmissions int64
+	// CorruptedPushes and CorruptedPulls count transmissions lost on the
+	// lossy downlink — the gap between raw throughput and goodput.
+	CorruptedPushes, CorruptedPulls int64
 	// QueueItems tracks the time-averaged number of distinct queued items.
 	QueueItems stats.TimeWeighted
 	// QueueRequests tracks the time-averaged pending request count.
@@ -263,6 +349,36 @@ func (m *Metrics) TotalDropped() int64 {
 	return n
 }
 
+// RawTransmissions returns every completed transmission, corrupted or not —
+// the channel's raw throughput in transmissions.
+func (m *Metrics) RawTransmissions() int64 {
+	return m.PushBroadcasts + m.PullTransmissions
+}
+
+// Goodput returns the transmissions clients could actually decode: raw
+// throughput minus downlink corruption.
+func (m *Metrics) Goodput() int64 {
+	return m.RawTransmissions() - m.CorruptedPushes - m.CorruptedPulls
+}
+
+// TotalShed sums admission-shed requests across classes.
+func (m *Metrics) TotalShed() int64 {
+	var n int64
+	for _, cm := range m.PerClass {
+		n += cm.Shed
+	}
+	return n
+}
+
+// TotalFailed sums retry-exhausted requests across classes.
+func (m *Metrics) TotalFailed() int64 {
+	var n int64
+	for _, cm := range m.PerClass {
+		n += cm.Failed
+	}
+	return n
+}
+
 // pushWaiter is a client waiting for a push item's next broadcast.
 type pushWaiter struct {
 	class   clients.Class
@@ -291,6 +407,12 @@ type Server struct {
 	txCounts    []int64 // per-rank transmission counts (PIX frequency)
 	txTotal     int64
 	pushWaiters map[int][]pushWaiter
+
+	loss           faults.LossModel
+	lossRng        *rng.Source
+	retryRng       *rng.Source
+	shedder        *faults.Shedder
+	pendingRetries int // re-requests booked but not yet delivered
 
 	warmupEnd float64
 	metrics   *Metrics
@@ -374,6 +496,19 @@ func New(cfg Config) (*Server, error) {
 		s.caches = pop
 		s.clientRng = root.Split("clients")
 		s.txCounts = make([]int64, cfg.Catalog.D()+1)
+	}
+	// Fault-layer streams are split last so enabling the layer never
+	// perturbs the streams above — a run with Loss nil (or a 0-probability
+	// model) is bit-identical to one without the fault layer at all.
+	s.loss = cfg.Loss
+	s.lossRng = root.Split("faults-loss")
+	s.retryRng = root.Split("faults-retry")
+	if cfg.Shed != nil {
+		sh, err := faults.NewShedder(*cfg.Shed, cfg.Classes.NumClasses())
+		if err != nil {
+			return nil, err
+		}
+		s.shedder = sh
 	}
 
 	s.metrics = &Metrics{Horizon: cfg.Horizon, Cutoff: cfg.Cutoff}
@@ -468,18 +603,95 @@ func (s *Server) handleArrival() {
 		}
 		return
 	}
-	s.selector.Add(pullqueue.Request{
+	req := pullqueue.Request{
 		Item:     rank,
 		Class:    class,
 		Priority: s.cfg.Classes.Weight(class),
 		Arrival:  now,
 		Client:   clientID,
-	}, s.cfg.Catalog.Length(rank))
+	}
+	if s.shedPull(req, now) {
+		return
+	}
+	s.enqueuePull(req)
+}
+
+// enqueuePull adds an admitted pull request to the selector and kicks the
+// channel if it was idle (only reachable when Cutoff == 0).
+func (s *Server) enqueuePull(req pullqueue.Request) {
+	s.selector.Add(req, s.cfg.Catalog.Length(req.Item))
 	s.observeQueue()
 	if s.idle {
 		s.idle = false
 		s.attemptPull()
 	}
+}
+
+// shedPull consults the overload admission controller and reports whether
+// the request was refused. The controller samples pending load (queued pull
+// requests plus outstanding retries) at every admission decision, so the
+// shed level moves at most one class per arriving request.
+func (s *Server) shedPull(req pullqueue.Request, now float64) bool {
+	if s.shedder == nil {
+		return false
+	}
+	load := s.selector.Requests() + s.pendingRetries
+	if s.shedder.Admit(load, int(req.Class)) {
+		return false
+	}
+	if req.Arrival >= s.warmupEnd {
+		s.metrics.PerClass[req.Class].Shed++
+	}
+	s.tracer.Event(trace.Event{T: now, Kind: trace.KindShed, Item: req.Item, Class: req.Class})
+	return true
+}
+
+// retryAfterLoss books the next re-request for a request whose pull delivery
+// (or uplink re-request) just failed at now. It returns false when the retry
+// budget is exhausted — the caller records the terminal outcome. A retry
+// that would fire after the request's TTL deadline is recorded as Expired
+// here (the client gives up listening at its deadline).
+func (s *Server) retryAfterLoss(r pullqueue.Request, now float64) bool {
+	if !s.cfg.Retry.Enabled() || r.Attempts >= s.cfg.Retry.MaxAttempts {
+		return false
+	}
+	retryAt := now + s.cfg.Retry.Backoff(r.Attempts, s.retryRng)
+	if s.cfg.RequestTTL > 0 && retryAt > r.Arrival+s.cfg.RequestTTL {
+		if r.Arrival >= s.warmupEnd {
+			s.metrics.PerClass[r.Class].Expired++
+		}
+		return true
+	}
+	r.Attempts++
+	if r.Arrival >= s.warmupEnd {
+		s.metrics.PerClass[r.Class].Retries++
+	}
+	s.tracer.Event(trace.Event{
+		T: now, Kind: trace.KindRetry, Item: r.Item, Class: r.Class, Attempt: r.Attempts,
+	})
+	s.pendingRetries++
+	s.sim.At(retryAt, func(*event.Simulator) {
+		s.pendingRetries--
+		s.handleRetry(r)
+	})
+	return true
+}
+
+// handleRetry delivers a client's re-request to the server. Like any fresh
+// request it must win the uplink and pass admission control; an uplink loss
+// spends the attempt and backs off again until the budget runs out.
+func (s *Server) handleRetry(r pullqueue.Request) {
+	now := s.sim.Now()
+	if !s.up.TryRequest(now, s.uplinkRng) {
+		if !s.retryAfterLoss(r, now) && r.Arrival >= s.warmupEnd {
+			s.metrics.PerClass[r.Class].UplinkLost++
+		}
+		return
+	}
+	if s.shedPull(r, now) {
+		return
+	}
+	s.enqueuePull(r)
 }
 
 // startPush begins the next flat broadcast transmission.
@@ -497,6 +709,17 @@ func (s *Server) startPush() {
 func (s *Server) completePush(item int) {
 	now := s.sim.Now()
 	s.metrics.PushBroadcasts++
+	if s.loss != nil && s.loss.Corrupted(now, s.lossRng) {
+		// Nobody decoded the broadcast: waiters stay registered and catch
+		// the item's next push cycle; no cache fills, no PIX update.
+		s.metrics.CorruptedPushes++
+		s.tracer.Event(trace.Event{
+			T: now, Kind: trace.KindCorrupt, Item: item, Class: -1,
+			Push: true, Requests: len(s.pushWaiters[item]),
+		})
+		s.attemptPull()
+		return
+	}
 	s.noteTransmission(item)
 	s.tracer.Event(trace.Event{
 		T: now, Kind: trace.KindPushComplete, Item: item, Class: -1,
@@ -571,6 +794,29 @@ func (s *Server) attemptPull() {
 func (s *Server) completePull(entry *pullqueue.Entry, grant *bandwidth.Grant) {
 	now := s.sim.Now()
 	s.metrics.PullTransmissions++
+	if s.loss != nil && s.loss.Corrupted(now, s.lossRng) {
+		// The delivery was corrupted: each pending request either books a
+		// client re-request (bounded backoff) or fails terminally.
+		s.metrics.CorruptedPulls++
+		s.tracer.Event(trace.Event{
+			T: now, Kind: trace.KindCorrupt, Item: entry.Item,
+			Class: entry.HighestClass(), Requests: len(entry.Requests),
+		})
+		for _, r := range entry.Requests {
+			if !s.retryAfterLoss(r, now) && r.Arrival >= s.warmupEnd {
+				s.metrics.PerClass[r.Class].Failed++
+			}
+		}
+		if grant != nil {
+			s.alloc.Release(grant)
+		}
+		if s.cfg.Cutoff > 0 {
+			s.startPush()
+		} else {
+			s.attemptPull()
+		}
+		return
+	}
 	s.noteTransmission(entry.Item)
 	s.tracer.Event(trace.Event{
 		T: now, Kind: trace.KindPullComplete, Item: entry.Item,

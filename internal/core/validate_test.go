@@ -1,0 +1,56 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"hybridqos/internal/catalog"
+	"hybridqos/internal/clients"
+	"hybridqos/internal/faults"
+	"hybridqos/internal/sched"
+)
+
+// TestValidateCatchesPanicPaths audits Config.Validate against every
+// configuration that would otherwise panic deep inside internal/pullqueue or
+// internal/catalog once the run is underway (zero-value catalogs and
+// classifications are legal composite literals; a hand-built importance
+// factor bypasses the checked constructor). Each case must fail validation
+// up front, and New must reject it without panicking.
+func TestValidateCatchesPanicPaths(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero-value catalog", func(c *Config) { c.Catalog = &catalog.Catalog{} }},
+		{"zero-value classification", func(c *Config) { c.Classes = &clients.Classification{} }},
+		{"pull policy alpha above 1", func(c *Config) { c.PullPolicy = sched.ImportanceFactor{Alpha: 7} }},
+		{"pull policy alpha negative", func(c *Config) { c.PullPolicy = sched.ImportanceFactor{Alpha: -0.5} }},
+		{"pull policy alpha NaN", func(c *Config) { c.PullPolicy = sched.ImportanceFactor{Alpha: math.NaN()} }},
+		{"negative retry attempts", func(c *Config) { c.Retry = faults.RetryPolicy{MaxAttempts: -1} }},
+		{"retry enabled without base", func(c *Config) { c.Retry = faults.RetryPolicy{MaxAttempts: 2} }},
+		{"retry multiplier below 1", func(c *Config) {
+			c.Retry = faults.RetryPolicy{MaxAttempts: 2, Base: 1, Multiplier: 0.5}
+		}},
+		{"shed watermarks inverted", func(c *Config) { c.Shed = &faults.ShedConfig{High: 5, Low: 10} }},
+		{"shed would starve class 0", func(c *Config) {
+			c.Shed = &faults.ShedConfig{High: 10, Low: 5, MaxShedClasses: 3}
+		}},
+	}
+	for _, tc := range cases {
+		cfg := baseConfig(t)
+		tc.mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted", tc.name)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("%s: New panicked: %v", tc.name, r)
+				}
+			}()
+			if _, err := New(cfg); err == nil {
+				t.Errorf("%s: New accepted", tc.name)
+			}
+		}()
+	}
+}

@@ -302,8 +302,8 @@ func TestAllRunsEveryGenerator(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(figs) != 10 {
-		t.Fatalf("All returned %d figures, want 10", len(figs))
+	if len(figs) != 11 {
+		t.Fatalf("All returned %d figures, want 11", len(figs))
 	}
 	seen := map[string]bool{}
 	for _, f := range figs {
@@ -312,7 +312,7 @@ func TestAllRunsEveryGenerator(t *testing.T) {
 		}
 		seen[f.ID] = true
 	}
-	for _, id := range []string{"FIG3", "FIG4", "FIG5", "FIG6", "FIG7", "EXT-BLOCK", "EXT-MULTI", "EXT-CHAN", "EXT-INDEX", "EXT-LOAD"} {
+	for _, id := range []string{"FIG3", "FIG4", "FIG5", "FIG6", "FIG7", "EXT-BLOCK", "EXT-MULTI", "EXT-CHAN", "EXT-INDEX", "EXT-LOAD", "EXT-FAULTS"} {
 		if !seen[id] {
 			t.Fatalf("missing figure %s", id)
 		}
@@ -326,6 +326,7 @@ func TestGeneratorsRejectInvalidParams(t *testing.T) {
 		"Fig3": Fig3, "Fig4": Fig4, "Fig5": Fig5, "Fig6": Fig6, "Fig7": Fig7,
 		"ExtBlocking": ExtBlocking, "ExtMultiClass": ExtMultiClass,
 		"ExtChannels": ExtChannels, "ExtIndexing": ExtIndexing, "ExtLoad": ExtLoad,
+		"ExtFaults": ExtFaults,
 	} {
 		if _, err := gen(bad); err == nil {
 			t.Errorf("%s accepted invalid params", name)
@@ -369,5 +370,22 @@ func TestFigureSVG(t *testing.T) {
 	}
 	if !strings.Contains(svg, "<svg") || !strings.Contains(svg, "EXT-INDEX") {
 		t.Fatal("SVG rendering incomplete")
+	}
+}
+
+func TestExtFaults(t *testing.T) {
+	p := fastParams()
+	p.Horizon = 8000
+	f, err := ExtFaults(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ID != "EXT-FAULTS" || len(f.Series) != 9 {
+		t.Fatalf("id %s, %d series", f.ID, len(f.Series))
+	}
+	for _, c := range f.Claims {
+		if !c.Pass {
+			t.Fatalf("claim failed: %s — %s", c.Name, c.Detail)
+		}
 	}
 }

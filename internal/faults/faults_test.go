@@ -1,0 +1,278 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"hybridqos/internal/rng"
+)
+
+func TestNewBernoulliValidation(t *testing.T) {
+	for _, p := range []float64{-0.1, 1.1, math.NaN()} {
+		if _, err := NewBernoulli(p); err == nil {
+			t.Errorf("NewBernoulli(%g) accepted", p)
+		}
+	}
+	for _, p := range []float64{0, 0.5, 1} {
+		if _, err := NewBernoulli(p); err != nil {
+			t.Errorf("NewBernoulli(%g) rejected", p)
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	b, err := NewBernoulli(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	n, lost := 200000, 0
+	for i := 0; i < n; i++ {
+		if b.Corrupted(0, r) {
+			lost++
+		}
+	}
+	got := float64(lost) / float64(n)
+	if math.Abs(got-0.3) > 0.01 {
+		t.Fatalf("empirical loss %g, want ≈0.3", got)
+	}
+	if b.MeanLoss() != 0.3 {
+		t.Fatalf("MeanLoss %g", b.MeanLoss())
+	}
+}
+
+func TestBernoulliExtremes(t *testing.T) {
+	never, _ := NewBernoulli(0)
+	always, _ := NewBernoulli(1)
+	r := rng.New(2)
+	for i := 0; i < 1000; i++ {
+		if never.Corrupted(0, r) {
+			t.Fatal("p=0 corrupted")
+		}
+		if !always.Corrupted(0, r) {
+			t.Fatal("p=1 delivered")
+		}
+	}
+}
+
+func TestNewGilbertElliottValidation(t *testing.T) {
+	bad := [][4]float64{
+		{-0.1, 0.5, 0, 1},
+		{1.1, 0.5, 0, 1},
+		{0.1, math.NaN(), 0, 1},
+		{0.1, 0.5, -1, 1},
+		{0.1, 0.5, 0, 2},
+		{0.1, 0, 0, 1}, // absorbing bad state
+	}
+	for i, c := range bad {
+		if _, err := NewGilbertElliott(c[0], c[1], c[2], c[3]); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := NewGilbertElliott(0, 0, 0.05, 1); err != nil {
+		t.Errorf("static chain rejected: %v", err)
+	}
+}
+
+func TestNewBurstLossParameterisation(t *testing.T) {
+	g, err := NewBurstLoss(0.2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g.MeanLoss()-0.2) > 1e-12 {
+		t.Fatalf("stationary loss %g, want 0.2", g.MeanLoss())
+	}
+	for _, c := range [][2]float64{{1, 4}, {-0.1, 4}, {0.5, 0.5}, {math.NaN(), 2}} {
+		if _, err := NewBurstLoss(c[0], c[1]); err == nil {
+			t.Errorf("NewBurstLoss(%g,%g) accepted", c[0], c[1])
+		}
+	}
+}
+
+func TestGilbertElliottStationaryLossAndBurstiness(t *testing.T) {
+	g, err := NewBurstLoss(0.25, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	n := 400000
+	lost := 0
+	// Count loss-run lengths to confirm burstiness: mean run length should
+	// be near the configured burst length, far above the i.i.d. value
+	// 1/(1-p) ≈ 1.33.
+	runs, runLen, cur := 0, 0, 0
+	for i := 0; i < n; i++ {
+		if g.Corrupted(0, r) {
+			lost++
+			cur++
+		} else if cur > 0 {
+			runs++
+			runLen += cur
+			cur = 0
+		}
+	}
+	gotLoss := float64(lost) / float64(n)
+	if math.Abs(gotLoss-0.25) > 0.02 {
+		t.Fatalf("empirical loss %g, want ≈0.25", gotLoss)
+	}
+	meanRun := float64(runLen) / float64(runs)
+	if meanRun < 4 {
+		t.Fatalf("mean loss-burst length %g, want ≫ 1.33 (bursty)", meanRun)
+	}
+}
+
+func TestGilbertElliottDeterminism(t *testing.T) {
+	mk := func() []bool {
+		g, _ := NewBurstLoss(0.3, 5)
+		r := rng.New(7)
+		out := make([]bool, 1000)
+		for i := range out {
+			out[i] = g.Corrupted(float64(i), r)
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trajectories diverge at step %d", i)
+		}
+	}
+}
+
+func TestRetryPolicyValidate(t *testing.T) {
+	if err := (RetryPolicy{}).Validate(); err != nil {
+		t.Fatalf("zero value (disabled) rejected: %v", err)
+	}
+	good := RetryPolicy{MaxAttempts: 3, Base: 1, Multiplier: 2, Max: 10, Jitter: 0.5}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good policy rejected: %v", err)
+	}
+	bad := []RetryPolicy{
+		{MaxAttempts: -1},
+		{MaxAttempts: 1, Base: 0, Multiplier: 2},
+		{MaxAttempts: 1, Base: math.NaN(), Multiplier: 2},
+		{MaxAttempts: 1, Base: 1, Multiplier: 0.5},
+		{MaxAttempts: 1, Base: 1, Multiplier: 2, Max: -1},
+		{MaxAttempts: 1, Base: 1, Multiplier: 2, Jitter: 1.5},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestRetryPolicyBackoffGrowthAndCap(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 10, Base: 1, Multiplier: 2, Max: 6}
+	r := rng.New(9)
+	want := []float64{1, 2, 4, 6, 6}
+	for i, w := range want {
+		if got := p.Backoff(i, r); got != w {
+			t.Fatalf("Backoff(%d) = %g, want %g", i, got, w)
+		}
+	}
+}
+
+func TestRetryPolicyJitterBounds(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 3, Base: 4, Multiplier: 1, Jitter: 0.5}
+	r := rng.New(11)
+	lo, hi := 4*(1-0.25), 4*(1+0.25)
+	varied := false
+	prev := -1.0
+	for i := 0; i < 1000; i++ {
+		d := p.Backoff(0, r)
+		if d < lo || d > hi {
+			t.Fatalf("jittered backoff %g outside [%g,%g]", d, lo, hi)
+		}
+		if prev >= 0 && d != prev {
+			varied = true
+		}
+		prev = d
+	}
+	if !varied {
+		t.Fatal("jitter produced a constant backoff")
+	}
+}
+
+func TestShedConfigValidate(t *testing.T) {
+	if err := (ShedConfig{High: 20, Low: 10}).Validate(3); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	bad := []ShedConfig{
+		{High: 0, Low: 0},
+		{High: 10, Low: 10},
+		{High: 10, Low: -1},
+		{High: 10, Low: 5, MaxShedClasses: 3}, // would shed class 0
+		{High: 10, Low: 5, MaxShedClasses: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(3); err == nil {
+			t.Errorf("case %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestShedderHysteresis(t *testing.T) {
+	s, err := NewShedder(ShedConfig{High: 10, Low: 4}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Below high water: everyone admitted, level stays 0.
+	if !s.Admit(9, 2) || s.Level() != 0 {
+		t.Fatalf("admitted below high water? level %d", s.Level())
+	}
+	// Crossing high water sheds the lowest class only.
+	if s.Admit(10, 2) {
+		t.Fatal("Class-C admitted at high water")
+	}
+	if s.Level() != 1 {
+		t.Fatalf("level %d after high-water crossing", s.Level())
+	}
+	if !s.Admit(9, 1) || !s.Admit(9, 0) {
+		t.Fatal("higher classes shed at level 1")
+	}
+	// Hysteresis: load between the watermarks keeps shedding.
+	if s.Admit(7, 2) {
+		t.Fatal("Class-C admitted inside the hysteresis band")
+	}
+	// Dropping to the low-water mark restores admission.
+	if !s.Admit(4, 2) {
+		t.Fatal("Class-C still shed at low water")
+	}
+	if s.Level() != 0 {
+		t.Fatalf("level %d after low-water crossing", s.Level())
+	}
+}
+
+func TestShedderMaxLevelDefaultsToBottomClass(t *testing.T) {
+	s, _ := NewShedder(ShedConfig{High: 5, Low: 1}, 3)
+	for i := 0; i < 10; i++ {
+		s.Admit(100, 2) // sustained overload
+	}
+	if s.Level() != 1 {
+		t.Fatalf("default shed level climbed to %d, want 1 (bottom class only)", s.Level())
+	}
+	if !s.Admit(100, 1) {
+		t.Fatal("Class-B shed under default MaxShedClasses")
+	}
+}
+
+func TestShedderProgressiveLevels(t *testing.T) {
+	s, _ := NewShedder(ShedConfig{High: 5, Low: 1, MaxShedClasses: 2}, 3)
+	s.Admit(5, 2)
+	s.Admit(5, 2)
+	if s.Level() != 2 {
+		t.Fatalf("level %d under sustained overload, want 2", s.Level())
+	}
+	if s.Admit(3, 1) {
+		t.Fatal("Class-B admitted at level 2")
+	}
+	if !s.Admit(3, 0) {
+		t.Fatal("Class-A shed — the top class must never be shed")
+	}
+	s.Admit(1, 0)
+	s.Admit(1, 0)
+	if s.Level() != 0 {
+		t.Fatalf("level %d after draining, want 0", s.Level())
+	}
+}

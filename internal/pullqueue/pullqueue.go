@@ -34,6 +34,9 @@ type Request struct {
 	// Client identifies the requesting client for client-side cache fills;
 	// −1 when client identity is not tracked.
 	Client int
+	// Attempts counts the re-requests already made for this request after
+	// corrupted deliveries on a lossy downlink (0 for a first attempt).
+	Attempts int
 }
 
 // Entry aggregates the pending requests for one item.

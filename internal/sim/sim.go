@@ -34,6 +34,13 @@ type ClassSummary struct {
 	// Served, Dropped, Expired, UplinkLost and CacheHits are pooled counts
 	// over all replications.
 	Served, Dropped, Expired, UplinkLost, CacheHits int64
+	// Retries, Failed and Shed pool the fault-layer counts: client
+	// re-requests after corrupted deliveries, retry-budget exhaustions and
+	// admission-control refusals.
+	Retries, Failed, Shed int64
+	// FailureRate collects per-replication failure rates (drops, expiries,
+	// retry exhaustion and shedding over completed requests).
+	FailureRate stats.Welford
 }
 
 // Summary is the replication-aggregated result of one configuration.
@@ -50,6 +57,8 @@ type Summary struct {
 	QueueItems stats.Welford
 	// PullTransmissions, PushBroadcasts, Blocked pool counts.
 	PullTransmissions, PushBroadcasts, Blocked int64
+	// CorruptedPushes, CorruptedPulls pool downlink corruption counts.
+	CorruptedPushes, CorruptedPulls int64
 }
 
 // MeanDelay returns class c's mean delay across replications.
@@ -63,8 +72,8 @@ func (s *Summary) MeanCost(c clients.Class) float64 { return s.PerClass[c].Cost.
 // returned summary is deterministic: the same cfg and reps always produce
 // identical numbers regardless of scheduling order.
 //
-// Stateful per-run components (uplink channels, MMPP arrival processes,
-// tracers) must NOT be shared across replications; use RunReplicationsWith
+// Stateful per-run components (uplink channels, loss models, MMPP arrival
+// processes, tracers) must NOT be shared across replications; use RunReplicationsWith
 // and construct fresh instances in the perRun hook.
 func RunReplications(cfg core.Config, reps int) (*Summary, error) {
 	return RunReplicationsWith(cfg, reps, nil)
@@ -131,6 +140,10 @@ func RunReplicationsWith(cfg core.Config, reps int, perRun func(rep int, c *core
 			cs.Expired += cm.Expired
 			cs.UplinkLost += cm.UplinkLost
 			cs.CacheHits += cm.CacheHits
+			cs.Retries += cm.Retries
+			cs.Failed += cm.Failed
+			cs.Shed += cm.Shed
+			cs.FailureRate.Add(cm.FailureRate())
 		}
 		if v := m.OverallMeanDelay(); !math.IsNaN(v) {
 			s.OverallDelay.Add(v)
@@ -142,6 +155,8 @@ func RunReplicationsWith(cfg core.Config, reps int, perRun func(rep int, c *core
 		s.PullTransmissions += m.PullTransmissions
 		s.PushBroadcasts += m.PushBroadcasts
 		s.Blocked += m.BlockedTransmissions
+		s.CorruptedPushes += m.CorruptedPushes
+		s.CorruptedPulls += m.CorruptedPulls
 	}
 	return s, nil
 }

@@ -143,12 +143,13 @@ type TimeWeighted struct {
 }
 
 // Observe records that the signal took value v at time t and holds it until
-// the next call. Calls must have non-decreasing t; an earlier t panics since
-// it indicates a broken simulation clock.
+// the next call. A t earlier than the previous observation (a non-monotonic
+// caller clock) or NaN is clamped to the previous time: the value update is
+// kept and the bogus interval contributes zero area.
 func (tw *TimeWeighted) Observe(t, v float64) {
 	if tw.started {
-		if t < tw.lastT {
-			panic(fmt.Sprintf("stats: TimeWeighted.Observe time went backwards: %g < %g", t, tw.lastT))
+		if t < tw.lastT || math.IsNaN(t) {
+			t = tw.lastT
 		}
 		dt := t - tw.lastT
 		tw.area += tw.lastV * dt

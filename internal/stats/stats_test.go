@@ -158,15 +158,17 @@ func TestTimeWeightedMeanAt(t *testing.T) {
 	}
 }
 
-func TestTimeWeightedBackwardsTimePanics(t *testing.T) {
+func TestTimeWeightedBackwardsTimeClamped(t *testing.T) {
 	var tw TimeWeighted
-	tw.Observe(5, 1)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("backwards time did not panic")
-		}
-	}()
-	tw.Observe(4, 1)
+	tw.Observe(0, 2)
+	tw.Observe(10, 4)
+	// Backwards and NaN times are clamped to t=10: zero area is added, the
+	// new value takes effect, and the clock stays at 10.
+	tw.Observe(9, 6)
+	tw.Observe(math.NaN(), 8)
+	if got := tw.MeanAt(20); math.Abs(got-(2*10+8*10)/20.0) > 1e-12 {
+		t.Fatalf("mean after clamped observations = %g, want 5", got)
+	}
 }
 
 func TestTimeWeightedZeroDurationSteps(t *testing.T) {

@@ -26,6 +26,9 @@ const (
 	KindPullComplete Kind = "pull-complete" // pull finished; pending requests satisfied
 	KindBlocked      Kind = "blocked"       // pull entry dropped for bandwidth
 	KindServed       Kind = "served"        // one request satisfied
+	KindCorrupt      Kind = "corrupt"       // transmission corrupted on the lossy downlink
+	KindRetry        Kind = "retry"         // client scheduled a re-request after corruption
+	KindShed         Kind = "shed"          // request refused by the overload admission controller
 )
 
 // Event is one trace record. Fields are pointer-free and compact so a run
@@ -43,8 +46,11 @@ type Event struct {
 	Arrival float64 `json:"arrival,omitempty"`
 	// Requests is the pending-request count involved (transmissions/blocks).
 	Requests int `json:"requests,omitempty"`
-	// Push distinguishes push-served from pull-served (KindServed).
+	// Push distinguishes push-served from pull-served (KindServed) and
+	// push-corrupted from pull-corrupted (KindCorrupt).
 	Push bool `json:"push,omitempty"`
+	// Attempt is the 1-based re-request number (KindRetry only).
+	Attempt int `json:"attempt,omitempty"`
 }
 
 // Tracer consumes events. Implementations must tolerate high event rates;

@@ -66,10 +66,12 @@ func (tb *TokenBucket) Name() string {
 	return fmt.Sprintf("token-bucket(rate=%g, burst=%g)", tb.rate, tb.burst)
 }
 
-// TryRequest implements Channel. Calls must have non-decreasing now.
+// TryRequest implements Channel. A now earlier than the previous call (a
+// non-monotonic caller clock) or NaN is clamped to the previous time: no
+// tokens accrue for the bogus interval, but the bucket stays usable.
 func (tb *TokenBucket) TryRequest(now float64, _ *rng.Source) bool {
-	if now < tb.last {
-		panic(fmt.Sprintf("uplink: time went backwards: %g < %g", now, tb.last))
+	if now < tb.last || math.IsNaN(now) {
+		now = tb.last
 	}
 	tb.tokens = math.Min(tb.burst, tb.tokens+(now-tb.last)*tb.rate)
 	tb.last = now
@@ -119,10 +121,12 @@ func (sa *SlottedAloha) Name() string {
 	return fmt.Sprintf("slotted-aloha(slot=%g)", sa.slotTime)
 }
 
-// TryRequest implements Channel. Calls must have non-decreasing now.
+// TryRequest implements Channel. A now earlier than the previous call (a
+// non-monotonic caller clock) or NaN is clamped to the previous time, so the
+// load estimate sees a zero-length gap instead of a negative one.
 func (sa *SlottedAloha) TryRequest(now float64, r *rng.Source) bool {
-	if now < sa.last {
-		panic(fmt.Sprintf("uplink: time went backwards: %g < %g", now, sa.last))
+	if now < sa.last || math.IsNaN(now) {
+		now = sa.last
 	}
 	// Update the EWMA rate estimate: an arrival contributes 1/τ, the
 	// existing estimate decays by e^{−Δt/τ}.

@@ -93,16 +93,25 @@ func TestTokenBucketCapsAtBurst(t *testing.T) {
 	}
 }
 
-func TestTokenBucketBackwardsTimePanics(t *testing.T) {
+func TestTokenBucketBackwardsTimeClamped(t *testing.T) {
 	tb, _ := NewTokenBucket(1, 2)
 	r := rng.New(4)
-	tb.TryRequest(5, r)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("backwards time did not panic")
-		}
-	}()
-	tb.TryRequest(4, r)
+	tb.TryRequest(5, r) // spends 1 of 2 burst tokens
+	// A backwards clock is clamped to t=5: the second token is still there,
+	// and no tokens may accrue for the negative interval.
+	if !tb.TryRequest(4, r) {
+		t.Fatal("clamped request should spend the remaining burst token")
+	}
+	if tb.TryRequest(4, r) {
+		t.Fatal("backwards time must not accrue tokens")
+	}
+	if tb.TryRequest(math.NaN(), r) {
+		t.Fatal("NaN time must not accrue tokens")
+	}
+	// The clock resumes from the clamped time, not the bogus one.
+	if !tb.TryRequest(6, r) {
+		t.Fatal("token not refilled after clock recovered")
+	}
 }
 
 func TestNewSlottedAlohaValidation(t *testing.T) {
@@ -143,16 +152,23 @@ func TestSlottedAlohaLossGrowsWithLoad(t *testing.T) {
 	}
 }
 
-func TestSlottedAlohaBackwardsTimePanics(t *testing.T) {
+func TestSlottedAlohaBackwardsTimeClamped(t *testing.T) {
 	sa, _ := NewSlottedAloha(0.1, 10)
 	r := rng.New(6)
 	sa.TryRequest(5, r)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("backwards time did not panic")
-		}
-	}()
+	before := sa.Attempts
+	// A backwards clock must not panic or corrupt the load estimate.
 	sa.TryRequest(4, r)
+	sa.TryRequest(math.NaN(), r)
+	if sa.Attempts != before+2 {
+		t.Fatalf("clamped attempts not counted: %d", sa.Attempts)
+	}
+	if math.IsNaN(sa.rate) || sa.rate < 0 {
+		t.Fatalf("load estimate corrupted: %g", sa.rate)
+	}
+	if sa.last != 5 {
+		t.Fatalf("clock resumed from %g, want clamp at 5", sa.last)
+	}
 }
 
 func TestLossRateEmpty(t *testing.T) {
