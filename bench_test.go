@@ -21,7 +21,6 @@ import (
 	"hybridqos/internal/experiments"
 	"hybridqos/internal/pullqueue"
 	"hybridqos/internal/rng"
-	"hybridqos/internal/sched"
 	"hybridqos/internal/workload"
 )
 
@@ -144,12 +143,15 @@ func BenchmarkPullQueueHeap(b *testing.B) {
 	reqs := benchWorkload(2048)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		q := pullqueue.NewHeap(0.5)
+		q, err := pullqueue.NewHeap(0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
 		for _, rq := range reqs {
 			q.Add(rq, 2)
 		}
 		for q.Items() > 0 {
-			q.ExtractMax()
+			q.ExtractMax(0)
 		}
 	}
 }
@@ -159,12 +161,15 @@ func BenchmarkPullQueueLinear(b *testing.B) {
 	reqs := benchWorkload(2048)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		q := pullqueue.NewLinear(0.5)
+		q, err := pullqueue.NewLinear(0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
 		for _, rq := range reqs {
 			q.Add(rq, 2)
 		}
 		for q.Items() > 0 {
-			q.ExtractMax()
+			q.ExtractMax(0)
 		}
 	}
 }
@@ -191,22 +196,15 @@ func benchCoreConfig(b *testing.B) core.Config {
 	}
 }
 
-// BenchmarkPullPolicies (ABL-POLICY): full simulations under each pull
-// policy, reporting each policy's overall delay.
+// BenchmarkPullPolicies (ABL-POLICY): full simulations under each registered
+// pull policy, reporting each policy's overall delay.
 func BenchmarkPullPolicies(b *testing.B) {
-	policies := []sched.PullPolicy{
-		sched.ImportanceFactor{Alpha: 0.5},
-		sched.StretchOptimal{},
-		sched.PriorityOnly{},
-		sched.FCFS{},
-		sched.MRF{},
-		sched.RxW{},
-		sched.ClassicStretch{},
-	}
-	for _, pol := range policies {
-		b.Run(pol.Name(), func(b *testing.B) {
+	for _, name := range []string{
+		"gamma", "stretch", "priority", "fcfs", "edf", "mrf", "rxw", "classic-stretch",
+	} {
+		b.Run(name, func(b *testing.B) {
 			cfg := benchCoreConfig(b)
-			cfg.PullPolicy = pol
+			cfg.PullPolicyName = name
 			for i := 0; i < b.N; i++ {
 				m, err := core.Run(cfg)
 				if err != nil {
@@ -218,24 +216,13 @@ func BenchmarkPullPolicies(b *testing.B) {
 	}
 }
 
-// BenchmarkPushSchedulers (ABL-PUSH): full simulations under each push
-// scheduler.
+// BenchmarkPushSchedulers (ABL-PUSH): full simulations under each registered
+// push scheduler.
 func BenchmarkPushSchedulers(b *testing.B) {
-	builders := map[string]func(cat *catalog.Catalog, k int) (sched.PushScheduler, error){
-		"flat": func(_ *catalog.Catalog, k int) (sched.PushScheduler, error) {
-			return sched.NewFlatRoundRobin(k), nil
-		},
-		"broadcast-disk": func(cat *catalog.Catalog, k int) (sched.PushScheduler, error) {
-			return sched.NewBroadcastDisk(cat, k, 3)
-		},
-		"square-root-rule": func(cat *catalog.Catalog, k int) (sched.PushScheduler, error) {
-			return sched.NewSquareRootRule(cat, k)
-		},
-	}
-	for name, build := range builders {
+	for _, name := range []string{"roundrobin", "broadcast-disk", "square-root", "none"} {
 		b.Run(name, func(b *testing.B) {
 			cfg := benchCoreConfig(b)
-			cfg.PushScheduler = build
+			cfg.PushPolicyName = name
 			for i := 0; i < b.N; i++ {
 				m, err := core.Run(cfg)
 				if err != nil {

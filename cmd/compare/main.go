@@ -47,10 +47,11 @@ func main() {
 		tbl := report.NewTable("",
 			"policy", "overall delay", "Class-A", "Class-B", "Class-C", "total cost")
 		for _, policy := range []string{
-			hybridqos.PolicyImportanceFactor,
+			hybridqos.PolicyGamma,
 			hybridqos.PolicyPriority,
 			hybridqos.PolicyStretch,
 			hybridqos.PolicyFCFS,
+			hybridqos.PolicyEDF,
 			hybridqos.PolicyMRF,
 			hybridqos.PolicyRxW,
 			hybridqos.PolicyClassicStretch,
@@ -76,9 +77,10 @@ func main() {
 		tbl := report.NewTable("",
 			"scheduler", "overall delay", "Class-A", "Class-B", "Class-C", "total cost")
 		for _, scheduler := range []string{
-			hybridqos.PushFlat,
+			hybridqos.PushRoundRobin,
 			hybridqos.PushBroadcastDisk,
 			hybridqos.PushSquareRoot,
+			hybridqos.PushNone,
 		} {
 			cfg := base
 			cfg.PushScheduler = scheduler

@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 3|4|5|6|7|blocking|multiclass|channels|indexing|load|faults|all")
+		fig     = flag.String("fig", "all", "figure to regenerate: 3|4|5|6|7|blocking|multiclass|channels|indexing|load|faults|policy|all")
 		csvDir  = flag.String("csv", "", "directory to write per-figure CSV files (optional)")
 		svgDir  = flag.String("svg", "", "directory to write per-figure SVG charts (optional)")
 		horizon = flag.Float64("horizon", 20000, "simulated duration per replication")
@@ -50,15 +50,16 @@ func main() {
 		"indexing":   experiments.ExtIndexing,
 		"load":       experiments.ExtLoad,
 		"faults":     experiments.ExtFaults,
+		"policy":     experiments.ExtPolicy,
 	}
-	order := []string{"3", "4", "5", "6", "7", "blocking", "multiclass", "channels", "indexing", "load", "faults"}
+	order := []string{"3", "4", "5", "6", "7", "blocking", "multiclass", "channels", "indexing", "load", "faults", "policy"}
 
 	var selected []string
 	if *fig == "all" {
 		selected = order
 	} else {
 		if _, ok := gens[*fig]; !ok {
-			fatal("unknown figure %q (want 3|4|5|6|7|blocking|multiclass|channels|indexing|load|faults|all)", *fig)
+			fatal("unknown figure %q (want 3|4|5|6|7|blocking|multiclass|channels|indexing|load|faults|policy|all)", *fig)
 		}
 		selected = []string{*fig}
 	}
@@ -122,6 +123,10 @@ func name(id string) string {
 		return "EXT-INDEX"
 	case "load":
 		return "EXT-LOAD"
+	case "faults":
+		return "EXT-FAULTS"
+	case "policy":
+		return "EXT-POLICY"
 	}
 	return "Figure " + id
 }

@@ -10,6 +10,8 @@
 //	hybridsim -theta 0.6 -alpha 0.25 -cutoff 40
 //	hybridsim -bandwidth 8 -fractions 0.5,0.3,0.2 -demand 1.5
 //	hybridsim -policy rxw -push square-root
+//	hybridsim -policy edf -ttl 300 -push none
+//	hybridsim -push broadcast-disk -disks 4
 //	hybridsim -loss 0.2 -gilbert 5 -retries 3 -backoff 1 -shed-high 260 -shed-low 200
 package main
 
@@ -24,6 +26,12 @@ import (
 	"hybridqos/internal/report"
 )
 
+// policyHelp derives the flag help from the live registry so externally
+// registered policies and future built-ins show up without editing this file.
+func policyHelp(kind string, names []string) string {
+	return kind + ": " + strings.Join(names, "|")
+}
+
 func main() {
 	var (
 		d        = flag.Int("items", 100, "catalog size D")
@@ -33,8 +41,10 @@ func main() {
 		alpha    = flag.Float64("alpha", 0.5, "importance-factor mixing α")
 		weights  = flag.String("weights", "3,2,1", "class priority weights, premium first")
 		popSkew  = flag.Float64("popskew", 1.0, "client population Zipf skew")
-		policy   = flag.String("policy", "", "pull policy: importance-factor|stretch|priority|fcfs|mrf|rxw|classic-stretch")
-		push     = flag.String("push", "", "push scheduler: flat|broadcast-disk|square-root")
+		policy   = flag.String("policy", "", policyHelp("pull policy", hybridqos.PullPolicies()))
+		push     = flag.String("push", "", policyHelp("push scheduler", hybridqos.PushSchedulers()))
+		disks    = flag.Int("disks", 0, "speed tiers for -push broadcast-disk (0 = 3)")
+		ttl      = flag.Float64("ttl", 0, "request deadline for -policy edf and expiry stats (0 disables)")
 		horizon  = flag.Float64("horizon", 20000, "simulated duration (broadcast units)")
 		warmup   = flag.Float64("warmup", 0.1, "warmup fraction discarded from stats")
 		reps     = flag.Int("reps", 3, "independent replications")
@@ -71,6 +81,8 @@ func main() {
 		PopulationSkew: *popSkew,
 		PullPolicy:     *policy,
 		PushScheduler:  *push,
+		PushDisks:      *disks,
+		RequestTTL:     *ttl,
 		Horizon:        *horizon,
 		WarmupFraction: *warmup,
 		Replications:   *reps,
@@ -128,7 +140,8 @@ func main() {
 	}
 
 	fmt.Printf("hybridqos %s — D=%d θ=%.2f λ'=%.1f K=%d α=%.2f horizon=%.0f reps=%d\n\n",
-		hybridqos.Version, *d, *theta, *lambda, *cutoff, *alpha, *horizon, *reps)
+		hybridqos.Version, cfg.NumItems, cfg.Theta, cfg.Lambda, cfg.Cutoff, cfg.Alpha,
+		cfg.Horizon, cfg.Replications)
 
 	tbl := report.NewTable("Per-class results",
 		"class", "weight", "mean delay", "±95% CI", "p95", "cost", "drop rate",

@@ -1,0 +1,181 @@
+// Command policybench measures the scheduling-policy layer in isolation and
+// writes the results as machine-readable JSON (BENCH_policy.json at the repo
+// root is a committed baseline). Two families:
+//
+//   - pull-queue microbenches: Add + ExtractMax throughput of the indexed
+//     heap vs the linear-scan queue at 10²–10⁵ entries (the linear queue is
+//     skipped at 10⁵ — its O(n²) drain would take minutes);
+//   - engine benches: whole-simulation transmissions/sec under each built-in
+//     pull policy, push scheduling fixed to the paper's round-robin.
+//
+// Usage:
+//
+//	policybench [-o BENCH_policy.json] [-horizon 3000]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"hybridqos/internal/catalog"
+	"hybridqos/internal/clients"
+	"hybridqos/internal/core"
+	"hybridqos/internal/policy"
+	"hybridqos/internal/pullqueue"
+	"hybridqos/internal/rng"
+)
+
+// Result is one benchmark's measurement.
+type Result struct {
+	// Name identifies the benchmark (family/variant/size).
+	Name string `json:"name"`
+	// Iterations is testing.Benchmark's chosen b.N.
+	Iterations int `json:"iterations"`
+	// NsPerOp is nanoseconds per benchmark iteration.
+	NsPerOp float64 `json:"ns_per_op"`
+	// OpsPerSec is the headline throughput: queue operations (one Add or
+	// ExtractMax) per second for the queue family, completed transmissions
+	// per second for the engine family.
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+func main() {
+	var (
+		out     = flag.String("o", "BENCH_policy.json", "output JSON path (- for stdout)")
+		horizon = flag.Float64("horizon", 3000, "engine bench simulated duration")
+	)
+	flag.Parse()
+
+	var results []Result
+	for _, n := range []int{100, 1000, 10000, 100000} {
+		results = append(results, queueBench("heap", n))
+		if n <= 10000 {
+			results = append(results, queueBench("linear", n))
+		}
+	}
+	for _, name := range policy.PullNames() {
+		r, err := engineBench(name, *horizon)
+		if err != nil {
+			fatal("engine bench %s: %v", name, err)
+		}
+		results = append(results, r)
+	}
+
+	blob, err := json.MarshalIndent(struct {
+		Description string   `json:"description"`
+		Results     []Result `json:"results"`
+	}{
+		Description: "scheduling-policy layer benchmarks; regenerate with `go run ./cmd/policybench`",
+		Results:     results,
+	}, "", "  ")
+	if err != nil {
+		fatal("marshal: %v", err)
+	}
+	blob = append(blob, '\n')
+	if *out == "-" {
+		os.Stdout.Write(blob)
+		return
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fatal("writing %s: %v", *out, err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d results to %s\n", len(results), *out)
+}
+
+// queueBench fills a fresh γ(0.5) queue with n random requests and drains
+// it, counting 2n queue operations per iteration.
+func queueBench(kind string, n int) Result {
+	reqs := workload(n)
+	mk := func() pullqueue.Queue {
+		var q pullqueue.Queue
+		var err error
+		if kind == "heap" {
+			q, err = pullqueue.NewHeap(0.5)
+		} else {
+			q, err = pullqueue.NewLinear(0.5)
+		}
+		if err != nil {
+			fatal("%s: %v", kind, err)
+		}
+		return q
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := mk()
+			for _, rq := range reqs {
+				q.Add(rq, 2)
+			}
+			for q.Items() > 0 {
+				q.ExtractMax(0)
+			}
+		}
+	})
+	ns := float64(res.NsPerOp())
+	return Result{
+		Name:       fmt.Sprintf("pullqueue/%s/n=%d", kind, n),
+		Iterations: res.N,
+		NsPerOp:    ns,
+		OpsPerSec:  float64(2*n) / (ns / 1e9),
+	}
+}
+
+func workload(n int) []pullqueue.Request {
+	r := rng.New(7)
+	reqs := make([]pullqueue.Request, n)
+	items := max(n/2, 10)
+	for i := range reqs {
+		reqs[i] = pullqueue.Request{
+			Item:     r.Intn(items) + 1,
+			Class:    clients.Class(r.Intn(3)),
+			Priority: float64(3 - r.Intn(3)),
+			Arrival:  float64(i) * 0.2,
+		}
+	}
+	return reqs
+}
+
+// engineBench runs the full simulator under one named pull policy and
+// reports completed transmissions (push + pull) per wall-clock second.
+func engineBench(pullName string, horizon float64) (Result, error) {
+	cat, err := catalog.Generate(catalog.PaperConfig(0.6, 42))
+	if err != nil {
+		return Result{}, err
+	}
+	cl, err := clients.New(clients.PaperConfig())
+	if err != nil {
+		return Result{}, err
+	}
+	cfg := core.Config{
+		Catalog: cat, Classes: cl, Lambda: 5, Cutoff: 40, Alpha: 0.5,
+		Horizon: horizon, WarmupFraction: 0.1, Seed: 9,
+		PullPolicyName: pullName,
+	}
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	var transmissions int64
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, err := core.Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			transmissions = m.PushBroadcasts + m.PullTransmissions
+		}
+	})
+	ns := float64(res.NsPerOp())
+	return Result{
+		Name:       "engine/pull=" + pullName,
+		Iterations: res.N,
+		NsPerOp:    ns,
+		OpsPerSec:  float64(transmissions) / (ns / 1e9),
+	}, nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "policybench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -178,6 +178,9 @@ func TestConfigJSONRoundTrip(t *testing.T) {
 	c.Rotation = &RotationConfig{Period: 100, Shift: 3}
 	c.Uplink = &UplinkConfig{Rate: 4, Burst: 8}
 	c.RequestTTL = 50
+	c.PullPolicy = PolicyEDF
+	c.PushScheduler = PushBroadcastDisk
+	c.PushDisks = 4
 	path := filepath.Join(t.TempDir(), "cfg.json")
 	if err := SaveConfig(c, path); err != nil {
 		t.Fatal(err)
@@ -197,6 +200,17 @@ func TestConfigJSONRoundTrip(t *testing.T) {
 	}
 	if got.Uplink == nil || got.Uplink.Burst != 8 {
 		t.Fatal("round trip lost uplink")
+	}
+	if got.PullPolicy != PolicyEDF || got.PushScheduler != PushBroadcastDisk || got.PushDisks != 4 {
+		t.Fatalf("round trip lost policy selection: %q/%q/%d",
+			got.PullPolicy, got.PushScheduler, got.PushDisks)
+	}
+	// The loaded config must simulate: policy names resolve through the
+	// registry after deserialisation.
+	got.Horizon = 2000
+	got.Replications = 1
+	if _, err := Simulate(got); err != nil {
+		t.Fatalf("loaded config does not simulate: %v", err)
 	}
 }
 

@@ -35,7 +35,7 @@ import (
 	"hybridqos/internal/clients"
 	"hybridqos/internal/core"
 	"hybridqos/internal/faults"
-	"hybridqos/internal/sched"
+	"hybridqos/internal/policy"
 	"hybridqos/internal/sim"
 	"hybridqos/internal/trace"
 	"hybridqos/internal/uplink"
@@ -45,23 +45,37 @@ import (
 // Version identifies the library release.
 const Version = "1.0.0"
 
-// Pull policy names accepted by Config.PullPolicy.
+// Pull policy names accepted by Config.PullPolicy. These are the canonical
+// names of the internal policy registry; PullPolicies() lists them at run
+// time, including externally registered ones.
 const (
-	PolicyImportanceFactor = "importance-factor" // paper's γ (default)
-	PolicyStretch          = "stretch"           // α=1 special case
-	PolicyPriority         = "priority"          // α=0 special case
-	PolicyFCFS             = "fcfs"
-	PolicyMRF              = "mrf"
-	PolicyRxW              = "rxw"
+	PolicyGamma            = "gamma" // paper's γ(α) importance factor (default)
+	PolicyImportanceFactor = "importance-factor"
+	PolicyStretch          = "stretch"  // α=1 special case
+	PolicyPriority         = "priority" // α=0 special case
+	PolicyFCFS             = "fcfs"     // oldest pending request first
+	PolicyEDF              = "edf"      // earliest deadline (RequestTTL) first
+	PolicyMRF              = "mrf"      // most requests first
+	PolicyRxW              = "rxw"      // requests × wait
 	PolicyClassicStretch   = "classic-stretch"
 )
 
-// Push scheduler names accepted by Config.PushScheduler.
+// Push scheduler names accepted by Config.PushScheduler. PushSchedulers()
+// lists the registry at run time.
 const (
-	PushFlat          = "flat" // paper's round-robin (default)
+	PushRoundRobin    = "roundrobin" // paper's flat cycle (default)
+	PushFlat          = "flat"       // alias of roundrobin
 	PushBroadcastDisk = "broadcast-disk"
 	PushSquareRoot    = "square-root"
+	PushNone          = "none" // pure pull: no broadcast channel
 )
+
+// PullPolicies returns the sorted canonical pull-policy names the registry
+// currently knows (built-ins plus any externally registered policies).
+func PullPolicies() []string { return policy.PullNames() }
+
+// PushSchedulers returns the sorted canonical push-scheduler names.
+func PushSchedulers() []string { return policy.PushNames() }
 
 // BandwidthConfig enables the per-class bandwidth pools and blocking.
 type BandwidthConfig struct {
@@ -96,11 +110,17 @@ type Config struct {
 	PopulationSkew float64
 	// Bandwidth, when non-nil, enables blocking.
 	Bandwidth *BandwidthConfig
-	// PullPolicy selects the pull scheduler by name; empty means the
-	// paper's importance factor at Alpha.
+	// PullPolicy selects the pull scheduler by name from the policy
+	// registry; empty means the paper's importance factor at Alpha. See
+	// PullPolicies for the known names.
 	PullPolicy string
-	// PushScheduler selects the push scheduler by name; empty means flat.
+	// PushScheduler selects the push scheduler by name; empty means the
+	// paper's flat round-robin, "none" disables pushing entirely (pure
+	// pull). See PushSchedulers for the known names.
 	PushScheduler string
+	// PushDisks is the number of speed tiers for the "broadcast-disk" push
+	// scheduler; 0 means 3. Ignored by the other push schedulers.
+	PushDisks int
 	// Horizon is the simulated duration per replication (broadcast units).
 	Horizon float64
 	// WarmupFraction of the horizon is discarded from statistics.
@@ -279,20 +299,13 @@ func (c Config) build() (core.Config, error) {
 		WarmupFraction: c.WarmupFraction,
 		Seed:           c.Seed,
 	}
-	if c.PullPolicy != "" && c.PullPolicy != PolicyImportanceFactor {
-		pol, err := pullPolicyByName(c.PullPolicy)
-		if err != nil {
-			return core.Config{}, err
-		}
-		cfg.PullPolicy = pol
-	}
-	if c.PushScheduler != "" && c.PushScheduler != PushFlat {
-		build, err := pushSchedulerByName(c.PushScheduler)
-		if err != nil {
-			return core.Config{}, err
-		}
-		cfg.PushScheduler = build
-	}
+	// Policy selection is by name only: the core engine resolves the names
+	// through the policy registry, so externally registered policies work
+	// here too. Unknown names surface as *policy.UnknownError from
+	// cfg.Validate below.
+	cfg.PullPolicyName = c.PullPolicy
+	cfg.PushPolicyName = c.PushScheduler
+	cfg.PushDisks = c.PushDisks
 	if c.Bandwidth != nil {
 		cfg.Bandwidth = &bandwidth.Config{
 			Total:       c.Bandwidth.Total,
@@ -337,14 +350,14 @@ func (c Config) build() (core.Config, error) {
 		}
 	}
 	if c.ClientCache != nil {
-		policy, err := cachePolicyByName(c.ClientCache.Policy)
+		cachePol, err := cachePolicyByName(c.ClientCache.Policy)
 		if err != nil {
 			return core.Config{}, err
 		}
 		cfg.ClientCache = &core.CacheConfig{
 			NumClients: c.ClientCache.NumClients,
 			Capacity:   c.ClientCache.Capacity,
-			Policy:     policy,
+			Policy:     cachePol,
 		}
 	}
 	if err := cfg.Validate(); err != nil {
@@ -363,40 +376,6 @@ func cachePolicyByName(name string) (cache.PolicyKind, error) {
 		return cache.LFU, nil
 	default:
 		return 0, fmt.Errorf("hybridqos: unknown cache policy %q", name)
-	}
-}
-
-func pullPolicyByName(name string) (sched.PullPolicy, error) {
-	switch name {
-	case PolicyStretch:
-		return sched.StretchOptimal{}, nil
-	case PolicyPriority:
-		return sched.PriorityOnly{}, nil
-	case PolicyFCFS:
-		return sched.FCFS{}, nil
-	case PolicyMRF:
-		return sched.MRF{}, nil
-	case PolicyRxW:
-		return sched.RxW{}, nil
-	case PolicyClassicStretch:
-		return sched.ClassicStretch{}, nil
-	default:
-		return nil, fmt.Errorf("hybridqos: unknown pull policy %q", name)
-	}
-}
-
-func pushSchedulerByName(name string) (func(*catalog.Catalog, int) (sched.PushScheduler, error), error) {
-	switch name {
-	case PushBroadcastDisk:
-		return func(cat *catalog.Catalog, k int) (sched.PushScheduler, error) {
-			return sched.NewBroadcastDisk(cat, k, 3)
-		}, nil
-	case PushSquareRoot:
-		return func(cat *catalog.Catalog, k int) (sched.PushScheduler, error) {
-			return sched.NewSquareRootRule(cat, k)
-		}, nil
-	default:
-		return nil, fmt.Errorf("hybridqos: unknown push scheduler %q", name)
 	}
 }
 

@@ -89,8 +89,8 @@ func TestSimulateInvalidConfigs(t *testing.T) {
 }
 
 func TestAllPullPolicies(t *testing.T) {
-	for _, p := range []string{PolicyImportanceFactor, PolicyStretch, PolicyPriority,
-		PolicyFCFS, PolicyMRF, PolicyRxW, PolicyClassicStretch} {
+	for _, p := range []string{PolicyGamma, PolicyImportanceFactor, PolicyStretch,
+		PolicyPriority, PolicyFCFS, PolicyEDF, PolicyMRF, PolicyRxW, PolicyClassicStretch} {
 		c := quickConfig()
 		c.PullPolicy = p
 		c.Horizon = 2000
@@ -102,15 +102,44 @@ func TestAllPullPolicies(t *testing.T) {
 }
 
 func TestAllPushSchedulers(t *testing.T) {
-	for _, p := range []string{PushFlat, PushBroadcastDisk, PushSquareRoot} {
+	for _, p := range []string{PushRoundRobin, PushFlat, PushBroadcastDisk,
+		PushSquareRoot, PushNone} {
 		c := quickConfig()
 		c.PushScheduler = p
 		c.Horizon = 2000
 		c.Replications = 1
-		if _, err := Simulate(c); err != nil {
+		r, err := Simulate(c)
+		if err != nil {
 			t.Errorf("scheduler %s: %v", p, err)
+			continue
+		}
+		if p == PushNone && r.PushBroadcasts != 0 {
+			t.Errorf("push=none broadcast %d items", r.PushBroadcasts)
 		}
 	}
+}
+
+func TestPolicyRegistryExposed(t *testing.T) {
+	pulls, pushes := PullPolicies(), PushSchedulers()
+	for _, want := range []string{PolicyGamma, PolicyStretch, PolicyFCFS, PolicyEDF} {
+		if !contains(pulls, want) {
+			t.Errorf("PullPolicies() missing %q: %v", want, pulls)
+		}
+	}
+	for _, want := range []string{PushRoundRobin, PushBroadcastDisk, PushNone} {
+		if !contains(pushes, want) {
+			t.Errorf("PushSchedulers() missing %q: %v", want, pushes)
+		}
+	}
+}
+
+func contains(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
 }
 
 func TestBandwidthBlockingExposed(t *testing.T) {

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"hybridqos/internal/cache"
+	"hybridqos/internal/catalog"
+	"hybridqos/internal/clients"
+	"hybridqos/internal/faults"
+	"hybridqos/internal/policy"
+	"hybridqos/internal/pullqueue"
+	"hybridqos/internal/sched"
+	"hybridqos/internal/trace"
+	"hybridqos/internal/uplink"
+	"hybridqos/internal/workload"
+
+	"hybridqos/internal/bandwidth"
+)
+
+// Config parameterises one simulation run.
+type Config struct {
+	// Catalog is the item database (required).
+	Catalog *catalog.Catalog
+	// Classes is the service classification (required).
+	Classes *clients.Classification
+	// Lambda is the aggregate Poisson request rate λ′ (paper: 5).
+	Lambda float64
+	// Cutoff is K: items 1..K pushed, K+1..D pulled. 0 ≤ K ≤ D.
+	Cutoff int
+	// PullPolicyName names the pull policy in the internal/policy registry
+	// ("gamma", "stretch", "priority", "fcfs", "edf", …). Empty selects the
+	// default, the paper's γ(α) with Alpha. Ignored when PullPolicy is set.
+	PullPolicyName string
+	// PullPolicy, when non-nil, injects a pre-built pull policy directly,
+	// bypassing the registry (programmatic extensions and tests).
+	PullPolicy sched.PullPolicy
+	// Alpha is Eq. 1's mixing fraction, consumed by the gamma policy.
+	Alpha float64
+	// PushPolicyName names the push scheduler in the internal/policy
+	// registry ("roundrobin", "broadcast-disk", "square-root", "none").
+	// Empty selects the default, the paper's flat round-robin. The special
+	// name "none" disables pushing entirely: every request is routed through
+	// the pull queue exactly as if Cutoff were 0. Ignored when PushScheduler
+	// is set.
+	PushPolicyName string
+	// PushDisks is the broadcast-disk count for the broadcast-disk push
+	// scheduler; 0 selects the policy package's default.
+	PushDisks int
+	// PushScheduler, when non-nil, injects a push-scheduler builder
+	// directly, bypassing the registry.
+	PushScheduler func(cat *catalog.Catalog, k int) (sched.PushScheduler, error)
+	// Bandwidth, when non-nil, enables the per-class bandwidth pools and
+	// blocking behaviour. Nil disables bandwidth constraints entirely (no
+	// request is ever dropped).
+	Bandwidth *bandwidth.Config
+	// RetryOnBlock makes the server try the next-best pull entry after a
+	// blocked one within the same slot (extension; the paper's pseudocode
+	// gives up the slot).
+	RetryOnBlock bool
+	// Arrivals optionally replaces the Poisson(Lambda) arrival process
+	// with another workload.ArrivalProcess (bursty MMPP, batch arrivals).
+	// Lambda is ignored for gap generation when set, but must still be
+	// valid (it feeds analytic comparisons).
+	Arrivals workload.ArrivalProcess
+	// Items optionally replaces the catalog's static Zipf popularity with
+	// another workload.ItemSampler (e.g. rotating hot set).
+	Items workload.ItemSampler
+	// RequestTTL, when positive, gives every request a deadline: requests
+	// whose item completes transmission after arrival+TTL count as Expired
+	// rather than Served (the client has given up listening; the server —
+	// having no abandon signalling on the uplink — still transmits).
+	RequestTTL float64
+	// Tracer, when non-nil, receives a structured event stream (arrivals,
+	// transmissions, blocks, served requests) for offline analysis.
+	Tracer trace.Tracer
+	// Uplink, when non-nil, models the limited request back-channel: pull
+	// requests that fail uplink contention never reach the server and are
+	// counted as UplinkLost (push requests need no uplink — clients simply
+	// tune in to the broadcast).
+	Uplink uplink.Channel
+	// ClientCache, when non-nil, gives every client a fixed-capacity item
+	// cache (broadcast-disk style): a request hitting the requester's own
+	// cache is served instantly (zero access time) and never reaches the
+	// channel; on reception the requesting client caches the item.
+	ClientCache *CacheConfig
+	// Loss, when non-nil, makes the downlink lossy: every completed
+	// transmission may be corrupted (no client decodes it). A corrupted push
+	// broadcast leaves its waiters waiting for the item's next cycle; a
+	// corrupted pull delivery sends the entry's requests through Retry. Loss
+	// models are stateful — like Uplink they must not be shared across
+	// parallel replications. Nil keeps the paper's error-free channel.
+	Loss faults.LossModel
+	// Retry governs client re-requests after corrupted pull deliveries:
+	// bounded attempts with exponential backoff and jitter, re-contending on
+	// the uplink and re-entering admission control. The zero value disables
+	// retries (a corrupted delivery immediately counts as Failed).
+	Retry faults.RetryPolicy
+	// Shed, when non-nil, enables the class-aware overload admission
+	// controller: when pending pull load (queued requests plus outstanding
+	// retries) reaches the high-water mark the server refuses
+	// lowest-priority-class requests, restoring admission at the low-water
+	// mark (hysteresis).
+	Shed *faults.ShedConfig
+	// Horizon is the simulated duration in broadcast units.
+	Horizon float64
+	// WarmupFraction of the horizon is discarded from delay statistics
+	// (requests ARRIVING before the warmup end are excluded).
+	WarmupFraction float64
+	// Seed drives all randomness in the run.
+	Seed uint64
+}
+
+// CacheConfig parameterises the client-side caches.
+type CacheConfig struct {
+	// NumClients is the cache population size.
+	NumClients int
+	// Capacity is each cache's item capacity.
+	Capacity int
+	// Policy selects the replacement policy (LRU, LFU, PIX).
+	Policy cache.PolicyKind
+}
+
+// policyParams snapshots the configuration knobs the policy factories read.
+func (c Config) policyParams() policy.Params {
+	return policy.Params{
+		Alpha:   c.Alpha,
+		TTL:     c.RequestTTL,
+		Disks:   c.PushDisks,
+		Catalog: c.Catalog,
+		Cutoff:  c.Cutoff,
+	}
+}
+
+// buildPullPolicy resolves the run's pull policy: an injected PullPolicy
+// wins; otherwise the named registry entry (empty name = the paper's γ(α)).
+func (c Config) buildPullPolicy() (sched.PullPolicy, error) {
+	if c.PullPolicy != nil {
+		return c.PullPolicy, nil
+	}
+	return policy.NewPull(c.PullPolicyName, c.policyParams())
+}
+
+// buildPushScheduler resolves the run's push scheduler for a non-empty push
+// set: an injected PushScheduler builder wins; otherwise the named registry
+// entry (empty name = the paper's flat round-robin).
+func (c Config) buildPushScheduler() (sched.PushScheduler, error) {
+	if c.PushScheduler != nil {
+		return c.PushScheduler(c.Catalog, c.Cutoff)
+	}
+	return policy.NewPush(c.PushPolicyName, c.policyParams())
+}
+
+// Validate reports whether the configuration is usable. Beyond structural
+// checks it audits every invariant whose violation would otherwise panic
+// deep inside internal/pullqueue or internal/catalog mid-run (zero-value
+// catalogs/classifications, non-positive item lengths or class weights,
+// α outside [0,1] — surfaced as pullqueue's typed *AlphaError — and unknown
+// policy names), so a bad configuration fails here rather than after
+// Server.Run has started.
+func (c Config) Validate() error {
+	if c.Catalog == nil {
+		return fmt.Errorf("core: nil catalog")
+	}
+	if c.Catalog.D() == 0 {
+		return fmt.Errorf("core: empty catalog")
+	}
+	for rank := 1; rank <= c.Catalog.D(); rank++ {
+		if l := c.Catalog.Length(rank); l <= 0 || math.IsNaN(l) || math.IsInf(l, 0) {
+			return fmt.Errorf("core: invalid length %g for item %d", l, rank)
+		}
+	}
+	if c.Classes == nil {
+		return fmt.Errorf("core: nil classification")
+	}
+	if c.Classes.NumClasses() == 0 {
+		return fmt.Errorf("core: classification has no classes")
+	}
+	for i, w := range c.Classes.Weights() {
+		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("core: invalid weight %g for class %d", w, i)
+		}
+	}
+	if pol, ok := c.PullPolicy.(sched.ImportanceFactor); ok {
+		if err := pullqueue.ValidateAlpha(pol.Alpha); err != nil {
+			return fmt.Errorf("core: pull policy: %w", err)
+		}
+	}
+	if c.Lambda <= 0 || math.IsNaN(c.Lambda) || math.IsInf(c.Lambda, 0) {
+		return fmt.Errorf("core: invalid lambda %g", c.Lambda)
+	}
+	if c.Cutoff < 0 || c.Cutoff > c.Catalog.D() {
+		return fmt.Errorf("core: cutoff %d out of [0,%d]", c.Cutoff, c.Catalog.D())
+	}
+	if c.PullPolicy == nil {
+		if err := pullqueue.ValidateAlpha(c.Alpha); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+	}
+	if c.Horizon <= 0 || math.IsNaN(c.Horizon) || math.IsInf(c.Horizon, 0) {
+		return fmt.Errorf("core: invalid horizon %g", c.Horizon)
+	}
+	if c.WarmupFraction < 0 || c.WarmupFraction >= 1 || math.IsNaN(c.WarmupFraction) {
+		return fmt.Errorf("core: warmup fraction %g outside [0,1)", c.WarmupFraction)
+	}
+	if c.RequestTTL < 0 || math.IsNaN(c.RequestTTL) {
+		return fmt.Errorf("core: invalid request TTL %g", c.RequestTTL)
+	}
+	if c.PushDisks < 0 {
+		return fmt.Errorf("core: negative push disk count %d", c.PushDisks)
+	}
+	// Dry-resolve the policy names so an unknown name or a parameter the
+	// factory rejects fails before the run starts.
+	if c.PullPolicy == nil {
+		if _, err := c.buildPullPolicy(); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+	}
+	if c.PushScheduler == nil {
+		if !policy.KnownPush(c.PushPolicyName) {
+			if _, err := policy.NewPush(c.PushPolicyName, c.policyParams()); err != nil {
+				return fmt.Errorf("core: %w", err)
+			}
+		}
+		if c.Cutoff > 0 {
+			if _, err := c.buildPushScheduler(); err != nil {
+				return fmt.Errorf("core: %w", err)
+			}
+		}
+	}
+	if c.ClientCache != nil {
+		if c.ClientCache.NumClients <= 0 || c.ClientCache.Capacity <= 0 {
+			return fmt.Errorf("core: invalid client cache config %+v", *c.ClientCache)
+		}
+	}
+	if c.Bandwidth != nil {
+		if err := c.Bandwidth.Validate(); err != nil {
+			return err
+		}
+		if len(c.Bandwidth.Fractions) != c.Classes.NumClasses() {
+			return fmt.Errorf("core: %d bandwidth fractions for %d classes",
+				len(c.Bandwidth.Fractions), c.Classes.NumClasses())
+		}
+	}
+	if err := c.Retry.Validate(); err != nil {
+		return err
+	}
+	if c.Shed != nil {
+		if err := c.Shed.Validate(c.Classes.NumClasses()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,222 @@
+package core_test
+
+import (
+	"testing"
+
+	"hybridqos/internal/bandwidth"
+	"hybridqos/internal/catalog"
+	"hybridqos/internal/clients"
+	"hybridqos/internal/core"
+	"hybridqos/internal/faults"
+)
+
+// The golden values below were captured from the build immediately BEFORE
+// the engine/policy split (the PR-1 tree), with the policies hardwired into
+// core. The refactored engine resolving its default policies ("gamma" pull,
+// "roundrobin" push) through the registry must reproduce every counter and
+// every float bit-for-bit: same RNG stream order, same heap behaviour, same
+// tie-breaking. Hex float literals pin the exact bit patterns.
+//
+// If an intentional engine change invalidates these values, recapture them
+// and say so loudly in the commit — this test is the repo's reproducibility
+// contract, not a statistical check.
+
+type goldenClass struct {
+	arrivals, served, dropped, expired int64
+	uplinkLost, retries, failed, shed  int64
+	delayN                             int64
+	delayMean                          float64
+}
+
+type golden struct {
+	push, pull, blocked, corrPush, corrPull int64
+	perClass                                []goldenClass
+	queueItems, queueRequests               float64
+}
+
+func goldenBase(t *testing.T, seed uint64) core.Config {
+	t.Helper()
+	cat, err := catalog.Generate(catalog.Config{
+		D: 100, Theta: 0.6, MinLen: 1, MaxLen: 5,
+		LengthWeights: catalog.PaperLengthWeights(), Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := clients.New(clients.PaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Config{
+		Catalog: cat, Classes: cl, Lambda: 5, Cutoff: 40, Alpha: 0.5,
+		Horizon: 2000, WarmupFraction: 0.1, Seed: seed,
+	}
+}
+
+func checkGolden(t *testing.T, name string, m *core.Metrics, want golden) {
+	t.Helper()
+	if m.PushBroadcasts != want.push || m.PullTransmissions != want.pull ||
+		m.BlockedTransmissions != want.blocked ||
+		m.CorruptedPushes != want.corrPush || m.CorruptedPulls != want.corrPull {
+		t.Errorf("%s: transmissions push=%d pull=%d blocked=%d corrPush=%d corrPull=%d, want %d/%d/%d/%d/%d",
+			name, m.PushBroadcasts, m.PullTransmissions, m.BlockedTransmissions,
+			m.CorruptedPushes, m.CorruptedPulls,
+			want.push, want.pull, want.blocked, want.corrPush, want.corrPull)
+	}
+	if len(m.PerClass) != len(want.perClass) {
+		t.Fatalf("%s: %d classes, want %d", name, len(m.PerClass), len(want.perClass))
+	}
+	for i, cm := range m.PerClass {
+		w := want.perClass[i]
+		if cm.Arrivals != w.arrivals || cm.Served != w.served || cm.Dropped != w.dropped ||
+			cm.Expired != w.expired || cm.UplinkLost != w.uplinkLost ||
+			cm.Retries != w.retries || cm.Failed != w.failed || cm.Shed != w.shed {
+			t.Errorf("%s class %d: counts arr=%d served=%d dropped=%d expired=%d upl=%d retries=%d failed=%d shed=%d,\nwant %+v",
+				name, i, cm.Arrivals, cm.Served, cm.Dropped, cm.Expired,
+				cm.UplinkLost, cm.Retries, cm.Failed, cm.Shed, w)
+		}
+		if cm.Delay.N() != w.delayN {
+			t.Errorf("%s class %d: delay N=%d, want %d", name, i, cm.Delay.N(), w.delayN)
+		}
+		if got := cm.Delay.Mean(); got != w.delayMean {
+			t.Errorf("%s class %d: delay mean %x, want %x (not bit-identical)",
+				name, i, got, w.delayMean)
+		}
+	}
+	if got := m.QueueItems.MeanAt(m.Horizon); got != want.queueItems {
+		t.Errorf("%s: queue items mean %x, want %x", name, got, want.queueItems)
+	}
+	if got := m.QueueRequests.MeanAt(m.Horizon); got != want.queueRequests {
+		t.Errorf("%s: queue requests mean %x, want %x", name, got, want.queueRequests)
+	}
+}
+
+// TestGoldenPaperScenario pins the seed scenario: paper defaults, default
+// policies resolved by name through the registry.
+func TestGoldenPaperScenario(t *testing.T) {
+	m, err := core.Run(goldenBase(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "paper", m, golden{
+		push: 564, pull: 564,
+		perClass: []goldenClass{
+			{arrivals: 1622, served: 1575, delayN: 1575, delayMean: 0x1.18011393a4532p+06},
+			{arrivals: 2423, served: 2319, delayN: 2319, delayMean: 0x1.2f1eccf10d5fbp+06},
+			{arrivals: 4908, served: 4692, delayN: 4692, delayMean: 0x1.4885429de2ap+06},
+		},
+		queueItems:    0x1.8bab3ce4f509p+05,
+		queueRequests: 0x1.390f8a7aae8aep+07,
+	})
+}
+
+// TestGoldenPurePull pins the K=0 degenerate (idle-channel pull kick-off).
+func TestGoldenPurePull(t *testing.T) {
+	cfg := goldenBase(t, 3)
+	cfg.Cutoff = 0
+	m, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := golden{
+		pull: 1160,
+		perClass: []goldenClass{
+			{arrivals: 1663, served: 1589, delayN: 1589, delayMean: 0x1.05bd0df7bbf08p+06},
+			{arrivals: 2476, served: 2383, delayN: 2383, delayMean: 0x1.27ad92308f3bfp+06},
+			{arrivals: 4931, served: 4690, delayN: 4690, delayMean: 0x1.43eb68e432ea6p+06},
+		},
+		queueItems:    0x1.608e95c763808p+06,
+		queueRequests: 0x1.7db4b5e7253acp+08,
+	}
+	checkGolden(t, "purepull", m, want)
+
+	// The "none" push policy must reproduce pure pull bit-identically even
+	// with a non-zero configured cutoff: the engine treats the push set as
+	// empty and the RNG stream order is untouched.
+	cfg2 := goldenBase(t, 3)
+	cfg2.PushPolicyName = "none"
+	m2, err := core.Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.PushBroadcasts != 0 {
+		t.Fatalf("push=none broadcast %d items", m2.PushBroadcasts)
+	}
+	checkGolden(t, "purepull-via-none", m2, want)
+}
+
+// TestGoldenBlocking pins the bandwidth-blocking scenario.
+func TestGoldenBlocking(t *testing.T) {
+	cfg := goldenBase(t, 1)
+	cfg.Bandwidth = &bandwidth.Config{Total: 8, Fractions: []float64{0.5, 0.3, 0.2}, DemandMean: 1.5}
+	m, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "blocking", m, golden{
+		push: 787, pull: 439, blocked: 348,
+		perClass: []goldenClass{
+			{arrivals: 1622, served: 1413, dropped: 176, delayN: 1413, delayMean: 0x1.8664a84ca40fdp+05},
+			{arrivals: 2423, served: 1907, dropped: 439, delayN: 1907, delayMean: 0x1.97299beff96ap+05},
+			{arrivals: 4908, served: 3900, dropped: 843, delayN: 3900, delayMean: 0x1.a582f963738e7p+05},
+		},
+		queueItems:    0x1.69cd71ebcc35dp+05,
+		queueRequests: 0x1.ab8a9a141565ap+06,
+	})
+}
+
+// TestGoldenFaults pins the EXT-FAULTS configuration (bursty loss, retries
+// with jittered backoff, class-aware shedding) — the fullest exercise of
+// the RNG stream order.
+func TestGoldenFaults(t *testing.T) {
+	cfg := goldenBase(t, 2)
+	lm, err := faults.NewBurstLoss(0.2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Loss = lm
+	cfg.Retry = faults.RetryPolicy{MaxAttempts: 3, Base: 1, Multiplier: 2, Jitter: 0.5}
+	cfg.Shed = &faults.ShedConfig{High: 260, Low: 200}
+	m, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "faults", m, golden{
+		push: 577, pull: 576, corrPush: 120, corrPull: 123,
+		perClass: []goldenClass{
+			{arrivals: 1612, served: 1534, retries: 153, failed: 7, delayN: 1534, delayMean: 0x1.901e26c1687cap+06},
+			{arrivals: 2463, served: 2325, retries: 219, failed: 8, delayN: 2325, delayMean: 0x1.aee945902093ap+06},
+			{arrivals: 4888, served: 4431, retries: 391, failed: 16, shed: 174, delayN: 4431, delayMean: 0x1.b7676448fa99bp+06},
+		},
+		queueItems:    0x1.961caa7df9a18p+05,
+		queueRequests: 0x1.78c87d43d91eep+07,
+	})
+}
+
+// TestGoldenExplicitDefaultsMatch proves name resolution is transparent:
+// spelling out the default policy names (and their historical aliases)
+// reproduces the empty-name run exactly.
+func TestGoldenExplicitDefaultsMatch(t *testing.T) {
+	for _, names := range []struct{ pull, push string }{
+		{"gamma", "roundrobin"},
+		{"importance-factor", "flat"},
+	} {
+		cfg := goldenBase(t, 1)
+		cfg.PullPolicyName = names.pull
+		cfg.PushPolicyName = names.push
+		m, err := core.Run(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", names, err)
+		}
+		checkGolden(t, "explicit-"+names.pull, m, golden{
+			push: 564, pull: 564,
+			perClass: []goldenClass{
+				{arrivals: 1622, served: 1575, delayN: 1575, delayMean: 0x1.18011393a4532p+06},
+				{arrivals: 2423, served: 2319, delayN: 2319, delayMean: 0x1.2f1eccf10d5fbp+06},
+				{arrivals: 4908, served: 4692, delayN: 4692, delayMean: 0x1.4885429de2ap+06},
+			},
+			queueItems:    0x1.8bab3ce4f509p+05,
+			queueRequests: 0x1.390f8a7aae8aep+07,
+		})
+	}
+}

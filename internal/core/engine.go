@@ -2,382 +2,37 @@
 // push/pull scheduling server with priority-based service classification
 // (section 3, Figure 1).
 //
-// The server owns a catalog split at a cutoff K: items 1..K are broadcast
-// cyclically by a push scheduler (flat round-robin in the paper), items
-// K+1..D are served on demand from a pull queue. After every push
-// transmission, if the pull queue is non-empty the server extracts the entry
-// with the maximum importance factor γ_i = α·S_i + (1−α)·Q_i, reserves
-// bandwidth from the pool of the entry's governing (highest-priority
-// requesting) class, and either transmits it — satisfying every pending
-// request for the item at once — or, when the Poisson bandwidth demand
-// exceeds the class's available bandwidth, drops the item and all its
-// pending requests (blocking).
+// The package is split into an *engine* (this file: the discrete-event
+// machinery, request routing, metrics) and pluggable *policies* resolved by
+// name through internal/policy: a push scheduler orders the broadcast cycle
+// of items 1..K, and a pull policy scores the on-demand queue for items
+// K+1..D. With the default policies the server reproduces the paper: items
+// 1..K are broadcast in a flat round-robin; after every push transmission,
+// if the pull queue is non-empty the server extracts the entry with the
+// maximum importance factor γ_i = α·S_i + (1−α)·Q_i, reserves bandwidth
+// from the pool of the entry's governing (highest-priority requesting)
+// class, and either transmits it — satisfying every pending request for the
+// item at once — or, when the Poisson bandwidth demand exceeds the class's
+// available bandwidth, drops the item and all its pending requests
+// (blocking).
 //
 // The implementation is a deterministic discrete-event simulation: a single
-// seed reproduces the full event trajectory.
+// seed reproduces the full event trajectory, whatever the policies.
 package core
 
 import (
-	"fmt"
-	"math"
-
 	"hybridqos/internal/bandwidth"
 	"hybridqos/internal/cache"
-	"hybridqos/internal/catalog"
 	"hybridqos/internal/clients"
 	"hybridqos/internal/event"
 	"hybridqos/internal/faults"
 	"hybridqos/internal/pullqueue"
 	"hybridqos/internal/rng"
 	"hybridqos/internal/sched"
-	"hybridqos/internal/stats"
 	"hybridqos/internal/trace"
 	"hybridqos/internal/uplink"
 	"hybridqos/internal/workload"
 )
-
-// Config parameterises one simulation run.
-type Config struct {
-	// Catalog is the item database (required).
-	Catalog *catalog.Catalog
-	// Classes is the service classification (required).
-	Classes *clients.Classification
-	// Lambda is the aggregate Poisson request rate λ′ (paper: 5).
-	Lambda float64
-	// Cutoff is K: items 1..K pushed, K+1..D pulled. 0 ≤ K ≤ D.
-	Cutoff int
-	// PullPolicy selects pull items; nil defaults to the paper's
-	// importance factor with Alpha.
-	PullPolicy sched.PullPolicy
-	// Alpha is Eq. 1's mixing fraction, used when PullPolicy is nil.
-	Alpha float64
-	// PushScheduler builds the push-side scheduler for a cutoff; nil
-	// defaults to the paper's flat round-robin.
-	PushScheduler func(cat *catalog.Catalog, k int) (sched.PushScheduler, error)
-	// Bandwidth, when non-nil, enables the per-class bandwidth pools and
-	// blocking behaviour. Nil disables bandwidth constraints entirely (no
-	// request is ever dropped).
-	Bandwidth *bandwidth.Config
-	// RetryOnBlock makes the server try the next-best pull entry after a
-	// blocked one within the same slot (extension; the paper's pseudocode
-	// gives up the slot).
-	RetryOnBlock bool
-	// Arrivals optionally replaces the Poisson(Lambda) arrival process
-	// with another workload.ArrivalProcess (bursty MMPP, batch arrivals).
-	// Lambda is ignored for gap generation when set, but must still be
-	// valid (it feeds analytic comparisons).
-	Arrivals workload.ArrivalProcess
-	// Items optionally replaces the catalog's static Zipf popularity with
-	// another workload.ItemSampler (e.g. rotating hot set).
-	Items workload.ItemSampler
-	// RequestTTL, when positive, gives every request a deadline: requests
-	// whose item completes transmission after arrival+TTL count as Expired
-	// rather than Served (the client has given up listening; the server —
-	// having no abandon signalling on the uplink — still transmits).
-	RequestTTL float64
-	// Tracer, when non-nil, receives a structured event stream (arrivals,
-	// transmissions, blocks, served requests) for offline analysis.
-	Tracer trace.Tracer
-	// Uplink, when non-nil, models the limited request back-channel: pull
-	// requests that fail uplink contention never reach the server and are
-	// counted as UplinkLost (push requests need no uplink — clients simply
-	// tune in to the broadcast).
-	Uplink uplink.Channel
-	// ClientCache, when non-nil, gives every client a fixed-capacity item
-	// cache (broadcast-disk style): a request hitting the requester's own
-	// cache is served instantly (zero access time) and never reaches the
-	// channel; on reception the requesting client caches the item.
-	ClientCache *CacheConfig
-	// Loss, when non-nil, makes the downlink lossy: every completed
-	// transmission may be corrupted (no client decodes it). A corrupted push
-	// broadcast leaves its waiters waiting for the item's next cycle; a
-	// corrupted pull delivery sends the entry's requests through Retry. Loss
-	// models are stateful — like Uplink they must not be shared across
-	// parallel replications. Nil keeps the paper's error-free channel.
-	Loss faults.LossModel
-	// Retry governs client re-requests after corrupted pull deliveries:
-	// bounded attempts with exponential backoff and jitter, re-contending on
-	// the uplink and re-entering admission control. The zero value disables
-	// retries (a corrupted delivery immediately counts as Failed).
-	Retry faults.RetryPolicy
-	// Shed, when non-nil, enables the class-aware overload admission
-	// controller: when pending pull load (queued requests plus outstanding
-	// retries) reaches the high-water mark the server refuses
-	// lowest-priority-class requests, restoring admission at the low-water
-	// mark (hysteresis).
-	Shed *faults.ShedConfig
-	// Horizon is the simulated duration in broadcast units.
-	Horizon float64
-	// WarmupFraction of the horizon is discarded from delay statistics
-	// (requests ARRIVING before the warmup end are excluded).
-	WarmupFraction float64
-	// Seed drives all randomness in the run.
-	Seed uint64
-}
-
-// CacheConfig parameterises the client-side caches.
-type CacheConfig struct {
-	// NumClients is the cache population size.
-	NumClients int
-	// Capacity is each cache's item capacity.
-	Capacity int
-	// Policy selects the replacement policy (LRU, LFU, PIX).
-	Policy cache.PolicyKind
-}
-
-// Validate reports whether the configuration is usable. Beyond structural
-// checks it audits every invariant whose violation would otherwise panic
-// deep inside internal/pullqueue or internal/catalog mid-run (zero-value
-// catalogs/classifications, non-positive item lengths or class weights,
-// hand-built importance-factor policies with α outside [0,1]), so a bad
-// configuration fails here rather than after Server.Run has started.
-func (c Config) Validate() error {
-	if c.Catalog == nil {
-		return fmt.Errorf("core: nil catalog")
-	}
-	if c.Catalog.D() == 0 {
-		return fmt.Errorf("core: empty catalog")
-	}
-	for rank := 1; rank <= c.Catalog.D(); rank++ {
-		if l := c.Catalog.Length(rank); l <= 0 || math.IsNaN(l) || math.IsInf(l, 0) {
-			return fmt.Errorf("core: invalid length %g for item %d", l, rank)
-		}
-	}
-	if c.Classes == nil {
-		return fmt.Errorf("core: nil classification")
-	}
-	if c.Classes.NumClasses() == 0 {
-		return fmt.Errorf("core: classification has no classes")
-	}
-	for i, w := range c.Classes.Weights() {
-		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
-			return fmt.Errorf("core: invalid weight %g for class %d", w, i)
-		}
-	}
-	if pol, ok := c.PullPolicy.(sched.ImportanceFactor); ok {
-		if pol.Alpha < 0 || pol.Alpha > 1 || math.IsNaN(pol.Alpha) {
-			return fmt.Errorf("core: pull policy alpha %g outside [0,1]", pol.Alpha)
-		}
-	}
-	if c.Lambda <= 0 || math.IsNaN(c.Lambda) || math.IsInf(c.Lambda, 0) {
-		return fmt.Errorf("core: invalid lambda %g", c.Lambda)
-	}
-	if c.Cutoff < 0 || c.Cutoff > c.Catalog.D() {
-		return fmt.Errorf("core: cutoff %d out of [0,%d]", c.Cutoff, c.Catalog.D())
-	}
-	if c.PullPolicy == nil {
-		if c.Alpha < 0 || c.Alpha > 1 || math.IsNaN(c.Alpha) {
-			return fmt.Errorf("core: alpha %g outside [0,1]", c.Alpha)
-		}
-	}
-	if c.Horizon <= 0 || math.IsNaN(c.Horizon) || math.IsInf(c.Horizon, 0) {
-		return fmt.Errorf("core: invalid horizon %g", c.Horizon)
-	}
-	if c.WarmupFraction < 0 || c.WarmupFraction >= 1 || math.IsNaN(c.WarmupFraction) {
-		return fmt.Errorf("core: warmup fraction %g outside [0,1)", c.WarmupFraction)
-	}
-	if c.RequestTTL < 0 || math.IsNaN(c.RequestTTL) {
-		return fmt.Errorf("core: invalid request TTL %g", c.RequestTTL)
-	}
-	if c.ClientCache != nil {
-		if c.ClientCache.NumClients <= 0 || c.ClientCache.Capacity <= 0 {
-			return fmt.Errorf("core: invalid client cache config %+v", *c.ClientCache)
-		}
-	}
-	if c.Bandwidth != nil {
-		if err := c.Bandwidth.Validate(); err != nil {
-			return err
-		}
-		if len(c.Bandwidth.Fractions) != c.Classes.NumClasses() {
-			return fmt.Errorf("core: %d bandwidth fractions for %d classes",
-				len(c.Bandwidth.Fractions), c.Classes.NumClasses())
-		}
-	}
-	if err := c.Retry.Validate(); err != nil {
-		return err
-	}
-	if c.Shed != nil {
-		if err := c.Shed.Validate(c.Classes.NumClasses()); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// ClassMetrics aggregates one service class's outcomes.
-type ClassMetrics struct {
-	// Class identifies the service class.
-	Class clients.Class
-	// Weight is the class's priority weight q_c.
-	Weight float64
-	// Arrivals counts requests from the class (after warmup).
-	Arrivals int64
-	// Served counts satisfied requests.
-	Served int64
-	// Dropped counts requests lost to bandwidth blocking.
-	Dropped int64
-	// Expired counts requests whose deadline passed before their item's
-	// transmission completed (RequestTTL mode).
-	Expired int64
-	// UplinkLost counts pull requests lost on the request back-channel
-	// (first attempts and retries whose uplink budget ran out).
-	UplinkLost int64
-	// CacheHits counts requests served from the requesting client's own
-	// cache (zero access time; included in Delay as 0).
-	CacheHits int64
-	// Retries counts client re-requests issued after corrupted pull
-	// deliveries (lossy-downlink mode).
-	Retries int64
-	// Failed counts requests abandoned after downlink corruption exhausted
-	// their retry budget.
-	Failed int64
-	// Shed counts requests refused by the class-aware overload admission
-	// controller.
-	Shed int64
-	// Delay accumulates access times (arrival → end of transmission).
-	Delay stats.Welford
-	// DelayHist holds the raw access-time samples for percentiles.
-	DelayHist stats.Histogram
-	// PushDelay and PullDelay split Delay by the serving subsystem.
-	PushDelay, PullDelay stats.Welford
-}
-
-// MeanDelay returns the class's mean access time.
-func (cm *ClassMetrics) MeanDelay() float64 { return cm.Delay.Mean() }
-
-// Cost returns the prioritised cost q_c · mean delay (§5.3).
-func (cm *ClassMetrics) Cost() float64 { return cm.Weight * cm.Delay.Mean() }
-
-// DropRate returns dropped/(served+dropped+expired), 0 when nothing
-// completed.
-func (cm *ClassMetrics) DropRate() float64 {
-	total := cm.Served + cm.Dropped + cm.Expired
-	if total == 0 {
-		return 0
-	}
-	return float64(cm.Dropped) / float64(total)
-}
-
-// ExpiryRate returns expired/(served+dropped+expired), 0 when nothing
-// completed.
-func (cm *ClassMetrics) ExpiryRate() float64 {
-	total := cm.Served + cm.Dropped + cm.Expired
-	if total == 0 {
-		return 0
-	}
-	return float64(cm.Expired) / float64(total)
-}
-
-// Failures sums the class's terminal failure outcomes: bandwidth drops,
-// deadline expiries, retry-budget exhaustion and admission shedding.
-// First-attempt uplink losses are excluded — the back-channel is class-blind
-// and its losses never reach the server's scheduling decisions.
-func (cm *ClassMetrics) Failures() int64 {
-	return cm.Dropped + cm.Expired + cm.Failed + cm.Shed
-}
-
-// FailureRate returns Failures/(Served+Failures) — the per-class probability
-// a request that reached the server ended without delivery. 0 when nothing
-// completed.
-func (cm *ClassMetrics) FailureRate() float64 {
-	total := cm.Served + cm.Failures()
-	if total == 0 {
-		return 0
-	}
-	return float64(cm.Failures()) / float64(total)
-}
-
-// Metrics is the result of one run.
-type Metrics struct {
-	// PerClass holds one entry per service class, class 0 first.
-	PerClass []*ClassMetrics
-	// PushBroadcasts and PullTransmissions count completed transmissions,
-	// including corrupted ones (raw channel throughput).
-	PushBroadcasts, PullTransmissions int64
-	// BlockedTransmissions counts pull entries dropped for bandwidth.
-	BlockedTransmissions int64
-	// CorruptedPushes and CorruptedPulls count transmissions lost on the
-	// lossy downlink — the gap between raw throughput and goodput.
-	CorruptedPushes, CorruptedPulls int64
-	// QueueItems tracks the time-averaged number of distinct queued items.
-	QueueItems stats.TimeWeighted
-	// QueueRequests tracks the time-averaged pending request count.
-	QueueRequests stats.TimeWeighted
-	// Bandwidth holds per-class allocator statistics when enabled.
-	Bandwidth []bandwidth.ClassStats
-	// Horizon is the simulated duration.
-	Horizon float64
-	// Cutoff echoes the run's K.
-	Cutoff int
-}
-
-// OverallMeanDelay returns the request-weighted mean access time across
-// classes; NaN when nothing was served.
-func (m *Metrics) OverallMeanDelay() float64 {
-	var sum float64
-	var n int64
-	for _, cm := range m.PerClass {
-		if cm.Delay.N() > 0 {
-			sum += cm.Delay.Mean() * float64(cm.Delay.N())
-			n += cm.Delay.N()
-		}
-	}
-	if n == 0 {
-		return math.NaN()
-	}
-	return sum / float64(n)
-}
-
-// TotalCost returns Σ_c q_c · mean delay_c, the quantity Figures 5–6
-// minimise. Classes with no served requests contribute nothing.
-func (m *Metrics) TotalCost() float64 {
-	sum := 0.0
-	for _, cm := range m.PerClass {
-		if cm.Delay.N() > 0 {
-			sum += cm.Cost()
-		}
-	}
-	return sum
-}
-
-// TotalDropped sums dropped requests across classes.
-func (m *Metrics) TotalDropped() int64 {
-	var n int64
-	for _, cm := range m.PerClass {
-		n += cm.Dropped
-	}
-	return n
-}
-
-// RawTransmissions returns every completed transmission, corrupted or not —
-// the channel's raw throughput in transmissions.
-func (m *Metrics) RawTransmissions() int64 {
-	return m.PushBroadcasts + m.PullTransmissions
-}
-
-// Goodput returns the transmissions clients could actually decode: raw
-// throughput minus downlink corruption.
-func (m *Metrics) Goodput() int64 {
-	return m.RawTransmissions() - m.CorruptedPushes - m.CorruptedPulls
-}
-
-// TotalShed sums admission-shed requests across classes.
-func (m *Metrics) TotalShed() int64 {
-	var n int64
-	for _, cm := range m.PerClass {
-		n += cm.Shed
-	}
-	return n
-}
-
-// TotalFailed sums retry-exhausted requests across classes.
-func (m *Metrics) TotalFailed() int64 {
-	var n int64
-	for _, cm := range m.PerClass {
-		n += cm.Failed
-	}
-	return n
-}
 
 // pushWaiter is a client waiting for a push item's next broadcast.
 type pushWaiter struct {
@@ -389,6 +44,7 @@ type pushWaiter struct {
 // Server is one configured simulation instance.
 type Server struct {
 	cfg      Config
+	cutoff   int // effective K: 0 under the "none" push policy
 	sim      *event.Simulator
 	arrRng   *rng.Source
 	itemRng  *rng.Source
@@ -416,7 +72,7 @@ type Server struct {
 
 	warmupEnd float64
 	metrics   *Metrics
-	idle      bool // only reachable when Cutoff == 0
+	idle      bool // only reachable when the effective cutoff is 0
 }
 
 // New builds a Server from the configuration.
@@ -427,6 +83,7 @@ func New(cfg Config) (*Server, error) {
 	root := rng.New(cfg.Seed)
 	s := &Server{
 		cfg:         cfg,
+		cutoff:      cfg.Cutoff,
 		sim:         event.New(),
 		arrRng:      root.Split("arrivals"),
 		itemRng:     root.Split("items"),
@@ -435,28 +92,28 @@ func New(cfg Config) (*Server, error) {
 		warmupEnd:   cfg.Horizon * cfg.WarmupFraction,
 	}
 
-	policy := cfg.PullPolicy
-	if policy == nil {
-		p, err := sched.NewImportanceFactor(cfg.Alpha)
-		if err != nil {
-			return nil, err
-		}
-		policy = p
+	pull, err := cfg.buildPullPolicy()
+	if err != nil {
+		return nil, err
 	}
-	s.selector = sched.NewSelector(policy)
+	sel, err := sched.NewSelector(pull)
+	if err != nil {
+		return nil, err
+	}
+	s.selector = sel
 
 	if cfg.Cutoff > 0 {
-		build := cfg.PushScheduler
-		if build == nil {
-			build = func(_ *catalog.Catalog, k int) (sched.PushScheduler, error) {
-				return sched.NewFlatRoundRobin(k), nil
-			}
-		}
-		ps, err := build(cfg.Catalog, cfg.Cutoff)
+		ps, err := cfg.buildPushScheduler()
 		if err != nil {
 			return nil, err
 		}
-		s.pushSched = ps
+		if _, none := ps.(sched.NoPush); none {
+			// Pure-pull degenerate: the push set is treated as empty and
+			// every request is routed through the pull queue.
+			s.cutoff = 0
+		} else {
+			s.pushSched = ps
+		}
 	}
 
 	if cfg.Bandwidth != nil {
@@ -526,7 +183,7 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) Run() *Metrics {
 	s.observeQueue()
 	s.scheduleNextArrival()
-	if s.cfg.Cutoff > 0 {
+	if s.cutoff > 0 {
 		s.startPush()
 	} else {
 		s.idle = true
@@ -591,7 +248,7 @@ func (s *Server) handleArrival() {
 			return
 		}
 	}
-	if rank <= s.cfg.Cutoff {
+	if rank <= s.cutoff {
 		// Push item: the server ignores the request (flat broadcast will
 		// deliver it); the simulator tracks the waiter to measure delay.
 		s.pushWaiters[rank] = append(s.pushWaiters[rank], pushWaiter{class: class, arrival: now, client: clientID})
@@ -617,7 +274,7 @@ func (s *Server) handleArrival() {
 }
 
 // enqueuePull adds an admitted pull request to the selector and kicks the
-// channel if it was idle (only reachable when Cutoff == 0).
+// channel if it was idle (only reachable when the effective cutoff is 0).
 func (s *Server) enqueuePull(req pullqueue.Request) {
 	s.selector.Add(req, s.cfg.Catalog.Length(req.Item))
 	s.observeQueue()
@@ -694,7 +351,7 @@ func (s *Server) handleRetry(r pullqueue.Request) {
 	s.enqueuePull(r)
 }
 
-// startPush begins the next flat broadcast transmission.
+// startPush begins the next broadcast transmission from the push scheduler.
 func (s *Server) startPush() {
 	item := s.pushSched.Next()
 	length := s.cfg.Catalog.Length(item)
@@ -734,12 +391,13 @@ func (s *Server) completePush(item int) {
 }
 
 // attemptPull serves the best pull entry if one exists and bandwidth allows,
-// otherwise returns control to the push system (or idles when K = 0).
+// otherwise returns control to the push system (or idles when the effective
+// cutoff is 0).
 func (s *Server) attemptPull() {
 	for {
 		entry := s.selector.ExtractBest(s.sim.Now())
 		if entry == nil {
-			if s.cfg.Cutoff > 0 {
+			if s.cutoff > 0 {
 				s.startPush()
 			} else {
 				s.idle = true
@@ -766,7 +424,7 @@ func (s *Server) attemptPull() {
 				if s.cfg.RetryOnBlock {
 					continue
 				}
-				if s.cfg.Cutoff > 0 {
+				if s.cutoff > 0 {
 					s.startPush()
 				} else {
 					// Try the next entry anyway: with no push system the
@@ -810,7 +468,7 @@ func (s *Server) completePull(entry *pullqueue.Entry, grant *bandwidth.Grant) {
 		if grant != nil {
 			s.alloc.Release(grant)
 		}
-		if s.cfg.Cutoff > 0 {
+		if s.cutoff > 0 {
 			s.startPush()
 		} else {
 			s.attemptPull()
@@ -829,7 +487,7 @@ func (s *Server) completePull(entry *pullqueue.Entry, grant *bandwidth.Grant) {
 	if grant != nil {
 		s.alloc.Release(grant)
 	}
-	if s.cfg.Cutoff > 0 {
+	if s.cutoff > 0 {
 		s.startPush()
 	} else {
 		s.attemptPull()

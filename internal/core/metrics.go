@@ -1,0 +1,185 @@
+package core
+
+import (
+	"math"
+
+	"hybridqos/internal/bandwidth"
+	"hybridqos/internal/clients"
+	"hybridqos/internal/stats"
+)
+
+// ClassMetrics aggregates one service class's outcomes.
+type ClassMetrics struct {
+	// Class identifies the service class.
+	Class clients.Class
+	// Weight is the class's priority weight q_c.
+	Weight float64
+	// Arrivals counts requests from the class (after warmup).
+	Arrivals int64
+	// Served counts satisfied requests.
+	Served int64
+	// Dropped counts requests lost to bandwidth blocking.
+	Dropped int64
+	// Expired counts requests whose deadline passed before their item's
+	// transmission completed (RequestTTL mode).
+	Expired int64
+	// UplinkLost counts pull requests lost on the request back-channel
+	// (first attempts and retries whose uplink budget ran out).
+	UplinkLost int64
+	// CacheHits counts requests served from the requesting client's own
+	// cache (zero access time; included in Delay as 0).
+	CacheHits int64
+	// Retries counts client re-requests issued after corrupted pull
+	// deliveries (lossy-downlink mode).
+	Retries int64
+	// Failed counts requests abandoned after downlink corruption exhausted
+	// their retry budget.
+	Failed int64
+	// Shed counts requests refused by the class-aware overload admission
+	// controller.
+	Shed int64
+	// Delay accumulates access times (arrival → end of transmission).
+	Delay stats.Welford
+	// DelayHist holds the raw access-time samples for percentiles.
+	DelayHist stats.Histogram
+	// PushDelay and PullDelay split Delay by the serving subsystem.
+	PushDelay, PullDelay stats.Welford
+}
+
+// MeanDelay returns the class's mean access time.
+func (cm *ClassMetrics) MeanDelay() float64 { return cm.Delay.Mean() }
+
+// Cost returns the prioritised cost q_c · mean delay (§5.3).
+func (cm *ClassMetrics) Cost() float64 { return cm.Weight * cm.Delay.Mean() }
+
+// DropRate returns dropped/(served+dropped+expired), 0 when nothing
+// completed.
+func (cm *ClassMetrics) DropRate() float64 {
+	total := cm.Served + cm.Dropped + cm.Expired
+	if total == 0 {
+		return 0
+	}
+	return float64(cm.Dropped) / float64(total)
+}
+
+// ExpiryRate returns expired/(served+dropped+expired), 0 when nothing
+// completed.
+func (cm *ClassMetrics) ExpiryRate() float64 {
+	total := cm.Served + cm.Dropped + cm.Expired
+	if total == 0 {
+		return 0
+	}
+	return float64(cm.Expired) / float64(total)
+}
+
+// Failures sums the class's terminal failure outcomes: bandwidth drops,
+// deadline expiries, retry-budget exhaustion and admission shedding.
+// First-attempt uplink losses are excluded — the back-channel is class-blind
+// and its losses never reach the server's scheduling decisions.
+func (cm *ClassMetrics) Failures() int64 {
+	return cm.Dropped + cm.Expired + cm.Failed + cm.Shed
+}
+
+// FailureRate returns Failures/(Served+Failures) — the per-class probability
+// a request that reached the server ended without delivery. 0 when nothing
+// completed.
+func (cm *ClassMetrics) FailureRate() float64 {
+	total := cm.Served + cm.Failures()
+	if total == 0 {
+		return 0
+	}
+	return float64(cm.Failures()) / float64(total)
+}
+
+// Metrics is the result of one run.
+type Metrics struct {
+	// PerClass holds one entry per service class, class 0 first.
+	PerClass []*ClassMetrics
+	// PushBroadcasts and PullTransmissions count completed transmissions,
+	// including corrupted ones (raw channel throughput).
+	PushBroadcasts, PullTransmissions int64
+	// BlockedTransmissions counts pull entries dropped for bandwidth.
+	BlockedTransmissions int64
+	// CorruptedPushes and CorruptedPulls count transmissions lost on the
+	// lossy downlink — the gap between raw throughput and goodput.
+	CorruptedPushes, CorruptedPulls int64
+	// QueueItems tracks the time-averaged number of distinct queued items.
+	QueueItems stats.TimeWeighted
+	// QueueRequests tracks the time-averaged pending request count.
+	QueueRequests stats.TimeWeighted
+	// Bandwidth holds per-class allocator statistics when enabled.
+	Bandwidth []bandwidth.ClassStats
+	// Horizon is the simulated duration.
+	Horizon float64
+	// Cutoff echoes the run's configured K (under the "none" push policy
+	// the effective push set is empty regardless).
+	Cutoff int
+}
+
+// OverallMeanDelay returns the request-weighted mean access time across
+// classes; NaN when nothing was served.
+func (m *Metrics) OverallMeanDelay() float64 {
+	var sum float64
+	var n int64
+	for _, cm := range m.PerClass {
+		if cm.Delay.N() > 0 {
+			sum += cm.Delay.Mean() * float64(cm.Delay.N())
+			n += cm.Delay.N()
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// TotalCost returns Σ_c q_c · mean delay_c, the quantity Figures 5–6
+// minimise. Classes with no served requests contribute nothing.
+func (m *Metrics) TotalCost() float64 {
+	sum := 0.0
+	for _, cm := range m.PerClass {
+		if cm.Delay.N() > 0 {
+			sum += cm.Cost()
+		}
+	}
+	return sum
+}
+
+// TotalDropped sums dropped requests across classes.
+func (m *Metrics) TotalDropped() int64 {
+	var n int64
+	for _, cm := range m.PerClass {
+		n += cm.Dropped
+	}
+	return n
+}
+
+// RawTransmissions returns every completed transmission, corrupted or not —
+// the channel's raw throughput in transmissions.
+func (m *Metrics) RawTransmissions() int64 {
+	return m.PushBroadcasts + m.PullTransmissions
+}
+
+// Goodput returns the transmissions clients could actually decode: raw
+// throughput minus downlink corruption.
+func (m *Metrics) Goodput() int64 {
+	return m.RawTransmissions() - m.CorruptedPushes - m.CorruptedPulls
+}
+
+// TotalShed sums admission-shed requests across classes.
+func (m *Metrics) TotalShed() int64 {
+	var n int64
+	for _, cm := range m.PerClass {
+		n += cm.Shed
+	}
+	return n
+}
+
+// TotalFailed sums retry-exhausted requests across classes.
+func (m *Metrics) TotalFailed() int64 {
+	var n int64
+	for _, cm := range m.PerClass {
+		n += cm.Failed
+	}
+	return n
+}

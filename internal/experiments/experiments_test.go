@@ -302,8 +302,8 @@ func TestAllRunsEveryGenerator(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(figs) != 11 {
-		t.Fatalf("All returned %d figures, want 11", len(figs))
+	if len(figs) != 12 {
+		t.Fatalf("All returned %d figures, want 12", len(figs))
 	}
 	seen := map[string]bool{}
 	for _, f := range figs {
@@ -312,7 +312,7 @@ func TestAllRunsEveryGenerator(t *testing.T) {
 		}
 		seen[f.ID] = true
 	}
-	for _, id := range []string{"FIG3", "FIG4", "FIG5", "FIG6", "FIG7", "EXT-BLOCK", "EXT-MULTI", "EXT-CHAN", "EXT-INDEX", "EXT-LOAD", "EXT-FAULTS"} {
+	for _, id := range []string{"FIG3", "FIG4", "FIG5", "FIG6", "FIG7", "EXT-BLOCK", "EXT-MULTI", "EXT-CHAN", "EXT-INDEX", "EXT-LOAD", "EXT-FAULTS", "EXT-POLICY"} {
 		if !seen[id] {
 			t.Fatalf("missing figure %s", id)
 		}
@@ -386,6 +386,28 @@ func TestExtFaults(t *testing.T) {
 	for _, c := range f.Claims {
 		if !c.Pass {
 			t.Fatalf("claim failed: %s — %s", c.Name, c.Detail)
+		}
+	}
+}
+
+func TestExtPolicyClaims(t *testing.T) {
+	p := fastParams()
+	p.Horizon = 8000 // class spread needs statistical depth
+	f, err := ExtPolicy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != 7 {
+		t.Fatalf("%d series, want 5 pull + 2 push variants", len(f.Series))
+	}
+	for _, s := range f.Series {
+		if len(s.X) != 3 || len(s.Y) != 3 {
+			t.Fatalf("series %s has %d/%d points", s.Name, len(s.X), len(s.Y))
+		}
+	}
+	for _, c := range f.Claims {
+		if !c.Pass {
+			t.Errorf("claim %q failed: %s", c.Name, c.Detail)
 		}
 	}
 }

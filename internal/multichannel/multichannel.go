@@ -167,6 +167,10 @@ func Run(cfg Config) (*Metrics, error) {
 		}
 		policy = p
 	}
+	selector, err := sched.NewSelector(policy)
+	if err != nil {
+		return nil, err
+	}
 	s := &server{
 		cfg:       cfg,
 		sim:       event.New(),
@@ -174,7 +178,7 @@ func Run(cfg Config) (*Metrics, error) {
 		itemRng:   root.Split("items"),
 		classRng:  root.Split("classes"),
 		rate:      1 / float64(cfg.PushChannels+cfg.PullChannels),
-		selector:  sched.NewSelector(policy),
+		selector:  selector,
 		waiters:   make(map[int][]pushWaiter),
 		warmupEnd: cfg.Horizon * cfg.WarmupFraction,
 		metrics:   &Metrics{Horizon: cfg.Horizon},

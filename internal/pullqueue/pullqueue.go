@@ -5,13 +5,25 @@
 //	stretch   S_i = R_i / L_i²                    (max-request min-service-time)
 //	priority  Q_i = Σ_{requests j for i} q_j      (summed client priorities)
 //
-// The item extracted is argmax γ_i = α·S_i + (1−α)·Q_i (paper Eq. 1), ties
-// broken by lowest rank so runs are deterministic.
+// Entry.Stretch and Entry.Gamma are the single canonical implementation of
+// those quantities — every scheduling policy (internal/sched) scores entries
+// through them, so a score computed by a policy and a score computed by a
+// queue can never drift apart.
 //
-// Two implementations are provided: Heap (indexed binary max-heap,
-// O(log n) add/extract — scores only grow while an item waits, so position
-// fixes are pure sift-ups) and Linear (O(n) scan), which serves as the
-// obviously-correct reference in property tests and as an ablation baseline.
+// Selection itself is pluggable: both queue implementations take an injected
+// ScoreFunc and extract the entry with the maximum score, ties broken by
+// lowest item rank so runs are deterministic. Two implementations are
+// provided: Heap (indexed binary max-heap, O(log n) add/extract — restricted
+// to time-independent scores that never decrease when a request is added, so
+// position fixes are pure sift-ups) and Linear (O(n) scan re-evaluating the
+// score at extraction time), which supports time-dependent ageing policies
+// (RxW-style) and doubles as the obviously-correct reference in property
+// tests and as an ablation baseline.
+//
+// Validation is front-loaded: constructors return typed errors (AlphaError)
+// and ValidateRequest reports RankError/PriorityError/LengthError, all
+// surfaced through core.Config.Validate before a simulation starts. The hot
+// Add/ExtractMax paths trust validated inputs and never panic.
 package pullqueue
 
 import (
@@ -84,60 +96,129 @@ func (e *Entry) HighestClass() clients.Class {
 	return best
 }
 
+// ScoreFunc scores an entry for selection; the highest score wins, ties
+// broken by lowest item rank. now is the current simulated time — Linear
+// re-evaluates scores at every extraction, so time-dependent (ageing)
+// scores work there. Heap evaluates scores with now = 0 and requires them
+// to (a) ignore now and (b) never decrease when a request is added to the
+// entry; violating either silently breaks heap order.
+type ScoreFunc func(e *Entry, now float64) float64
+
+// AlphaError reports an importance-factor mixing fraction outside [0,1].
+type AlphaError struct{ Alpha float64 }
+
+func (e *AlphaError) Error() string {
+	return fmt.Sprintf("pullqueue: alpha %g outside [0,1]", e.Alpha)
+}
+
+// RankError reports a non-positive item rank.
+type RankError struct{ Item int }
+
+func (e *RankError) Error() string {
+	return fmt.Sprintf("pullqueue: invalid item rank %d", e.Item)
+}
+
+// PriorityError reports a non-positive or NaN request priority.
+type PriorityError struct{ Priority float64 }
+
+func (e *PriorityError) Error() string {
+	return fmt.Sprintf("pullqueue: invalid priority %g", e.Priority)
+}
+
+// LengthError reports a non-positive or NaN item length.
+type LengthError struct {
+	Item   int
+	Length float64
+}
+
+func (e *LengthError) Error() string {
+	return fmt.Sprintf("pullqueue: invalid length %g for item %d", e.Length, e.Item)
+}
+
+// ValidateAlpha reports whether α is a usable mixing fraction.
+func ValidateAlpha(alpha float64) error {
+	if alpha < 0 || alpha > 1 || math.IsNaN(alpha) {
+		return &AlphaError{Alpha: alpha}
+	}
+	return nil
+}
+
+// ValidateRequest reports whether a request and its item length satisfy the
+// queue invariants. The queues themselves trust their inputs — callers
+// validate once at configuration time (core.Config.Validate audits every
+// catalog length and class weight), not on the hot enqueue path.
+func ValidateRequest(req Request, length float64) error {
+	if req.Item < 1 {
+		return &RankError{Item: req.Item}
+	}
+	if req.Priority <= 0 || math.IsNaN(req.Priority) {
+		return &PriorityError{Priority: req.Priority}
+	}
+	if length <= 0 || math.IsNaN(length) {
+		return &LengthError{Item: req.Item, Length: length}
+	}
+	return nil
+}
+
+// GammaScore returns the paper's importance-factor score γ(α) as an
+// injectable ScoreFunc. The score is time-independent and grows monotonically
+// as requests accumulate, so it is heap-safe.
+func GammaScore(alpha float64) (ScoreFunc, error) {
+	if err := ValidateAlpha(alpha); err != nil {
+		return nil, err
+	}
+	return func(e *Entry, _ float64) float64 { return e.Gamma(alpha) }, nil
+}
+
 // Queue is the interface shared by the heap and linear implementations.
 type Queue interface {
-	// Add enqueues a request; the item's length must be supplied (used only
-	// on the item's first pending request).
+	// Add enqueues a request (length fixes the item's transmission time on
+	// the item's first pending request). Inputs must satisfy
+	// ValidateRequest; the queue does not re-check them.
 	Add(req Request, length float64)
-	// ExtractMax removes and returns the entry with the largest γ under the
-	// queue's α, or nil if the queue is empty.
-	ExtractMax() *Entry
+	// ExtractMax removes and returns the entry with the largest score at
+	// time now, or nil if the queue is empty.
+	ExtractMax(now float64) *Entry
 	// Peek returns the current max entry without removing it, or nil.
-	Peek() *Entry
+	Peek(now float64) *Entry
+	// Remove discards a specific item's entry (blocked transmissions),
+	// returning it or nil.
+	Remove(item int) *Entry
 	// Items returns the number of distinct items queued.
 	Items() int
 	// Requests returns the total number of pending requests.
 	Requests() int
-	// Alpha returns the stretch/priority mixing fraction.
-	Alpha() float64
 }
 
-// validateAlpha rejects α outside [0,1].
-func validateAlpha(alpha float64) {
-	if alpha < 0 || alpha > 1 || math.IsNaN(alpha) {
-		panic(fmt.Sprintf("pullqueue: alpha %g outside [0,1]", alpha))
-	}
-}
-
-func validateRequest(req Request, length float64) {
-	if req.Item < 1 {
-		panic(fmt.Sprintf("pullqueue: invalid item rank %d", req.Item))
-	}
-	if req.Priority <= 0 || math.IsNaN(req.Priority) {
-		panic(fmt.Sprintf("pullqueue: invalid priority %g", req.Priority))
-	}
-	if length <= 0 || math.IsNaN(length) {
-		panic(fmt.Sprintf("pullqueue: invalid length %g for item %d", length, req.Item))
-	}
-}
-
-// Heap is the production pull queue: an indexed binary max-heap over
-// entries keyed by γ, with an item-rank index for O(1) entry lookup.
+// Heap is the production pull queue: an indexed binary max-heap over entries
+// keyed by an injected time-independent score, with an item-rank index for
+// O(1) entry lookup.
 type Heap struct {
-	alpha    float64
+	score    ScoreFunc
 	heap     []*Entry
 	byItem   map[int]*Entry
 	requests int
 }
 
-// NewHeap returns an empty heap-backed queue with the given α.
-func NewHeap(alpha float64) *Heap {
-	validateAlpha(alpha)
-	return &Heap{alpha: alpha, byItem: make(map[int]*Entry)}
+// NewHeap returns an empty heap-backed queue ordered by the paper's
+// importance factor γ(α) — the common case, kept as a convenience.
+func NewHeap(alpha float64) (*Heap, error) {
+	score, err := GammaScore(alpha)
+	if err != nil {
+		return nil, err
+	}
+	return NewHeapFunc(score)
 }
 
-// Alpha returns the mixing fraction.
-func (h *Heap) Alpha() float64 { return h.alpha }
+// NewHeapFunc returns an empty heap-backed queue ordered by score. The score
+// must be time-independent and must not decrease when a request is added to
+// an entry (see ScoreFunc).
+func NewHeapFunc(score ScoreFunc) (*Heap, error) {
+	if score == nil {
+		return nil, fmt.Errorf("pullqueue: nil score function")
+	}
+	return &Heap{score: score, byItem: make(map[int]*Entry)}, nil
+}
 
 // Items returns the number of distinct queued items.
 func (h *Heap) Items() int { return len(h.heap) }
@@ -149,9 +230,9 @@ func (h *Heap) Requests() int { return h.requests }
 func (h *Heap) Entry(item int) *Entry { return h.byItem[item] }
 
 // Add enqueues a request, creating the item's entry if needed. Adding a
-// request can only increase the entry's γ, so a sift-up restores heap order.
+// request can only increase the entry's score, so a sift-up restores heap
+// order.
 func (h *Heap) Add(req Request, length float64) {
-	validateRequest(req, length)
 	e := h.byItem[req.Item]
 	if e == nil {
 		e = &Entry{
@@ -173,11 +254,11 @@ func (h *Heap) Add(req Request, length float64) {
 }
 
 // less reports whether heap[i] has strictly lower selection precedence than
-// heap[j]: smaller γ, or equal γ and larger rank.
+// heap[j]: smaller score, or equal score and larger rank.
 func (h *Heap) less(i, j int) bool {
-	gi, gj := h.heap[i].Gamma(h.alpha), h.heap[j].Gamma(h.alpha)
-	if gi != gj {
-		return gi < gj
+	si, sj := h.score(h.heap[i], 0), h.score(h.heap[j], 0)
+	if si != sj {
+		return si < sj
 	}
 	return h.heap[i].Item > h.heap[j].Item
 }
@@ -218,16 +299,16 @@ func (h *Heap) siftDown(i int) {
 	}
 }
 
-// Peek returns the max-γ entry without removing it.
-func (h *Heap) Peek() *Entry {
+// Peek returns the max-score entry without removing it.
+func (h *Heap) Peek(_ float64) *Entry {
 	if len(h.heap) == 0 {
 		return nil
 	}
 	return h.heap[0]
 }
 
-// ExtractMax removes and returns the max-γ entry.
-func (h *Heap) ExtractMax() *Entry {
+// ExtractMax removes and returns the max-score entry.
+func (h *Heap) ExtractMax(_ float64) *Entry {
 	if len(h.heap) == 0 {
 		return nil
 	}
@@ -267,22 +348,34 @@ func (h *Heap) Remove(item int) *Entry {
 	return e
 }
 
-// Linear is the O(n)-scan reference implementation of Queue.
+// Linear is the O(n)-scan implementation of Queue. It re-evaluates the score
+// at every extraction, so time-dependent (ageing) scores are supported; it
+// also serves as the obviously-correct reference in property tests.
 type Linear struct {
-	alpha    float64
+	score    ScoreFunc
 	entries  []*Entry
 	byItem   map[int]*Entry
 	requests int
 }
 
-// NewLinear returns an empty scan-backed queue with the given α.
-func NewLinear(alpha float64) *Linear {
-	validateAlpha(alpha)
-	return &Linear{alpha: alpha, byItem: make(map[int]*Entry)}
+// NewLinear returns an empty scan-backed queue ordered by the paper's
+// importance factor γ(α).
+func NewLinear(alpha float64) (*Linear, error) {
+	score, err := GammaScore(alpha)
+	if err != nil {
+		return nil, err
+	}
+	return NewLinearFunc(score)
 }
 
-// Alpha returns the mixing fraction.
-func (l *Linear) Alpha() float64 { return l.alpha }
+// NewLinearFunc returns an empty scan-backed queue ordered by score, which
+// may be time-dependent.
+func NewLinearFunc(score ScoreFunc) (*Linear, error) {
+	if score == nil {
+		return nil, fmt.Errorf("pullqueue: nil score function")
+	}
+	return &Linear{score: score, byItem: make(map[int]*Entry)}, nil
+}
 
 // Items returns the number of distinct queued items.
 func (l *Linear) Items() int { return len(l.entries) }
@@ -292,7 +385,6 @@ func (l *Linear) Requests() int { return l.requests }
 
 // Add enqueues a request.
 func (l *Linear) Add(req Request, length float64) {
-	validateRequest(req, length)
 	e := l.byItem[req.Item]
 	if e == nil {
 		e = &Entry{Item: req.Item, Length: length, FirstArrival: req.Arrival, heapIndex: -1}
@@ -307,37 +399,53 @@ func (l *Linear) Add(req Request, length float64) {
 	l.requests++
 }
 
-// argMax returns the index of the max-γ entry, or -1 when empty.
-func (l *Linear) argMax() int {
+// argMax returns the index of the max-score entry at time now, or -1 when
+// empty.
+func (l *Linear) argMax(now float64) int {
 	best := -1
+	var bestScore float64
 	for i, e := range l.entries {
-		if best == -1 {
-			best = i
-			continue
-		}
-		gb, ge := l.entries[best].Gamma(l.alpha), e.Gamma(l.alpha)
-		if ge > gb || (ge == gb && e.Item < l.entries[best].Item) {
-			best = i
+		s := l.score(e, now)
+		if best == -1 || s > bestScore || (s == bestScore && e.Item < l.entries[best].Item) {
+			best, bestScore = i, s
 		}
 	}
 	return best
 }
 
-// Peek returns the max-γ entry without removing it.
-func (l *Linear) Peek() *Entry {
-	i := l.argMax()
+// Peek returns the max-score entry at time now without removing it.
+func (l *Linear) Peek(now float64) *Entry {
+	i := l.argMax(now)
 	if i < 0 {
 		return nil
 	}
 	return l.entries[i]
 }
 
-// ExtractMax removes and returns the max-γ entry.
-func (l *Linear) ExtractMax() *Entry {
-	i := l.argMax()
+// ExtractMax removes and returns the max-score entry at time now.
+func (l *Linear) ExtractMax(now float64) *Entry {
+	i := l.argMax(now)
 	if i < 0 {
 		return nil
 	}
+	return l.removeAt(i)
+}
+
+// Remove drops a specific item's entry, returning it or nil.
+func (l *Linear) Remove(item int) *Entry {
+	e := l.byItem[item]
+	if e == nil {
+		return nil
+	}
+	for i, cand := range l.entries {
+		if cand == e {
+			return l.removeAt(i)
+		}
+	}
+	return nil
+}
+
+func (l *Linear) removeAt(i int) *Entry {
 	e := l.entries[i]
 	l.entries[i] = l.entries[len(l.entries)-1]
 	l.entries[len(l.entries)-1] = nil

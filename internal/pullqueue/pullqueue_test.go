@@ -1,6 +1,7 @@
 package pullqueue
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -13,8 +14,26 @@ func req(item int, class clients.Class, prio, arrival float64) Request {
 	return Request{Item: item, Class: class, Priority: prio, Arrival: arrival}
 }
 
+func mustHeap(t testing.TB, alpha float64) *Heap {
+	t.Helper()
+	h, err := NewHeap(alpha)
+	if err != nil {
+		t.Fatalf("NewHeap(%g): %v", alpha, err)
+	}
+	return h
+}
+
+func mustLinear(t testing.TB, alpha float64) *Linear {
+	t.Helper()
+	l, err := NewLinear(alpha)
+	if err != nil {
+		t.Fatalf("NewLinear(%g): %v", alpha, err)
+	}
+	return l
+}
+
 func TestEntryDerivedQuantities(t *testing.T) {
-	h := NewHeap(0.5)
+	h := mustHeap(t, 0.5)
 	h.Add(req(7, 1, 2, 10), 4)
 	h.Add(req(7, 0, 3, 12), 4)
 	h.Add(req(7, 2, 1, 8), 4)
@@ -56,81 +75,81 @@ func TestHighestClassEmptyPanics(t *testing.T) {
 
 func TestAlphaExtremes(t *testing.T) {
 	// α=1: pure stretch — many small requests beat one high-priority one.
-	h := NewHeap(1)
+	h := mustHeap(t, 1)
 	h.Add(req(1, 0, 100, 0), 1) // S=1, Q=100
 	for i := 0; i < 5; i++ {
 		h.Add(req(2, 2, 1, 0), 1) // S=5, Q=5
 	}
-	if got := h.ExtractMax().Item; got != 2 {
+	if got := h.ExtractMax(0).Item; got != 2 {
 		t.Fatalf("alpha=1 extracted item %d, want stretch-max 2", got)
 	}
 
 	// α=0: pure priority — the high-priority item wins.
-	h0 := NewHeap(0)
+	h0 := mustHeap(t, 0)
 	h0.Add(req(1, 0, 100, 0), 1)
 	for i := 0; i < 5; i++ {
 		h0.Add(req(2, 2, 1, 0), 1)
 	}
-	if got := h0.ExtractMax().Item; got != 1 {
+	if got := h0.ExtractMax(0).Item; got != 1 {
 		t.Fatalf("alpha=0 extracted item %d, want priority-max 1", got)
 	}
 }
 
 func TestLongItemsPenalizedByStretch(t *testing.T) {
-	h := NewHeap(1)
+	h := mustHeap(t, 1)
 	h.Add(req(1, 0, 1, 0), 5) // S = 1/25
 	h.Add(req(2, 0, 1, 0), 1) // S = 1
-	if got := h.ExtractMax().Item; got != 2 {
+	if got := h.ExtractMax(0).Item; got != 2 {
 		t.Fatalf("stretch should prefer the short item; got %d", got)
 	}
 }
 
 func TestTieBreakLowestRank(t *testing.T) {
 	for _, mk := range []func() Queue{
-		func() Queue { return NewHeap(0.5) },
-		func() Queue { return NewLinear(0.5) },
+		func() Queue { return mustHeap(t, 0.5) },
+		func() Queue { return mustLinear(t, 0.5) },
 	} {
 		q := mk()
 		q.Add(req(9, 0, 2, 0), 2)
 		q.Add(req(3, 0, 2, 0), 2)
 		q.Add(req(6, 0, 2, 0), 2)
-		if got := q.ExtractMax().Item; got != 3 {
+		if got := q.ExtractMax(0).Item; got != 3 {
 			t.Fatalf("tie-break extracted %d, want 3", got)
 		}
 	}
 }
 
 func TestExtractEmptyReturnsNil(t *testing.T) {
-	if NewHeap(0.5).ExtractMax() != nil || NewLinear(0.5).ExtractMax() != nil {
+	if mustHeap(t, 0.5).ExtractMax(0) != nil || mustLinear(t, 0.5).ExtractMax(0) != nil {
 		t.Fatal("ExtractMax on empty queue != nil")
 	}
-	if NewHeap(0.5).Peek() != nil || NewLinear(0.5).Peek() != nil {
+	if mustHeap(t, 0.5).Peek(0) != nil || mustLinear(t, 0.5).Peek(0) != nil {
 		t.Fatal("Peek on empty queue != nil")
 	}
 }
 
 func TestCountsTrackAddsAndExtracts(t *testing.T) {
-	h := NewHeap(0.5)
+	h := mustHeap(t, 0.5)
 	h.Add(req(1, 0, 3, 0), 2)
 	h.Add(req(1, 1, 2, 1), 2)
 	h.Add(req(2, 2, 1, 2), 3)
 	if h.Items() != 2 || h.Requests() != 3 {
 		t.Fatalf("Items=%d Requests=%d", h.Items(), h.Requests())
 	}
-	e := h.ExtractMax()
+	e := h.ExtractMax(0)
 	if h.Items() != 1 || h.Requests() != 3-len(e.Requests) {
 		t.Fatalf("after extract: Items=%d Requests=%d", h.Items(), h.Requests())
 	}
-	h.ExtractMax()
+	h.ExtractMax(0)
 	if h.Items() != 0 || h.Requests() != 0 {
 		t.Fatalf("after drain: Items=%d Requests=%d", h.Items(), h.Requests())
 	}
 }
 
 func TestReAddAfterExtract(t *testing.T) {
-	h := NewHeap(0.5)
+	h := mustHeap(t, 0.5)
 	h.Add(req(4, 0, 1, 0), 2)
-	h.ExtractMax()
+	h.ExtractMax(0)
 	h.Add(req(4, 1, 2, 5), 2)
 	e := h.Entry(4)
 	if e == nil || e.NumRequests() != 1 || e.SumPriority != 2 || e.FirstArrival != 5 {
@@ -139,7 +158,7 @@ func TestReAddAfterExtract(t *testing.T) {
 }
 
 func TestRemove(t *testing.T) {
-	h := NewHeap(0.5)
+	h := mustHeap(t, 0.5)
 	for i := 1; i <= 10; i++ {
 		h.Add(req(i, 0, float64(i), 0), 1)
 	}
@@ -159,7 +178,7 @@ func TestRemove(t *testing.T) {
 	// (alpha=0.5, all stretch equal contributions differ by Q here).
 	prev := math.Inf(1)
 	for h.Items() > 0 {
-		g := h.ExtractMax().Gamma(0.5)
+		g := h.ExtractMax(0).Gamma(0.5)
 		if g > prev+1e-12 {
 			t.Fatalf("extraction order broken after Remove: %g after %g", g, prev)
 		}
@@ -167,25 +186,137 @@ func TestRemove(t *testing.T) {
 	}
 }
 
-func TestValidationPanics(t *testing.T) {
-	cases := []func(){
-		func() { NewHeap(-0.1) },
-		func() { NewHeap(1.1) },
-		func() { NewHeap(math.NaN()) },
-		func() { NewHeap(0.5).Add(req(0, 0, 1, 0), 1) }, // bad rank
-		func() { NewHeap(0.5).Add(req(1, 0, 0, 0), 1) }, // bad priority
-		func() { NewHeap(0.5).Add(req(1, 0, 1, 0), 0) }, // bad length
-		func() { NewLinear(0.5).Add(req(1, 0, 1, 0), -1) },
+func TestLinearRemove(t *testing.T) {
+	l := mustLinear(t, 0.5)
+	for i := 1; i <= 10; i++ {
+		l.Add(req(i, 0, float64(i), 0), 1)
 	}
-	for i, f := range cases {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("case %d did not panic", i)
-				}
-			}()
-			f()
-		}()
+	if e := l.Remove(5); e == nil || e.Item != 5 {
+		t.Fatal("Remove(5) failed")
+	}
+	if l.Remove(5) != nil {
+		t.Fatal("double Remove returned entry")
+	}
+	if l.Remove(99) != nil {
+		t.Fatal("Remove of absent item returned entry")
+	}
+	if l.Items() != 9 || l.Requests() != 9 {
+		t.Fatalf("after remove: Items=%d Requests=%d", l.Items(), l.Requests())
+	}
+	for want := 10; l.Items() > 0; want-- {
+		if want == 5 {
+			want--
+		}
+		if got := l.ExtractMax(0).Item; got != want {
+			t.Fatalf("extraction after Remove: got item %d, want %d", got, want)
+		}
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	for _, alpha := range []float64{-0.1, 1.1, math.NaN()} {
+		var ae *AlphaError
+		if _, err := NewHeap(alpha); err == nil || !errors.As(err, &ae) {
+			t.Errorf("NewHeap(%g) error = %v, want AlphaError", alpha, err)
+		}
+		if _, err := NewLinear(alpha); err == nil {
+			t.Errorf("NewLinear(%g) did not error", alpha)
+		}
+		if _, err := GammaScore(alpha); err == nil {
+			t.Errorf("GammaScore(%g) did not error", alpha)
+		}
+	}
+	if _, err := NewHeapFunc(nil); err == nil {
+		t.Error("NewHeapFunc(nil) did not error")
+	}
+	if _, err := NewLinearFunc(nil); err == nil {
+		t.Error("NewLinearFunc(nil) did not error")
+	}
+
+	cases := []struct {
+		req    Request
+		length float64
+		want   any
+	}{
+		{req(0, 0, 1, 0), 1, &RankError{}},
+		{req(-3, 0, 1, 0), 1, &RankError{}},
+		{req(1, 0, 0, 0), 1, &PriorityError{}},
+		{req(1, 0, math.NaN(), 0), 1, &PriorityError{}},
+		{req(1, 0, 1, 0), 0, &LengthError{}},
+		{req(1, 0, 1, 0), -1, &LengthError{}},
+		{req(1, 0, 1, 0), math.NaN(), &LengthError{}},
+	}
+	for i, c := range cases {
+		err := ValidateRequest(c.req, c.length)
+		if err == nil {
+			t.Errorf("case %d: ValidateRequest did not error", i)
+			continue
+		}
+		ok := false
+		switch c.want.(type) {
+		case *RankError:
+			var e *RankError
+			ok = errors.As(err, &e)
+		case *PriorityError:
+			var e *PriorityError
+			ok = errors.As(err, &e)
+		case *LengthError:
+			var e *LengthError
+			ok = errors.As(err, &e)
+		}
+		if !ok {
+			t.Errorf("case %d: error %v has wrong type (want %T)", i, err, c.want)
+		}
+	}
+	if err := ValidateRequest(req(1, 0, 1, 0), 2); err != nil {
+		t.Errorf("valid request rejected: %v", err)
+	}
+}
+
+// The linear queue re-evaluates scores at extraction time, so a
+// time-dependent (ageing) score selects by current wait, not enqueue state.
+func TestLinearTimeDependentScore(t *testing.T) {
+	// RxW-style score: requests × wait of the oldest request.
+	rxw := func(e *Entry, now float64) float64 {
+		return float64(e.NumRequests()) * (now - e.FirstArrival)
+	}
+	l, err := NewLinearFunc(rxw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Add(req(1, 0, 1, 0), 1) // 1 request, waiting since t=0
+	l.Add(req(2, 0, 1, 8), 1) // 2 requests, waiting since t=8
+	l.Add(req(2, 0, 1, 9), 1)
+	// At now=10: item 1 scores 1·10=10, item 2 scores 2·2=4.
+	if got := l.Peek(10).Item; got != 1 {
+		t.Fatalf("at now=10 peek = %d, want 1", got)
+	}
+	// At now=30: item 1 scores 30, item 2 scores 2·22=44.
+	if got := l.ExtractMax(30).Item; got != 2 {
+		t.Fatalf("at now=30 extract = %d, want 2", got)
+	}
+}
+
+// Regression (satellite: de-duplicated scoring): GammaScore must agree
+// exactly with Entry.Gamma for arbitrary entries and α.
+func TestGammaScoreMatchesEntryGamma(t *testing.T) {
+	r := rng.New(11)
+	for i := 0; i < 500; i++ {
+		alpha := r.Float64()
+		score, err := GammaScore(alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := &Entry{Item: r.Intn(100) + 1, Length: float64(r.Intn(5) + 1)}
+		n := r.Intn(6) + 1
+		for j := 0; j < n; j++ {
+			p := float64(r.Intn(3) + 1)
+			e.Requests = append(e.Requests, req(e.Item, 0, p, float64(j)))
+			e.SumPriority += p
+		}
+		if got, want := score(e, 0), e.Gamma(alpha); got != want {
+			t.Fatalf("score=%g gamma=%g (alpha=%g)", got, want, alpha)
+		}
 	}
 }
 
@@ -195,12 +326,12 @@ func TestPropertyHeapMatchesLinear(t *testing.T) {
 	r := rng.New(99)
 	check := func(alphaRaw uint8, ops []uint16) bool {
 		alpha := float64(alphaRaw%101) / 100
-		h := NewHeap(alpha)
-		l := NewLinear(alpha)
+		h := mustHeap(t, alpha)
+		l := mustLinear(t, alpha)
 		tNow := 0.0
 		for _, op := range ops {
 			if op%4 == 3 && h.Items() > 0 {
-				he, le := h.ExtractMax(), l.ExtractMax()
+				he, le := h.ExtractMax(tNow), l.ExtractMax(tNow)
 				if he.Item != le.Item || he.NumRequests() != le.NumRequests() {
 					return false
 				}
@@ -222,7 +353,7 @@ func TestPropertyHeapMatchesLinear(t *testing.T) {
 		}
 		// Drain and compare the full extraction order.
 		for h.Items() > 0 || l.Items() > 0 {
-			he, le := h.ExtractMax(), l.ExtractMax()
+			he, le := h.ExtractMax(tNow), l.ExtractMax(tNow)
 			if (he == nil) != (le == nil) {
 				return false
 			}
@@ -241,7 +372,7 @@ func TestPropertyHeapMatchesLinear(t *testing.T) {
 func TestPropertyExtractionMonotone(t *testing.T) {
 	check := func(alphaRaw uint8, ops []uint16) bool {
 		alpha := float64(alphaRaw%101) / 100
-		h := NewHeap(alpha)
+		h := mustHeap(t, alpha)
 		for i, op := range ops {
 			if i > 300 {
 				break
@@ -250,7 +381,7 @@ func TestPropertyExtractionMonotone(t *testing.T) {
 		}
 		prev := math.Inf(1)
 		for h.Items() > 0 {
-			g := h.ExtractMax().Gamma(alpha)
+			g := h.ExtractMax(0).Gamma(alpha)
 			if g > prev+1e-9 {
 				return false
 			}
@@ -267,35 +398,64 @@ func buildWorkload(n int) []Request {
 	r := rng.New(7)
 	reqs := make([]Request, n)
 	for i := range reqs {
-		reqs[i] = req(r.Intn(90)+1, clients.Class(r.Intn(3)), float64(r.Intn(3)+1), float64(i))
+		// Spread items so queue size actually scales with n (distinct item
+		// count ≈ min(n, catalog)); catalog grows with the workload.
+		reqs[i] = req(r.Intn(max(n/2, 10))+1, clients.Class(r.Intn(3)), float64(r.Intn(3)+1), float64(i))
 	}
 	return reqs
 }
 
+var benchSizes = []int{100, 1000, 10000, 100000}
+
 func BenchmarkHeapAddExtract(b *testing.B) {
-	reqs := buildWorkload(1024)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		h := NewHeap(0.5)
-		for _, rq := range reqs {
-			h.Add(rq, 2)
-		}
-		for h.Items() > 0 {
-			h.ExtractMax()
-		}
+	for _, n := range benchSizes {
+		reqs := buildWorkload(n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				h := mustHeap(b, 0.5)
+				for _, rq := range reqs {
+					h.Add(rq, 2)
+				}
+				for h.Items() > 0 {
+					h.ExtractMax(0)
+				}
+			}
+		})
 	}
 }
 
 func BenchmarkLinearAddExtract(b *testing.B) {
-	reqs := buildWorkload(1024)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		l := NewLinear(0.5)
-		for _, rq := range reqs {
-			l.Add(rq, 2)
+	for _, n := range benchSizes {
+		if n > 10000 {
+			// O(n²) scans: 10⁵ items would take minutes per iteration.
+			continue
 		}
-		for l.Items() > 0 {
-			l.ExtractMax()
-		}
+		reqs := buildWorkload(n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				l := mustLinear(b, 0.5)
+				for _, rq := range reqs {
+					l.Add(rq, 2)
+				}
+				for l.Items() > 0 {
+					l.ExtractMax(0)
+				}
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	switch {
+	case n >= 1000000:
+		return "n=1e6"
+	case n >= 100000:
+		return "n=1e5"
+	case n >= 10000:
+		return "n=1e4"
+	case n >= 1000:
+		return "n=1e3"
+	default:
+		return "n=1e2"
 	}
 }

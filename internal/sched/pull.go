@@ -9,6 +9,14 @@ import (
 
 // PullPolicy selects which queued pull item to transmit next. now is the
 // current simulated time (RxW-style policies age entries).
+//
+// Scoring contract: the highest score wins, ties broken by lowest item rank.
+// Policies whose TimeDependent() is false must ignore now and must never
+// return a lower score for an entry after a request is added to it — that
+// monotonicity is what lets the selector back them with a sift-up-only heap.
+// All scoring is expressed through pullqueue.Entry's canonical derived
+// quantities (Stretch, Gamma, SumPriority, FirstArrival) so policy scores
+// and queue ordering can never drift apart.
 type PullPolicy interface {
 	// Name identifies the policy in reports.
 	Name() string
@@ -27,10 +35,11 @@ type ImportanceFactor struct {
 	Alpha float64
 }
 
-// NewImportanceFactor validates α and returns the paper's policy.
+// NewImportanceFactor validates α and returns the paper's policy. The error
+// is pullqueue's typed *AlphaError, so callers can surface it unchanged.
 func NewImportanceFactor(alpha float64) (ImportanceFactor, error) {
-	if alpha < 0 || alpha > 1 || math.IsNaN(alpha) {
-		return ImportanceFactor{}, fmt.Errorf("sched: alpha %g outside [0,1]", alpha)
+	if err := pullqueue.ValidateAlpha(alpha); err != nil {
+		return ImportanceFactor{}, err
 	}
 	return ImportanceFactor{Alpha: alpha}, nil
 }
@@ -124,6 +133,42 @@ func (ClassicStretch) Score(e *pullqueue.Entry, now float64) float64 {
 // TimeDependent implements PullPolicy.
 func (ClassicStretch) TimeDependent() bool { return true }
 
+// EDF is earliest-deadline-first over request TTLs: an entry's deadline is
+// FirstArrival + TTL, and the entry with the earliest deadline is served
+// first. Entries already past their deadline score −Inf — they are about to
+// expire anyway, so live deadlines are served ahead of dead ones. With
+// TTL ≤ 0 there are no deadlines and EDF degenerates to exact FCFS order
+// (earliest FirstArrival first, never expired).
+type EDF struct {
+	// TTL is the request time-to-live defining each deadline; ≤ 0 means no
+	// deadline (pure FCFS behaviour).
+	TTL float64
+}
+
+// Name implements PullPolicy.
+func (p EDF) Name() string {
+	if p.TTL <= 0 {
+		return "edf"
+	}
+	return fmt.Sprintf("edf(ttl=%g)", p.TTL)
+}
+
+// Score implements PullPolicy.
+func (p EDF) Score(e *pullqueue.Entry, now float64) float64 {
+	if p.TTL <= 0 {
+		return -e.FirstArrival
+	}
+	deadline := e.FirstArrival + p.TTL
+	if now > deadline {
+		return math.Inf(-1)
+	}
+	return -deadline
+}
+
+// TimeDependent implements PullPolicy. With a finite TTL the expiry
+// demotion depends on now; without one the score is a pure FCFS key.
+func (p EDF) TimeDependent() bool { return p.TTL > 0 }
+
 // Selector owns the pending pull entries and extracts the best entry under a
 // policy.
 type Selector interface {
@@ -143,114 +188,38 @@ type Selector interface {
 }
 
 // NewSelector returns the fastest selector able to realise the policy: a
-// γ-heap for the importance-factor family, a scan selector otherwise.
-func NewSelector(p PullPolicy) Selector {
-	switch pol := p.(type) {
-	case ImportanceFactor:
-		return &heapSelector{h: pullqueue.NewHeap(pol.Alpha)}
-	case StretchOptimal:
-		return &heapSelector{h: pullqueue.NewHeap(1)}
-	case PriorityOnly:
-		return &heapSelector{h: pullqueue.NewHeap(0)}
-	default:
-		return NewScanSelector(p)
-	}
-}
-
-// heapSelector adapts pullqueue.Heap to the Selector interface.
-type heapSelector struct {
-	h *pullqueue.Heap
-}
-
-func (s *heapSelector) Add(req pullqueue.Request, length float64) { s.h.Add(req, length) }
-func (s *heapSelector) ExtractBest(_ float64) *pullqueue.Entry    { return s.h.ExtractMax() }
-func (s *heapSelector) Remove(item int) *pullqueue.Entry          { return s.h.Remove(item) }
-func (s *heapSelector) Items() int                                { return s.h.Items() }
-func (s *heapSelector) Requests() int                             { return s.h.Requests() }
-
-// ScanSelector evaluates an arbitrary (possibly time-dependent) policy by
-// linear scan. O(n) extraction, but n ≤ D−K which is small in the paper's
-// regime.
-type ScanSelector struct {
-	policy   PullPolicy
-	entries  []*pullqueue.Entry
-	byItem   map[int]*pullqueue.Entry
-	requests int
-}
-
-// NewScanSelector returns a scan-based selector for the policy.
-func NewScanSelector(p PullPolicy) *ScanSelector {
+// heap over the policy's score for time-independent policies, a linear scan
+// (re-scoring at every extraction) for time-dependent ones. Both back onto
+// the pullqueue implementations, so selection logic lives in exactly one
+// place.
+func NewSelector(p PullPolicy) (Selector, error) {
 	if p == nil {
-		panic("sched: nil pull policy")
+		return nil, fmt.Errorf("sched: nil pull policy")
 	}
-	return &ScanSelector{policy: p, byItem: make(map[int]*pullqueue.Entry)}
+	var (
+		q   pullqueue.Queue
+		err error
+	)
+	if p.TimeDependent() {
+		q, err = pullqueue.NewLinearFunc(p.Score)
+	} else {
+		q, err = pullqueue.NewHeapFunc(p.Score)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &queueSelector{q: q}, nil
 }
 
-// Add implements Selector.
-func (s *ScanSelector) Add(req pullqueue.Request, length float64) {
-	if req.Item < 1 {
-		panic(fmt.Sprintf("sched: invalid item rank %d", req.Item))
-	}
-	if length <= 0 || math.IsNaN(length) {
-		panic(fmt.Sprintf("sched: invalid length %g", length))
-	}
-	e := s.byItem[req.Item]
-	if e == nil {
-		e = &pullqueue.Entry{Item: req.Item, Length: length, FirstArrival: req.Arrival}
-		s.byItem[req.Item] = e
-		s.entries = append(s.entries, e)
-	}
-	e.Requests = append(e.Requests, req)
-	e.SumPriority += req.Priority
-	if req.Arrival < e.FirstArrival {
-		e.FirstArrival = req.Arrival
-	}
-	s.requests++
+// queueSelector adapts a pullqueue.Queue to the Selector interface.
+type queueSelector struct {
+	q pullqueue.Queue
 }
 
-// ExtractBest implements Selector.
-func (s *ScanSelector) ExtractBest(now float64) *pullqueue.Entry {
-	best := -1
-	var bestScore float64
-	for i, e := range s.entries {
-		score := s.policy.Score(e, now)
-		if best == -1 || score > bestScore || (score == bestScore && e.Item < s.entries[best].Item) {
-			best, bestScore = i, score
-		}
-	}
-	if best == -1 {
-		return nil
-	}
-	return s.removeAt(best)
-}
+func (s *queueSelector) Add(req pullqueue.Request, length float64) { s.q.Add(req, length) }
+func (s *queueSelector) ExtractBest(now float64) *pullqueue.Entry  { return s.q.ExtractMax(now) }
+func (s *queueSelector) Remove(item int) *pullqueue.Entry          { return s.q.Remove(item) }
+func (s *queueSelector) Items() int                                { return s.q.Items() }
+func (s *queueSelector) Requests() int                             { return s.q.Requests() }
 
-// Remove implements Selector.
-func (s *ScanSelector) Remove(item int) *pullqueue.Entry {
-	for i, e := range s.entries {
-		if e.Item == item {
-			return s.removeAt(i)
-		}
-	}
-	return nil
-}
-
-func (s *ScanSelector) removeAt(i int) *pullqueue.Entry {
-	e := s.entries[i]
-	s.entries[i] = s.entries[len(s.entries)-1]
-	s.entries[len(s.entries)-1] = nil
-	s.entries = s.entries[:len(s.entries)-1]
-	delete(s.byItem, e.Item)
-	s.requests -= len(e.Requests)
-	return e
-}
-
-// Items implements Selector.
-func (s *ScanSelector) Items() int { return len(s.entries) }
-
-// Requests implements Selector.
-func (s *ScanSelector) Requests() int { return s.requests }
-
-var (
-	_ Selector = (*heapSelector)(nil)
-	_ Selector = (*ScanSelector)(nil)
-)
+var _ Selector = (*queueSelector)(nil)

@@ -38,6 +38,8 @@ func TestPolicyNamesAndTimeDependence(t *testing.T) {
 		{MRF{}, false},
 		{RxW{}, true},
 		{ClassicStretch{}, true},
+		{EDF{}, false},
+		{EDF{TTL: 50}, true},
 	}
 	seen := map[string]bool{}
 	for _, c := range cases {
@@ -80,21 +82,26 @@ func TestPolicyScores(t *testing.T) {
 	}
 }
 
-func TestNewSelectorPicksHeapForGammaFamily(t *testing.T) {
-	for _, p := range []PullPolicy{ImportanceFactor{Alpha: 0.3}, StretchOptimal{}, PriorityOnly{}} {
-		if _, ok := NewSelector(p).(*heapSelector); !ok {
-			t.Errorf("%s did not get a heap selector", p.Name())
-		}
+func mustSelector(t testing.TB, p PullPolicy) Selector {
+	t.Helper()
+	s, err := NewSelector(p)
+	if err != nil {
+		t.Fatalf("NewSelector(%v): %v", p, err)
 	}
-	for _, p := range []PullPolicy{FCFS{}, MRF{}, RxW{}, ClassicStretch{}} {
-		if _, ok := NewSelector(p).(*ScanSelector); !ok {
-			t.Errorf("%s did not get a scan selector", p.Name())
-		}
+	return s
+}
+
+func TestNewSelectorValidation(t *testing.T) {
+	if _, err := NewSelector(nil); err == nil {
+		t.Fatal("nil policy accepted")
+	}
+	if _, err := NewSelector(ImportanceFactor{Alpha: 0.5}); err != nil {
+		t.Fatalf("valid policy rejected: %v", err)
 	}
 }
 
-func TestScanSelectorFCFSOrder(t *testing.T) {
-	s := NewSelector(FCFS{})
+func TestSelectorFCFSOrder(t *testing.T) {
+	s := mustSelector(t, FCFS{})
 	s.Add(rq(5, 0, 1, 30), 1)
 	s.Add(rq(2, 0, 1, 10), 1)
 	s.Add(rq(8, 0, 1, 20), 1)
@@ -109,8 +116,52 @@ func TestScanSelectorFCFSOrder(t *testing.T) {
 	}
 }
 
-func TestScanSelectorRxWAging(t *testing.T) {
-	s := NewSelector(RxW{})
+func TestSelectorEDFNoTTLMatchesFCFS(t *testing.T) {
+	// With TTL <= 0 the EDF score is exactly the FCFS key, so the two
+	// selectors must extract identical sequences.
+	edf := mustSelector(t, EDF{})
+	fcfs := mustSelector(t, FCFS{})
+	r := rng.New(5)
+	now := 0.0
+	for i := 0; i < 200; i++ {
+		now += r.Float64()
+		q := rq(r.Intn(30)+1, clients.Class(r.Intn(3)), float64(r.Intn(3)+1), now)
+		l := float64(r.Intn(5) + 1)
+		edf.Add(q, l)
+		fcfs.Add(q, l)
+	}
+	for fcfs.Items() > 0 {
+		fe, ee := fcfs.ExtractBest(now), edf.ExtractBest(now)
+		if ee == nil || fe.Item != ee.Item {
+			t.Fatalf("EDF(no TTL) diverged from FCFS")
+		}
+	}
+	if edf.Items() != 0 {
+		t.Fatal("EDF selector not drained")
+	}
+}
+
+func TestSelectorEDFDeadlineOrder(t *testing.T) {
+	s := mustSelector(t, EDF{TTL: 10})
+	s.Add(rq(5, 0, 1, 8), 1)  // deadline 18
+	s.Add(rq(2, 0, 1, 4), 1)  // deadline 14
+	s.Add(rq(8, 0, 1, 12), 1) // deadline 22
+	// At t=13 no deadline has passed: earliest deadline first.
+	if got := s.ExtractBest(13).Item; got != 2 {
+		t.Fatalf("EDF picked %d, want earliest-deadline 2", got)
+	}
+	// At t=20 item 5's deadline (18) has passed: it scores -Inf and the
+	// live deadline (item 8, 22) is served first.
+	if got := s.ExtractBest(20).Item; got != 8 {
+		t.Fatalf("EDF at t=20 picked %d, want live-deadline 8", got)
+	}
+	if got := s.ExtractBest(20).Item; got != 5 {
+		t.Fatalf("EDF picked %d, want expired 5 last", got)
+	}
+}
+
+func TestSelectorRxWAging(t *testing.T) {
+	s := mustSelector(t, RxW{})
 	// Item 1: 3 requests arriving at t=10; item 2: 1 request at t=0.
 	for i := 0; i < 3; i++ {
 		s.Add(rq(1, 0, 1, 10), 1)
@@ -127,8 +178,8 @@ func TestScanSelectorRxWAging(t *testing.T) {
 	}
 }
 
-func TestScanSelectorMRF(t *testing.T) {
-	s := NewSelector(MRF{})
+func TestSelectorMRF(t *testing.T) {
+	s := mustSelector(t, MRF{})
 	s.Add(rq(1, 0, 1, 0), 1)
 	s.Add(rq(1, 0, 1, 1), 1)
 	s.Add(rq(2, 0, 5, 2), 1)
@@ -137,8 +188,8 @@ func TestScanSelectorMRF(t *testing.T) {
 	}
 }
 
-func TestScanSelectorTieBreakLowestRank(t *testing.T) {
-	s := NewSelector(MRF{})
+func TestSelectorTieBreakLowestRank(t *testing.T) {
+	s := mustSelector(t, MRF{})
 	s.Add(rq(7, 0, 1, 0), 1)
 	s.Add(rq(4, 0, 1, 0), 1)
 	if got := s.ExtractBest(1).Item; got != 4 {
@@ -146,8 +197,8 @@ func TestScanSelectorTieBreakLowestRank(t *testing.T) {
 	}
 }
 
-func TestScanSelectorRemove(t *testing.T) {
-	s := NewSelector(RxW{})
+func TestSelectorRemove(t *testing.T) {
+	s := mustSelector(t, RxW{})
 	s.Add(rq(1, 0, 1, 0), 1)
 	s.Add(rq(2, 0, 1, 0), 1)
 	s.Add(rq(2, 1, 2, 1), 1)
@@ -162,24 +213,6 @@ func TestScanSelectorRemove(t *testing.T) {
 	}
 }
 
-func TestScanSelectorValidation(t *testing.T) {
-	s := NewScanSelector(MRF{})
-	for i, f := range []func(){
-		func() { s.Add(rq(0, 0, 1, 0), 1) },
-		func() { s.Add(rq(1, 0, 1, 0), 0) },
-		func() { NewScanSelector(nil) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("case %d did not panic", i)
-				}
-			}()
-			f()
-		}()
-	}
-}
-
 func TestHeapSelectorMatchesScanForImportanceFactor(t *testing.T) {
 	// The heap fast path must agree with a scan selector evaluating the
 	// same policy.
@@ -187,13 +220,16 @@ func TestHeapSelectorMatchesScanForImportanceFactor(t *testing.T) {
 	check := func(alphaRaw uint8, ops []uint16) bool {
 		alpha := float64(alphaRaw%101) / 100
 		pol := ImportanceFactor{Alpha: alpha}
-		fast := NewSelector(pol)
-		slow := NewScanSelector(pol)
+		fast := mustSelector(t, pol)
+		slow, err := pullqueue.NewLinearFunc(pol.Score)
+		if err != nil {
+			t.Fatal(err)
+		}
 		now := 0.0
 		for _, op := range ops {
 			now += r.Float64()
 			if op%5 == 4 && fast.Items() > 0 {
-				fe, se := fast.ExtractBest(now), slow.ExtractBest(now)
+				fe, se := fast.ExtractBest(now), slow.ExtractMax(now)
 				if fe.Item != se.Item {
 					return false
 				}
@@ -205,7 +241,7 @@ func TestHeapSelectorMatchesScanForImportanceFactor(t *testing.T) {
 			slow.Add(q, l)
 		}
 		for fast.Items() > 0 {
-			fe, se := fast.ExtractBest(now), slow.ExtractBest(now)
+			fe, se := fast.ExtractBest(now), slow.ExtractMax(now)
 			if fe == nil || se == nil || fe.Item != se.Item {
 				return false
 			}
@@ -221,7 +257,7 @@ func BenchmarkScanSelectorExtract(b *testing.B) {
 	r := rng.New(1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s := NewScanSelector(RxW{})
+		s := mustSelector(b, RxW{})
 		for j := 0; j < 256; j++ {
 			s.Add(rq(r.Intn(64)+1, clients.Class(r.Intn(3)), float64(r.Intn(3)+1), float64(j)), float64(r.Intn(5)+1))
 		}
@@ -232,7 +268,7 @@ func BenchmarkScanSelectorExtract(b *testing.B) {
 }
 
 func TestHeapSelectorRemoveAndRequests(t *testing.T) {
-	s := NewSelector(ImportanceFactor{Alpha: 0.5})
+	s := mustSelector(t, ImportanceFactor{Alpha: 0.5})
 	s.Add(rq(3, 0, 2, 0), 2)
 	s.Add(rq(3, 1, 1, 1), 2)
 	s.Add(rq(7, 2, 1, 2), 1)

@@ -192,6 +192,21 @@ func (s *SquareRootRule) Next() int {
 	return best + 1
 }
 
+// NoPush is the pure-pull degenerate: no broadcast channel at all. The
+// engine recognises it and routes every request — whatever its rank —
+// through the pull queue, exactly as if the cutoff were 0. Next must never
+// be consulted.
+type NoPush struct{}
+
+// Name implements PushScheduler.
+func (NoPush) Name() string { return "none" }
+
+// Next implements PushScheduler. It always panics: a server configured with
+// NoPush treats the push set as empty and never asks for a push item.
+func (NoPush) Next() int {
+	panic("sched: Next on no-push scheduler")
+}
+
 // FlatRoundRobinPartition cycles an arbitrary list of item ranks — one
 // partition of a push set split across multiple broadcast channels.
 type FlatRoundRobinPartition struct {
