@@ -1,0 +1,82 @@
+// qoslint walks the repository and enforces the simulator's determinism and
+// panic-discipline contracts (see internal/lint). It prints one line per
+// finding as path:line:col: [rule] message and exits 1 if anything is found,
+// so it can gate CI alongside go vet.
+//
+// Usage:
+//
+//	go run ./cmd/qoslint ./...            # lint the whole module
+//	go run ./cmd/qoslint ./internal/sched # lint one package
+//
+// A finding is waived in place with //lint:allow <rule> <reason> on the
+// offending line or the line above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"hybridqos/internal/lint"
+)
+
+func main() {
+	root := flag.String("root", "", "module root (default: nearest dir with go.mod, walking up from cwd)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: qoslint [-root dir] <packages>\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "e.g.   qoslint ./...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	moduleRoot, err := resolveRoot(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qoslint:", err)
+		os.Exit(2)
+	}
+
+	runner := &lint.Runner{Root: moduleRoot}
+	diags, err := runner.Run(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qoslint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		rel := d.Pos.Filename
+		if r, err := filepath.Rel(moduleRoot, rel); err == nil {
+			rel = r
+		}
+		fmt.Printf("%s:%d:%d: [%s] %s\n", rel, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "qoslint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// resolveRoot returns the explicit root, or walks up from the working
+// directory to the nearest go.mod.
+func resolveRoot(explicit string) (string, error) {
+	if explicit != "" {
+		return filepath.Abs(explicit)
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s (use -root)", dir)
+		}
+		dir = parent
+	}
+}

@@ -152,7 +152,7 @@ func New(cfg Config, src *rng.Source) (*Allocator, error) {
 func Must(cfg Config, src *rng.Source) *Allocator {
 	a, err := New(cfg, src)
 	if err != nil {
-		panic(err)
+		panic(fmt.Errorf("bandwidth: Must: %w", err))
 	}
 	return a
 }

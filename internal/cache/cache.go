@@ -140,6 +140,7 @@ func (c *Cache) victim() int {
 		}
 		return a.item < b.item
 	}
+	//lint:allow maporder better() is a total order ending in the item id, so the minimum is independent of visit order
 	for _, e := range c.entries {
 		if bestEntry == nil || better(e, bestEntry) {
 			best, bestEntry = e.item, e

@@ -124,7 +124,7 @@ func Generate(cfg Config) (*Catalog, error) {
 func MustGenerate(cfg Config) *Catalog {
 	c, err := Generate(cfg)
 	if err != nil {
-		panic(err)
+		panic(fmt.Errorf("catalog: MustGenerate: %w", err))
 	}
 	return c
 }

@@ -103,7 +103,7 @@ func New(cfg Config) (*Classification, error) {
 func Must(cfg Config) *Classification {
 	cl, err := New(cfg)
 	if err != nil {
-		panic(err)
+		panic(fmt.Errorf("clients: Must: %w", err))
 	}
 	return cl
 }

@@ -1,0 +1,40 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkFloatCmp flags ==/!= between floating-point expressions in the
+// scheduling packages (internal/sched, internal/pullqueue, internal/policy).
+// Those comparisons are where ties are broken, and the paper's figures
+// depend on exact tie-breaking order — two scores that "should" be equal can
+// differ in the last ulp depending on evaluation order, silently reordering
+// the pull queue. Intentional exact-equality tie-breaks (comparing cached
+// score values computed by one code path) stay, with an
+// //lint:allow floatcmp <reason> stating why exact equality is sound.
+func checkFloatCmp(p *pkg) {
+	for _, f := range p.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if p.isFloat(be.X) || p.isFloat(be.Y) {
+				p.report(RuleFloatCmp, be.OpPos,
+					"float %s comparison orders the schedule: make the tie-break explicit, or //lint:allow floatcmp <reason>", be.Op)
+			}
+			return true
+		})
+	}
+}
+
+func (p *pkg) isFloat(e ast.Expr) bool {
+	t := p.info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

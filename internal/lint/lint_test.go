@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureRun lints the testdata/src tree and returns findings keyed as
+// "relpath:line [rule]".
+func fixtureRun(t *testing.T, patterns ...string) ([]Diagnostic, []string) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{Root: root}
+	diags, err := r.Run(patterns...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 0, len(diags))
+	for _, d := range diags {
+		rel, err := filepath.Rel(root, d.Pos.Filename)
+		if err != nil {
+			rel = d.Pos.Filename
+		}
+		keys = append(keys, fmt.Sprintf("%s:%d [%s]", filepath.ToSlash(rel), d.Pos.Line, d.Rule))
+	}
+	return diags, keys
+}
+
+// TestFixtureFindings pins the exact finding set over the fixture tree: one
+// entry per seeded violation, nothing for the good patterns (collect-then-
+// sort, prefixed panics, typed errors, documented names, binaries reading
+// the wall clock).
+func TestFixtureFindings(t *testing.T) {
+	want := []string{
+		"internal/allowcase/allowcase.go:17 [allow]",
+		"internal/allowcase/allowcase.go:18 [nondeterminism]",
+		"internal/allowcase/allowcase.go:24 [allow]",
+		"internal/allowcase/allowcase.go:25 [nondeterminism]",
+		"internal/maporder/maporder.go:11 [maporder]",
+		"internal/maporder/maporder.go:29 [maporder]",
+		"internal/nondet/nondet.go:6 [nondeterminism]",
+		"internal/nondet/nondet.go:11 [nondeterminism]",
+		"internal/nondet/nondet.go:14 [nondeterminism]",
+		"internal/panicmsg/panicmsg.go:16 [panicmsg]",
+		"internal/panicmsg/panicmsg.go:21 [panicmsg]",
+		"internal/panicmsg/panicmsg.go:26 [panicmsg]",
+		"internal/panicmsg/panicmsg.go:31 [panicmsg]",
+		"internal/policy/reg.go:13 [registrydoc]",
+		"internal/policy/reg.go:14 [registrydoc]",
+		"internal/sched/floatcmp.go:7 [floatcmp]",
+		"internal/sched/floatcmp.go:21 [floatcmp]",
+	}
+	_, got := fixtureRun(t, "./...")
+	if len(got) != len(want) {
+		t.Errorf("got %d findings, want %d\ngot:\n  %s", len(got), len(want), strings.Join(got, "\n  "))
+	}
+	gotSet := make(map[string]bool, len(got))
+	for _, k := range got {
+		gotSet[k] = true
+	}
+	for _, w := range want {
+		if !gotSet[w] {
+			t.Errorf("missing expected finding %s", w)
+		}
+		delete(gotSet, w)
+	}
+	for k := range gotSet {
+		t.Errorf("unexpected finding %s", k)
+	}
+}
+
+// TestAllowSuppression distinguishes "suppressed" from "not detected": the
+// justified waiver in allowcase.Waived silences its time.Now, while the
+// identical calls under a bogus-rule allow and a reasonless allow are still
+// reported. A valid waiver must also produce no [allow] diagnostic.
+func TestAllowSuppression(t *testing.T) {
+	_, got := fixtureRun(t, "internal/allowcase")
+	keys := strings.Join(got, "\n")
+	if strings.Contains(keys, "allowcase.go:11") {
+		t.Errorf("time.Now under a justified allow was reported:\n%s", keys)
+	}
+	if strings.Contains(keys, "allowcase.go:10 [allow]") {
+		t.Errorf("well-formed allow comment was itself reported:\n%s", keys)
+	}
+	for _, line := range []string{"allowcase.go:18 [nondeterminism]", "allowcase.go:25 [nondeterminism]"} {
+		if !strings.Contains(keys, line) {
+			t.Errorf("finding under a malformed allow must survive; missing %s in:\n%s", line, keys)
+		}
+	}
+}
+
+// TestMalformedAllowMessages pins the wording of the two allow failure
+// modes, so the escape hatch stays self-explaining.
+func TestMalformedAllowMessages(t *testing.T) {
+	diags, _ := fixtureRun(t, "internal/allowcase")
+	var unknown, reasonless bool
+	for _, d := range diags {
+		if d.Rule != RuleAllow {
+			continue
+		}
+		switch {
+		case strings.Contains(d.Msg, `unknown rule "bogusrule"`):
+			unknown = true
+		case strings.Contains(d.Msg, "needs a reason"):
+			reasonless = true
+		}
+	}
+	if !unknown {
+		t.Error("allow naming an unknown rule was not reported as an error")
+	}
+	if !reasonless {
+		t.Error("allow without a reason was not reported as an error")
+	}
+}
+
+// TestSingleDirPattern checks that a bare directory pattern (no /...) lints
+// exactly that package.
+func TestSingleDirPattern(t *testing.T) {
+	_, got := fixtureRun(t, "internal/sched")
+	for _, k := range got {
+		if !strings.HasPrefix(k, "internal/sched/") {
+			t.Errorf("single-dir pattern leaked finding %s", k)
+		}
+	}
+	if len(got) != 2 {
+		t.Errorf("got %d findings for internal/sched, want 2:\n  %s", len(got), strings.Join(got, "\n  "))
+	}
+}
+
+// TestSelfHost lints the real repository: the tree this test ships in must
+// be clean, the same gate CI enforces with `go run ./cmd/qoslint ./...`.
+func TestSelfHost(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{Root: root}
+	diags, err := r.Run("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("repository is not qoslint-clean: %s", d)
+	}
+}

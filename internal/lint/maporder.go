@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// checkMapOrder flags `for ... range` over a map in library code. Go
+// randomises map iteration order on purpose, so any map range whose effect
+// depends on visit order (emitting, appending, accumulating floats) produces
+// run-to-run divergence that the golden replay tests only catch if the
+// divergent path happens to execute.
+//
+// The sanctioned pattern is recognised and not flagged: collect the keys (or
+// values) into a slice inside the loop, then sort that slice in the same
+// function before use — e.g. the registry's Names(). Everything else needs
+// an explicit //lint:allow maporder <reason>.
+func checkMapOrder(p *pkg) {
+	for _, f := range p.files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			sorted := sortedIdents(fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := p.info.TypeOf(rs.X)
+				if t == nil {
+					return true // cross-package type; stay conservative
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if collectsInto(rs.Body, sorted) {
+					return true
+				}
+				p.report(RuleMapOrder, rs.Pos(),
+					"range over map: iteration order is randomised; collect and sort the keys first, or //lint:allow maporder <reason>")
+				return true
+			})
+		}
+	}
+}
+
+// sortedIdents returns the names of identifiers that appear as arguments to
+// a sort.* or slices.Sort* call anywhere in the function body.
+func sortedIdents(body *ast.BlockStmt) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok || (pkgID.Name != "sort" && pkgID.Name != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok {
+					out[id.Name] = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// collectsInto reports whether every statement in the loop body only feeds
+// slices that the function later sorts: `s = append(s, ...)` or `s[i] = ...`
+// where s is in the sorted set. That is the collect-then-sort idiom; any
+// other effect in the body is order-sensitive.
+func collectsInto(body *ast.BlockStmt, sorted map[string]bool) bool {
+	if len(sorted) == 0 || len(body.List) == 0 {
+		return false
+	}
+	for _, stmt := range body.List {
+		assign, ok := stmt.(*ast.AssignStmt)
+		if !ok {
+			return false
+		}
+		for i, lhs := range assign.Lhs {
+			var target *ast.Ident
+			switch l := lhs.(type) {
+			case *ast.Ident:
+				target = l
+			case *ast.IndexExpr:
+				target, _ = l.X.(*ast.Ident)
+			}
+			if target == nil || !sorted[target.Name] {
+				return false
+			}
+			// Plain `s[i] = v` is a collect; `s = rhs` must be an append
+			// to s so the loop cannot smuggle in another map read.
+			if id, isIdent := lhs.(*ast.Ident); isIdent {
+				if i >= len(assign.Rhs) {
+					return false
+				}
+				call, isCall := assign.Rhs[i].(*ast.CallExpr)
+				if !isCall {
+					return false
+				}
+				fn, isFn := call.Fun.(*ast.Ident)
+				if !isFn || fn.Name != "append" || len(call.Args) == 0 {
+					return false
+				}
+				base, isBase := call.Args[0].(*ast.Ident)
+				if !isBase || base.Name != id.Name {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// checkNondeterminism bans the two classic determinism leaks in library
+// code: wall-clock reads (time.Now, time.Since) and the globally-seeded
+// math/rand generators. Simulated time comes from the event loop; randomness
+// comes from internal/rng, whose splittable named streams make a single seed
+// reproduce the whole experiment.
+//
+// internal/rng itself is exempt from the math/rand import ban so the
+// sanctioned wrapper could build on the stdlib generator if it ever chose to.
+func checkNondeterminism(p *pkg) {
+	for _, f := range p.files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if (path == "math/rand" || path == "math/rand/v2") && p.relDir != "internal/rng" {
+				p.report(RuleNondeterminism, imp.Pos(),
+					"import of %s: global generators break replay; draw from internal/rng streams instead", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || p.pkgPath(id) != "time" {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Now", "Since":
+				p.report(RuleNondeterminism, sel.Pos(),
+					"time.%s reads the wall clock: simulated time must come from the event scheduler", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}

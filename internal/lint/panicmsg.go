@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// checkPanicMsg enforces the panic discipline in library packages: a panic
+// is the simulator's assertion mechanism, so the value it carries must
+// identify the failing subsystem. Accepted shapes:
+//
+//   - a string (literal, concatenation, or fmt.Sprintf/fmt.Errorf/
+//     errors.New) whose text starts with the "<pkg>: " prefix, matching the
+//     convention every package already follows ("catalog: rank 7 out of
+//     [1,5]");
+//   - a typed error value (&DuplicateError{...}, composite literals,
+//     constructor calls) that stringifies its own context.
+//
+// Bare panic(err) is banned outright: it re-throws someone else's message
+// with no indication of which Must-helper or invariant tripped.
+func checkPanicMsg(p *pkg) {
+	prefix := p.name + ": "
+	for _, f := range p.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := call.Fun.(*ast.Ident)
+			if !ok || !p.isBuiltin(fn, "panic") || len(call.Args) != 1 {
+				return true
+			}
+			p.checkPanicArg(call.Args[0], prefix)
+			return true
+		})
+	}
+}
+
+func (p *pkg) checkPanicArg(arg ast.Expr, prefix string) {
+	switch a := arg.(type) {
+	case *ast.BasicLit:
+		if s, err := strconv.Unquote(a.Value); err == nil && !strings.HasPrefix(s, prefix) {
+			p.report(RulePanicMsg, a.Pos(), "panic message must start with %q, got %q", prefix, s)
+		}
+	case *ast.BinaryExpr:
+		// "pkg: context: " + err.Error() — the leftmost operand carries
+		// the prefix.
+		p.checkPanicArg(leftmost(a), prefix)
+	case *ast.CallExpr:
+		if name, ok := formatterName(a.Fun); ok {
+			if len(a.Args) == 0 {
+				return
+			}
+			lit, isLit := a.Args[0].(*ast.BasicLit)
+			if !isLit {
+				return // dynamic format string; give it the benefit of the doubt
+			}
+			if s, err := strconv.Unquote(lit.Value); err == nil && !strings.HasPrefix(s, prefix) {
+				p.report(RulePanicMsg, lit.Pos(), "panic %s message must start with %q, got %q", name, prefix, s)
+			}
+		}
+		// Other calls construct typed errors; accepted.
+	case *ast.Ident, *ast.SelectorExpr:
+		p.report(RulePanicMsg, arg.Pos(),
+			"bare panic(%s): wrap it in a %q-prefixed message or a typed error", exprString(arg), prefix)
+	}
+	// Composite literals, &T{...}, conversions: typed values, accepted.
+}
+
+// leftmost walks down the left spine of a concatenation chain.
+func leftmost(e *ast.BinaryExpr) ast.Expr {
+	left := e.X
+	for {
+		b, ok := left.(*ast.BinaryExpr)
+		if !ok {
+			return left
+		}
+		left = b.X
+	}
+}
+
+// formatterName recognises the stdlib message builders whose first argument
+// is the message text.
+func formatterName(fun ast.Expr) (string, bool) {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	pkgID, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	switch pkgID.Name + "." + sel.Sel.Name {
+	case "fmt.Sprintf", "fmt.Errorf", "fmt.Sprint", "errors.New":
+		return pkgID.Name + "." + sel.Sel.Name, true
+	}
+	return "", false
+}
+
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	}
+	return "..."
+}

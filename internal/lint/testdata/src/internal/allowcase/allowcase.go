@@ -1,0 +1,26 @@
+// Package allowcase is a qoslint fixture for the //lint:allow escape hatch:
+// a valid waiver, a waiver naming an unknown rule, and a waiver with no
+// reason.
+package allowcase
+
+import "time"
+
+// Waived reads the wall clock under a justified allow: suppressed.
+func Waived() time.Time {
+	//lint:allow nondeterminism fixture demonstrates a justified waiver
+	return time.Now()
+}
+
+// BadRule names a rule that does not exist: the allow is a finding and the
+// wall-clock read underneath is still reported.
+func BadRule() time.Time {
+	//lint:allow bogusrule this rule does not exist
+	return time.Now()
+}
+
+// NoReason waives a real rule without saying why: the allow is a finding
+// and the wall-clock read underneath is still reported.
+func NoReason() time.Time {
+	//lint:allow nondeterminism
+	return time.Now()
+}

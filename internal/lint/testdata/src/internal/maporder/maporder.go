@@ -1,0 +1,32 @@
+// Package maporder is a qoslint fixture: map iteration in deterministic
+// code, both the violation and the sanctioned collect-then-sort idiom.
+package maporder
+
+import "sort"
+
+// SumFloats accumulates floats in map order: finding (float addition is not
+// associative, so the total depends on visit order).
+func SumFloats(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Keys collects then sorts: not flagged.
+func Keys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Emit writes values in map order with no sort in sight: finding.
+func Emit(m map[int]string, out chan<- string) {
+	for _, v := range m {
+		out <- v
+	}
+}

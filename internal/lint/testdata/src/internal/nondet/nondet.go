@@ -1,0 +1,20 @@
+// Package nondet is a qoslint fixture: every determinism leak the
+// nondeterminism rule must catch.
+package nondet
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Clock reads the wall clock: finding.
+func Clock() time.Time { return time.Now() }
+
+// Age reads the wall clock: finding.
+func Age(t time.Time) time.Duration { return time.Since(t) }
+
+// Roll draws from the globally-seeded generator: the import is the finding.
+func Roll() int { return rand.Intn(6) }
+
+// Later is fine: time arithmetic on simulated instants is deterministic.
+func Later(t time.Time) time.Time { return t.Add(time.Second) }

@@ -1,0 +1,57 @@
+// Package panicmsg is a qoslint fixture: every panic shape the panicmsg
+// rule distinguishes.
+package panicmsg
+
+import (
+	"errors"
+	"fmt"
+)
+
+type typedError struct{ msg string }
+
+func (e *typedError) Error() string { return e.msg }
+
+// Bare re-throws someone else's error with no context: finding.
+func Bare(err error) {
+	panic(err)
+}
+
+// Field panics with a struct field: finding (same shape as Bare).
+func Field(e *typedError) {
+	panic(e.msg)
+}
+
+// WrongPrefix carries a message for the wrong subsystem: finding.
+func WrongPrefix() {
+	panic("oops: broken invariant")
+}
+
+// WrongSprintf formats a message without the package prefix: finding.
+func WrongSprintf(n int) {
+	panic(fmt.Sprintf("other: n=%d", n))
+}
+
+// GoodLiteral follows the "<pkg>: ..." convention.
+func GoodLiteral() {
+	panic("panicmsg: invariant violated")
+}
+
+// GoodSprintf formats with the package prefix.
+func GoodSprintf(n int) {
+	panic(fmt.Sprintf("panicmsg: n=%d out of range", n))
+}
+
+// GoodConcat carries the prefix on the left of the concatenation.
+func GoodConcat(err error) {
+	panic("panicmsg: wrapping: " + err.Error())
+}
+
+// GoodTyped panics with a typed error that stringifies its own context.
+func GoodTyped() {
+	panic(&typedError{msg: "context"})
+}
+
+// GoodErrorsNew builds a prefixed error value.
+func GoodErrorsNew() {
+	panic(errors.New("panicmsg: exploded"))
+}

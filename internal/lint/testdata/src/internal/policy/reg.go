@@ -1,0 +1,15 @@
+// Package policy is a qoslint fixture: registry names that must appear in
+// the documentation files.
+package policy
+
+// RegisterPull mimics the real registry entry point.
+func RegisterPull(name string, f any) error { return nil }
+
+// RegisterPush mimics the real registry entry point.
+func RegisterPush(name string, f any) error { return nil }
+
+func init() {
+	RegisterPull("documented-policy", nil)
+	RegisterPull("ghost-policy", nil)
+	RegisterPush("phantom-push", nil)
+}

@@ -1,0 +1,25 @@
+// Package sched is a qoslint fixture: float equality in a scheduling
+// package, where the floatcmp rule applies.
+package sched
+
+// Equal compares floats directly: finding.
+func Equal(a, b float64) bool {
+	return a == b
+}
+
+// TieBreak compares cached scores with a justified waiver: suppressed.
+func TieBreak(a, b float64, i, j int) bool {
+	//lint:allow floatcmp both scores come from the same cached evaluation
+	if a != b {
+		return a < b
+	}
+	return i < j
+}
+
+// MixedConst compares a float variable against an untyped constant: finding.
+func MixedConst(x float64) bool {
+	return x != 0.5
+}
+
+// Ints is integer equality: not flagged.
+func Ints(i, j int) bool { return i == j }

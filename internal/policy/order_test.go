@@ -1,0 +1,51 @@
+package policy
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// TestNamesStableOrder: registry listings feed error messages, CLI help and
+// report headers, so they must be sorted and identical call-to-call even
+// though the backing store is a map. A regression here means some code path
+// started leaking map iteration order.
+func TestNamesStableOrder(t *testing.T) {
+	for _, tc := range []struct {
+		kind  string
+		names func() []string
+	}{
+		{"pull", PullNames},
+		{"push", PushNames},
+	} {
+		first := tc.names()
+		if len(first) == 0 {
+			t.Fatalf("%s registry is empty", tc.kind)
+		}
+		if !sort.StringsAreSorted(first) {
+			t.Errorf("%sNames() not sorted: %v", tc.kind, first)
+		}
+		for i := 0; i < 10; i++ {
+			if again := tc.names(); !reflect.DeepEqual(first, again) {
+				t.Fatalf("%sNames() unstable across calls: %v then %v", tc.kind, first, again)
+			}
+		}
+	}
+}
+
+// TestUnknownErrorListsSortedNames: the Known list carried by an
+// UnknownError comes from the same map; it must be sorted too so the error
+// text is deterministic.
+func TestUnknownErrorListsSortedNames(t *testing.T) {
+	_, err := NewPull("no-such-policy", Params{})
+	ue, ok := err.(*UnknownError)
+	if !ok {
+		t.Fatalf("want *UnknownError, got %T (%v)", err, err)
+	}
+	if !sort.StringsAreSorted(ue.Known) {
+		t.Errorf("UnknownError.Known not sorted: %v", ue.Known)
+	}
+	if !reflect.DeepEqual(ue.Known, PullNames()) {
+		t.Errorf("UnknownError.Known = %v, want PullNames() = %v", ue.Known, PullNames())
+	}
+}

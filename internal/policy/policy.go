@@ -220,13 +220,13 @@ func PushNames() []string { return pushes.names() }
 
 func mustRegisterPull(name string, f PullFactory) {
 	if err := pulls.register(name, f); err != nil {
-		panic(err)
+		panic(fmt.Errorf("policy: built-in pull registration: %w", err))
 	}
 }
 
 func mustRegisterPush(name string, f PushFactory) {
 	if err := pushes.register(name, f); err != nil {
-		panic(err)
+		panic(fmt.Errorf("policy: built-in push registration: %w", err))
 	}
 }
 

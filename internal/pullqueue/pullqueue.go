@@ -257,6 +257,7 @@ func (h *Heap) Add(req Request, length float64) {
 // heap[j]: smaller score, or equal score and larger rank.
 func (h *Heap) less(i, j int) bool {
 	si, sj := h.score(h.heap[i], 0), h.score(h.heap[j], 0)
+	//lint:allow floatcmp exact equality is the documented tie-break; both scores come from the same score() evaluation
 	if si != sj {
 		return si < sj
 	}
@@ -406,6 +407,7 @@ func (l *Linear) argMax(now float64) int {
 	var bestScore float64
 	for i, e := range l.entries {
 		s := l.score(e, now)
+		//lint:allow floatcmp exact equality is the documented tie-break before falling back to the smaller item id
 		if best == -1 || s > bestScore || (s == bestScore && e.Item < l.entries[best].Item) {
 			best, bestScore = i, s
 		}

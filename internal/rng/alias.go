@@ -79,7 +79,7 @@ func NewAlias(weights []float64) (*Alias, error) {
 func MustAlias(weights []float64) *Alias {
 	a, err := NewAlias(weights)
 	if err != nil {
-		panic(err)
+		panic(fmt.Errorf("rng: MustAlias: %w", err))
 	}
 	return a
 }

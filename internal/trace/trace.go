@@ -83,6 +83,7 @@ func (c *Counter) Count(k Kind) int64 { return c.counts[k] }
 // Total returns the total event count.
 func (c *Counter) Total() int64 {
 	var n int64
+	//lint:allow maporder commutative integer sum; the total is independent of visit order
 	for _, v := range c.counts {
 		n += v
 	}

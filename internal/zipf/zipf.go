@@ -62,7 +62,7 @@ func New(n int, theta float64) (*Distribution, error) {
 func Must(n int, theta float64) *Distribution {
 	d, err := New(n, theta)
 	if err != nil {
-		panic(err)
+		panic(fmt.Errorf("zipf: Must: %w", err))
 	}
 	return d
 }
