@@ -13,14 +13,19 @@
 //	hybridsim -policy edf -ttl 300 -push none
 //	hybridsim -push broadcast-disk -disks 4
 //	hybridsim -loss 0.2 -gilbert 5 -retries 3 -backoff 1 -shed-high 260 -shed-low 200
+//	hybridsim -telemetry-addr 127.0.0.1:9090 -horizon 200000 -reps 1
+//	hybridsim -telemetry-every 100 -trace run.jsonl   # snapshots embedded in the trace
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 
 	"hybridqos"
 	"hybridqos/internal/report"
@@ -60,6 +65,8 @@ func main() {
 		jitter   = flag.Float64("jitter", 0, "retry backoff jitter in [0,1]")
 		shedHigh = flag.Int("shed-high", 0, "pending-load high-water mark for class shedding (0 disables)")
 		shedLow  = flag.Int("shed-low", 0, "pending-load low-water mark restoring admission")
+		telAddr  = flag.String("telemetry-addr", "", "serve live Prometheus /metrics on this address during the run (port 0 picks a free port)")
+		telEvery = flag.Float64("telemetry-every", 0, "telemetry snapshot cadence in broadcast units (0 with -telemetry-addr defaults to horizon/100)")
 		predict  = flag.Bool("predict", false, "also print the analytic model's prediction")
 		traceOut = flag.String("trace", "", "write a JSONL event trace of one run to this file")
 		confIn   = flag.String("config", "", "load configuration from a JSON file (flags are ignored)")
@@ -119,6 +126,27 @@ func main() {
 			fatal("loading -config: %v", err)
 		}
 		cfg = loaded
+	}
+	// Telemetry applies on top of a loaded -config too (so the flags stay
+	// usable with canned configurations) and before -saveconfig (so the
+	// snapshot cadence persists; the OnSnapshot hook never does).
+	if !(*telEvery >= 0) { // negative or NaN
+		fatal("telemetry: snapshot cadence %g, want positive", *telEvery)
+	}
+	if *telAddr != "" || *telEvery > 0 {
+		every := *telEvery
+		if every <= 0 {
+			every = cfg.Horizon / 100
+		}
+		tc := &hybridqos.TelemetryConfig{SnapshotEvery: every}
+		if *telAddr != "" {
+			srv, err := serveMetrics(*telAddr)
+			if err != nil {
+				fatal("telemetry: %v", err)
+			}
+			tc.OnSnapshot = srv.update
+		}
+		cfg.Telemetry = tc
 	}
 	if *confOut != "" {
 		if err := hybridqos.SaveConfig(cfg, *confOut); err != nil {
@@ -194,6 +222,51 @@ func main() {
 			fmt.Printf("worst per-class deviation from simulation: %.1f%%\n", dev*100)
 		}
 	}
+}
+
+// metricsServer holds the latest telemetry snapshot rendered in Prometheus
+// text format and serves it over HTTP. All wall-clock and network machinery
+// lives here in the command layer; the simulation behind it stays
+// deterministic — the hook only hands over pre-rendered bytes.
+type metricsServer struct {
+	mu   sync.Mutex
+	body []byte
+}
+
+// update is the TelemetryConfig.OnSnapshot hook: it replaces the served
+// exposition with the latest snapshot's.
+func (m *metricsServer) update(_ float64, prom []byte) {
+	m.mu.Lock()
+	m.body = append(m.body[:0], prom...)
+	m.mu.Unlock()
+}
+
+func (m *metricsServer) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	m.mu.Lock()
+	body := append([]byte(nil), m.body...)
+	m.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if len(body) == 0 {
+		fmt.Fprintln(w, "# waiting for first snapshot")
+		return
+	}
+	w.Write(body)
+}
+
+// serveMetrics binds addr and serves /metrics in the background for the
+// lifetime of the process. The resolved address is announced on stderr so
+// scripts can scrape a port-0 listener.
+func serveMetrics(addr string) (*metricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &metricsServer{}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", srv)
+	fmt.Fprintf(os.Stderr, "serving /metrics on http://%s/metrics\n", ln.Addr())
+	go http.Serve(ln, mux)
+	return srv, nil
 }
 
 func parseFloats(s string) ([]float64, error) {

@@ -1,32 +1,50 @@
 // Command traceinfo analyses a JSONL event trace written by
 // `hybridsim -trace` (or hybridqos.WriteTrace): event counts, per-class
 // delay statistics recomputed independently of the simulator's live
-// collectors, transmission mix, and a coarse timeline of queue pressure.
+// collectors, fault-event summaries, transmission mix, and a coarse timeline
+// of queue pressure. With -timeline it additionally lowers the trace's
+// embedded telemetry snapshots (see `hybridsim -telemetry-every`) to
+// per-class delay-percentile and queue-depth time series — after auditing
+// every snapshot against an independent event replay — and writes them as
+// CSV plus two SVG charts.
 //
 // Usage:
 //
-//	hybridsim -horizon 5000 -reps 1 -trace run.jsonl
+//	hybridsim -horizon 5000 -reps 1 -telemetry-every 100 -trace run.jsonl
 //	traceinfo run.jsonl
+//	traceinfo -timeline run run.jsonl    # writes run.csv, run-delay.svg, run-queue.svg
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"os"
 	"sort"
 
 	"hybridqos/internal/clients"
 	"hybridqos/internal/report"
 	"hybridqos/internal/stats"
+	"hybridqos/internal/telemetry"
 	"hybridqos/internal/trace"
 )
 
+// options bundles the command's flags.
+type options struct {
+	classes  int
+	buckets  int
+	timeline string // artefact path prefix; empty disables the timeline export
+}
+
 func main() {
-	classes := flag.Int("classes", 3, "number of service classes in the trace")
-	buckets := flag.Int("buckets", 10, "timeline buckets")
+	var opts options
+	flag.IntVar(&opts.classes, "classes", 3, "number of service classes in the trace")
+	flag.IntVar(&opts.buckets, "buckets", 10, "timeline buckets")
+	flag.StringVar(&opts.timeline, "timeline", "", "write snapshot time series to <prefix>.csv, <prefix>-delay.svg and <prefix>-queue.svg")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fatal("usage: traceinfo [-classes n] <trace.jsonl>")
+		fatal("usage: traceinfo [-classes n] [-timeline prefix] <trace.jsonl>")
 	}
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {
@@ -37,11 +55,34 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
-	if len(events) == 0 {
-		fatal("empty trace")
+	if err := run(os.Stdout, events, opts); err != nil {
+		fatal("%v", err)
 	}
+}
 
-	// Event census.
+// run performs the whole analysis, printing to w and (for -timeline) writing
+// artefact files. Split from main so tests can drive it.
+func run(w io.Writer, events []trace.Event, opts options) error {
+	if len(events) == 0 {
+		return fmt.Errorf("empty trace")
+	}
+	writeCensus(w, events)
+	if err := writeDelays(w, events, opts.classes); err != nil {
+		return err
+	}
+	writeFaults(w, events, opts.classes)
+	writeMix(w, events)
+	writeCoarseTimeline(w, events, opts.buckets)
+	if opts.timeline != "" {
+		if err := writeTimeline(w, events, opts.timeline); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeCensus prints the per-kind event counts.
+func writeCensus(w io.Writer, events []trace.Event) {
 	counts := map[trace.Kind]int64{}
 	for _, e := range events {
 		counts[e.Kind]++
@@ -51,21 +92,23 @@ func main() {
 		kinds = append(kinds, string(k))
 	}
 	sort.Strings(kinds)
-	fmt.Printf("trace: %d events over [%.1f, %.1f] broadcast units\n\n",
+	fmt.Fprintf(w, "trace: %d events over [%.1f, %.1f] broadcast units\n\n",
 		len(events), events[0].T, events[len(events)-1].T)
 	census := report.NewTable("Event census", "kind", "count")
 	for _, k := range kinds {
 		census.AddRow(k, fmt.Sprint(counts[trace.Kind(k)]))
 	}
-	fmt.Println(census.String())
+	fmt.Fprintln(w, census.String())
+}
 
-	// Per-class replay.
-	perClass, err := trace.Replay(events, *classes)
+// writeDelays prints the per-class delay statistics replayed from the trace.
+func writeDelays(w io.Writer, events []trace.Event, classes int) error {
+	perClass, err := trace.Replay(events, classes)
 	if err != nil {
-		fatal("%v", err)
+		return err
 	}
 	// Percentiles need the raw delays.
-	hists := make([]stats.Histogram, *classes)
+	hists := make([]stats.Histogram, classes)
 	for _, e := range events {
 		if e.Kind == trace.KindServed {
 			hists[e.Class].Add(e.T - e.Arrival)
@@ -73,7 +116,7 @@ func main() {
 	}
 	tbl := report.NewTable("Per-class delays (replayed from trace)",
 		"class", "served", "mean", "p50", "p95", "max")
-	for c := 0; c < *classes; c++ {
+	for c := 0; c < classes; c++ {
 		h := &hists[c]
 		tbl.AddRow(clients.Class(c).String(),
 			fmt.Sprint(perClass[c].Served),
@@ -82,9 +125,56 @@ func main() {
 			report.FormatFloat(h.Percentile(95), "%.2f"),
 			report.FormatFloat(h.Percentile(100), "%.2f"))
 	}
-	fmt.Println(tbl.String())
+	fmt.Fprintln(w, tbl.String())
+	return nil
+}
 
-	// Transmission mix and multicast efficiency.
+// writeFaults prints the per-class fault-event summary (corruptions, client
+// retries, admission sheds), skipped entirely when the trace has no fault
+// events. Corrupted push broadcasts carry no class (class −1 in the trace)
+// and appear as the "broadcast" row.
+func writeFaults(w io.Writer, events []trace.Event, classes int) {
+	const broadcastRow = -1
+	corrupt := map[int]int64{}
+	retries := map[int]int64{}
+	shed := map[int]int64{}
+	var total int64
+	for _, e := range events {
+		c := int(e.Class)
+		switch e.Kind {
+		case trace.KindCorrupt:
+			corrupt[c]++
+		case trace.KindRetry:
+			retries[c]++
+		case trace.KindShed:
+			shed[c]++
+		default:
+			continue
+		}
+		total++
+	}
+	if total == 0 {
+		return
+	}
+	label := func(c int) string {
+		if c == broadcastRow {
+			return "broadcast"
+		}
+		return clients.Class(c).String()
+	}
+	tbl := report.NewTable("Fault events by class", "class", "corrupt", "retries", "shed")
+	for c := broadcastRow; c < classes; c++ {
+		if corrupt[c] == 0 && retries[c] == 0 && shed[c] == 0 {
+			continue
+		}
+		tbl.AddRow(label(c),
+			fmt.Sprint(corrupt[c]), fmt.Sprint(retries[c]), fmt.Sprint(shed[c]))
+	}
+	fmt.Fprintln(w, tbl.String())
+}
+
+// writeMix prints the pull multicast efficiency.
+func writeMix(w io.Writer, events []trace.Event) {
 	var pullTx, pullReqs int64
 	for _, e := range events {
 		if e.Kind == trace.KindPullComplete {
@@ -93,21 +183,23 @@ func main() {
 		}
 	}
 	if pullTx > 0 {
-		fmt.Printf("pull multicast efficiency: %.2f requests satisfied per transmission\n\n",
+		fmt.Fprintf(w, "pull multicast efficiency: %.2f requests satisfied per transmission\n\n",
 			float64(pullReqs)/float64(pullTx))
 	}
+}
 
-	// Coarse timeline: arrivals and pull transmissions per bucket.
+// writeCoarseTimeline prints arrivals and pull transmissions per bucket.
+func writeCoarseTimeline(w io.Writer, events []trace.Event, buckets int) {
 	span := events[len(events)-1].T - events[0].T
-	if span <= 0 || *buckets <= 0 {
+	if span <= 0 || buckets <= 0 {
 		return
 	}
-	arr := make([]int, *buckets)
-	pull := make([]int, *buckets)
+	arr := make([]int, buckets)
+	pull := make([]int, buckets)
 	for _, e := range events {
-		b := int((e.T - events[0].T) / span * float64(*buckets))
-		if b >= *buckets {
-			b = *buckets - 1
+		b := int((e.T - events[0].T) / span * float64(buckets))
+		if b >= buckets {
+			b = buckets - 1
 		}
 		switch e.Kind {
 		case trace.KindArrival:
@@ -117,10 +209,50 @@ func main() {
 		}
 	}
 	tl := report.NewTable("Timeline", "bucket", "arrivals", "pull transmissions")
-	for b := 0; b < *buckets; b++ {
+	for b := 0; b < buckets; b++ {
 		tl.AddRow(fmt.Sprintf("%2d", b), fmt.Sprint(arr[b]), fmt.Sprint(pull[b]))
 	}
-	fmt.Println(tl.String())
+	fmt.Fprintln(w, tl.String())
+}
+
+// writeTimeline audits the trace's embedded telemetry snapshots against an
+// event replay, lowers them to time series, and writes <prefix>.csv plus
+// the delay and queue SVG charts.
+func writeTimeline(w io.Writer, events []trace.Event, prefix string) error {
+	snaps := trace.Snapshots(events)
+	if len(snaps) == 0 {
+		return fmt.Errorf("no telemetry snapshots in trace; record one with hybridsim -telemetry-every")
+	}
+	n, err := trace.VerifySnapshots(events)
+	if err != nil {
+		return fmt.Errorf("snapshot audit FAILED: %w", err)
+	}
+	fmt.Fprintf(w, "snapshot audit: %d snapshots reproduced exactly by event replay\n", n)
+
+	tl, err := telemetry.BuildTimeline(snaps)
+	if err != nil {
+		return err
+	}
+	a, err := telemetry.WriteArtifacts(tl, prefix)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "timeline: %d ticks, %d classes -> %s, %s, %s\n",
+		tl.Ticks(), len(tl.PerClass), a.CSV, a.DelaySVG, a.QueueSVG)
+	return nil
+}
+
+// timelineHasData reports whether any class produced at least one finite
+// windowed percentile — a guard the tests use.
+func timelineHasData(tl *telemetry.Timeline) bool {
+	for _, ct := range tl.PerClass {
+		for _, v := range ct.P95 {
+			if !math.IsNaN(v) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 func fatal(format string, args ...any) {

@@ -1,0 +1,86 @@
+// Telemetry: watch a faulty, overloaded cell through the deterministic
+// telemetry layer. The run records per-class counters, delay histograms and
+// queue gauges, snapshots them into the event trace every 500 broadcast
+// units, and delivers each snapshot live in the Prometheus text format — the
+// same stream `hybridsim -telemetry-addr` serves on /metrics. Afterwards the
+// trace is lowered to timeline artefacts (CSV + SVG), but only after every
+// snapshot has been reproduced bit-for-bit by an independent replay of the
+// trace's events: the collectors are audited, not trusted.
+//
+// Run with:
+//
+//	go run ./examples/telemetry
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hybridqos"
+)
+
+func main() {
+	cfg := hybridqos.PaperConfig()
+	cfg.Horizon = 8000
+	cfg.Lambda = 8 // overload: ~60% above the paper's operating point
+	cfg.Replications = 1
+	cfg.Faults = &hybridqos.FaultsConfig{
+		LossProb:   0.15,
+		MeanBurst:  4,
+		MaxRetries: 2,
+		ShedHigh:   300,
+		ShedLow:    220,
+	}
+
+	fmt.Println("An overloaded cell (λ=8) on a bursty lossy downlink, telemetry on:")
+	fmt.Println("snapshot every 500 broadcast units, live Prometheus exposition below.")
+	fmt.Println()
+
+	var snapshots int
+	var lastProm string
+	cfg.Telemetry = &hybridqos.TelemetryConfig{
+		SnapshotEvery: 500,
+		OnSnapshot: func(simTime float64, prom []byte) {
+			snapshots++
+			lastProm = string(prom)
+		},
+	}
+
+	dir, err := os.MkdirTemp("", "hybridqos-telemetry")
+	if err != nil {
+		log.Fatal(err)
+	}
+	tracePath := filepath.Join(dir, "run.jsonl")
+	events, err := hybridqos.WriteTrace(cfg, tracePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("traced %d events, %d live snapshots delivered to the OnSnapshot hook\n", events, snapshots)
+	fmt.Println("final exposition (what a /metrics scrape would see at the end):")
+	for _, line := range strings.Split(lastProm, "\n") {
+		if strings.HasPrefix(line, "hybridqos_sim_time") ||
+			strings.HasPrefix(line, "hybridqos_arrivals_total") ||
+			strings.HasPrefix(line, "hybridqos_shed_total") ||
+			strings.HasPrefix(line, "hybridqos_queue_requests ") {
+			fmt.Println("  " + line)
+		}
+	}
+	fmt.Println()
+
+	a, err := hybridqos.ExportTimeline(tracePath, filepath.Join(dir, "timeline"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("snapshot audit: all %d embedded snapshots reproduced exactly by event replay\n", a.Snapshots)
+	fmt.Printf("timeline: %d ticks x %d classes\n", a.Ticks, a.Classes)
+	for _, p := range []string{a.CSV, a.DelaySVG, a.QueueSVG} {
+		fmt.Println("  " + p)
+	}
+	fmt.Println()
+	fmt.Println("The delay chart shows what the end-of-run means hide: Class-A's windowed")
+	fmt.Println("p95 stays low while Class-C's climbs as shedding kicks in — the telemetry")
+	fmt.Println("layer sees the QoS separation happen, not just its average.")
+}

@@ -22,6 +22,7 @@
 package hybridqos
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 	"os"
@@ -37,6 +38,7 @@ import (
 	"hybridqos/internal/faults"
 	"hybridqos/internal/policy"
 	"hybridqos/internal/sim"
+	"hybridqos/internal/telemetry"
 	"hybridqos/internal/trace"
 	"hybridqos/internal/uplink"
 	"hybridqos/internal/workload"
@@ -150,6 +152,45 @@ type Config struct {
 	// class-aware overload shedding. Nil keeps the paper's error-free
 	// channel; a zero-valued FaultsConfig is equivalent to nil.
 	Faults *FaultsConfig
+	// Telemetry, when non-nil, enables the deterministic telemetry layer on
+	// replication 0: per-class counters, delay histograms and queue/bandwidth
+	// gauges, snapshotted into the trace every SnapshotEvery broadcast units.
+	// Telemetry never perturbs results — a run with it enabled is
+	// bit-identical to the same run without it.
+	Telemetry *TelemetryConfig
+}
+
+// TelemetryConfig parameterises the telemetry layer (see Config.Telemetry).
+type TelemetryConfig struct {
+	// SnapshotEvery is the snapshot cadence in broadcast units (must be
+	// positive): every SnapshotEvery units of simulated time the collector's
+	// full state — counters, histograms, gauges — is embedded in the trace as
+	// a trace.KindSnapshot event and handed to OnSnapshot.
+	SnapshotEvery float64
+	// OnSnapshot, when non-nil, receives every snapshot as it is taken,
+	// rendered in the Prometheus text exposition format, with the simulated
+	// time it was taken at. It is called synchronously from the simulation
+	// loop of replication 0; keep it fast. The field does not survive
+	// SaveConfig/LoadConfig.
+	OnSnapshot func(simTime float64, prom []byte) `json:"-"`
+}
+
+// newCollector builds a fresh per-run collector (collectors are stateful;
+// one is created per traced replication).
+func (tc *TelemetryConfig) newCollector() (*telemetry.Collector, error) {
+	if tc.SnapshotEvery <= 0 || math.IsNaN(tc.SnapshotEvery) || math.IsInf(tc.SnapshotEvery, 0) {
+		return nil, fmt.Errorf("hybridqos: telemetry snapshot cadence %g, want positive", tc.SnapshotEvery)
+	}
+	opts := telemetry.Options{SnapshotEvery: tc.SnapshotEvery}
+	if hook := tc.OnSnapshot; hook != nil {
+		opts.OnSnapshot = func(s *telemetry.Snapshot) {
+			var buf bytes.Buffer
+			if err := telemetry.WriteProm(&buf, s); err == nil {
+				hook(s.T, buf.Bytes())
+			}
+		}
+	}
+	return telemetry.New(opts)
 }
 
 // FaultsConfig parameterises the failure model: downlink loss, client
@@ -349,6 +390,13 @@ func (c Config) build() (core.Config, error) {
 			}
 		}
 	}
+	if c.Telemetry != nil {
+		// Validate eagerly; the per-run collector is created in perRun (it is
+		// stateful and attaches to replication 0 only).
+		if _, err := c.Telemetry.newCollector(); err != nil {
+			return core.Config{}, err
+		}
+	}
 	if c.ClientCache != nil {
 		cachePol, err := cachePolicyByName(c.ClientCache.Policy)
 		if err != nil {
@@ -460,13 +508,22 @@ func Simulate(c Config) (*Result, error) {
 }
 
 // perRun returns the per-replication hook instantiating fresh stateful
-// components (the uplink token bucket and the downlink loss model), or nil
-// when none are configured.
+// components (the uplink token bucket, the downlink loss model and the
+// telemetry collector), or nil when none are configured. Telemetry attaches
+// to replication 0 only: a snapshot stream is a single-trajectory view;
+// cross-replication aggregates come from Simulate's Result.
 func (c Config) perRun() func(int, *core.Config) error {
-	if c.Uplink == nil && c.Faults == nil {
+	if c.Uplink == nil && c.Faults == nil && c.Telemetry == nil {
 		return nil
 	}
-	return func(_ int, cfg *core.Config) error {
+	return func(rep int, cfg *core.Config) error {
+		if c.Telemetry != nil && rep == 0 {
+			col, err := c.Telemetry.newCollector()
+			if err != nil {
+				return err
+			}
+			cfg.Telemetry = col
+		}
 		if c.Uplink != nil {
 			tb, err := uplink.NewTokenBucket(c.Uplink.Rate, c.Uplink.Burst)
 			if err != nil {
@@ -684,7 +741,9 @@ func DeviationFromPrediction(r *Result, p *Prediction) (float64, error) {
 // seed) with JSON-lines event tracing enabled and writes the trace to path.
 // It returns the number of events written. The trace records every arrival,
 // transmission, blocking decision and served request; internal/trace
-// documents the schema.
+// documents the schema. When Config.Telemetry is set the trace additionally
+// carries periodic snapshot events embedding the full metrics registry —
+// trace.VerifySnapshots can later audit them against an event replay.
 func WriteTrace(c Config, path string) (int64, error) {
 	cfg, err := c.build()
 	if err != nil {

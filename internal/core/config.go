@@ -11,6 +11,7 @@ import (
 	"hybridqos/internal/policy"
 	"hybridqos/internal/pullqueue"
 	"hybridqos/internal/sched"
+	"hybridqos/internal/telemetry"
 	"hybridqos/internal/trace"
 	"hybridqos/internal/uplink"
 	"hybridqos/internal/workload"
@@ -74,6 +75,15 @@ type Config struct {
 	// Tracer, when non-nil, receives a structured event stream (arrivals,
 	// transmissions, blocks, served requests) for offline analysis.
 	Tracer trace.Tracer
+	// Telemetry, when non-nil, attaches the deterministic metrics collector:
+	// the engine feeds it every traced event plus live gauges (queue depth,
+	// bandwidth occupancy, pending retries) and, when the collector has a
+	// snapshot cadence, emits periodic trace.KindSnapshot events carrying the
+	// full registry state. Collectors are stateful — like Tracer and Loss,
+	// never share one across parallel replications. Telemetry is read-only
+	// with respect to the simulation: a run with it attached is
+	// trajectory-identical to the same run without it.
+	Telemetry *telemetry.Collector
 	// Uplink, when non-nil, models the limited request back-channel: pull
 	// requests that fail uplink contention never reach the server and are
 	// counted as UplinkLost (push requests need no uplink — clients simply

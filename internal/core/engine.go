@@ -29,6 +29,7 @@ import (
 	"hybridqos/internal/pullqueue"
 	"hybridqos/internal/rng"
 	"hybridqos/internal/sched"
+	"hybridqos/internal/telemetry"
 	"hybridqos/internal/trace"
 	"hybridqos/internal/uplink"
 	"hybridqos/internal/workload"
@@ -56,6 +57,7 @@ type Server struct {
 	arrivals    workload.ArrivalProcess
 	items       workload.ItemSampler
 	tracer      trace.Tracer
+	tele        *telemetry.Collector
 	up          uplink.Channel
 	uplinkRng   *rng.Source
 	caches      *cache.Population
@@ -140,6 +142,7 @@ func New(cfg Config) (*Server, error) {
 	if s.tracer == nil {
 		s.tracer = trace.Nop{}
 	}
+	s.tele = cfg.Telemetry
 	s.up = cfg.Uplink
 	if s.up == nil {
 		s.up = uplink.Unlimited{}
@@ -178,10 +181,59 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// emit routes one trace event to both consumers: the configured tracer and
+// — via trace.Apply, the single definition of the event→metric mapping —
+// the telemetry collector. Keeping both behind one call site is what makes
+// the replay audit exact: the collector sees events in precisely the order
+// the trace records them.
+func (s *Server) emit(e trace.Event) {
+	s.tracer.Event(e)
+	trace.Apply(s.tele, e)
+}
+
+// observeBandwidth samples every class's bandwidth occupancy
+// (capacity − available) into the telemetry gauges.
+func (s *Server) observeBandwidth() {
+	if s.tele == nil || s.alloc == nil {
+		return
+	}
+	for c := 0; c < s.alloc.NumClasses(); c++ {
+		cl := clients.Class(c)
+		s.tele.ObserveBandwidth(c, s.alloc.Capacity(cl)-s.alloc.Available(cl))
+	}
+}
+
+// observePendingRetries samples the outstanding-retry count into telemetry.
+func (s *Server) observePendingRetries() {
+	if s.tele != nil {
+		s.tele.ObservePendingRetries(s.pendingRetries)
+	}
+}
+
+// scheduleSnapshot books the k-th periodic telemetry snapshot (1-based) at
+// simulated time k·every. Snapshots are chained rather than pre-booked so
+// the event heap stays small. The callback only reads simulation state —
+// no RNG draws, no queue mutations — so a telemetry-enabled run follows a
+// trajectory bit-identical to the same run without it.
+func (s *Server) scheduleSnapshot(k int64) {
+	t := float64(k) * s.tele.SnapshotEvery()
+	if t > s.cfg.Horizon {
+		return
+	}
+	s.sim.At(t, func(*event.Simulator) {
+		s.emit(trace.Event{T: t, Kind: trace.KindSnapshot, Class: -1, Snap: s.tele.TakeSnapshot(t)})
+		s.scheduleSnapshot(k + 1)
+	})
+}
+
 // Run executes the simulation to its horizon and returns the metrics.
 // Run may be called once per Server.
 func (s *Server) Run() *Metrics {
 	s.observeQueue()
+	s.observeBandwidth()
+	if s.tele != nil && s.tele.SnapshotEvery() > 0 {
+		s.scheduleSnapshot(1)
+	}
 	s.scheduleNextArrival()
 	if s.cutoff > 0 {
 		s.startPush()
@@ -199,11 +251,16 @@ func (s *Server) Run() *Metrics {
 	return s.metrics
 }
 
-// observeQueue snapshots queue sizes into the time-weighted trackers.
+// observeQueue snapshots queue sizes into the time-weighted trackers and the
+// telemetry gauges.
 func (s *Server) observeQueue() {
 	now := s.sim.Now()
-	s.metrics.QueueItems.Observe(now, float64(s.selector.Items()))
-	s.metrics.QueueRequests.Observe(now, float64(s.selector.Requests()))
+	items, requests := s.selector.Items(), s.selector.Requests()
+	s.metrics.QueueItems.Observe(now, float64(items))
+	s.metrics.QueueRequests.Observe(now, float64(requests))
+	if s.tele != nil {
+		s.tele.ObserveQueue(items, requests)
+	}
 }
 
 // scheduleNextArrival draws the next arrival event from the configured
@@ -231,7 +288,7 @@ func (s *Server) handleArrival() {
 	if now >= s.warmupEnd {
 		s.metrics.PerClass[class].Arrivals++
 	}
-	s.tracer.Event(trace.Event{T: now, Kind: trace.KindArrival, Item: rank, Class: class})
+	s.emit(trace.Event{T: now, Kind: trace.KindArrival, Item: rank, Class: class})
 	clientID := -1
 	if s.caches != nil {
 		clientID = s.clientRng.Intn(s.caches.Size())
@@ -244,7 +301,7 @@ func (s *Server) handleArrival() {
 				cm.Delay.Add(0)
 				cm.DelayHist.Add(0)
 			}
-			s.tracer.Event(trace.Event{T: now, Kind: trace.KindServed, Class: class, Arrival: now})
+			s.emit(trace.Event{T: now, Kind: trace.KindServed, Class: class, Arrival: now})
 			return
 		}
 	}
@@ -299,7 +356,7 @@ func (s *Server) shedPull(req pullqueue.Request, now float64) bool {
 	if req.Arrival >= s.warmupEnd {
 		s.metrics.PerClass[req.Class].Shed++
 	}
-	s.tracer.Event(trace.Event{T: now, Kind: trace.KindShed, Item: req.Item, Class: req.Class})
+	s.emit(trace.Event{T: now, Kind: trace.KindShed, Item: req.Item, Class: req.Class})
 	return true
 }
 
@@ -323,12 +380,14 @@ func (s *Server) retryAfterLoss(r pullqueue.Request, now float64) bool {
 	if r.Arrival >= s.warmupEnd {
 		s.metrics.PerClass[r.Class].Retries++
 	}
-	s.tracer.Event(trace.Event{
+	s.emit(trace.Event{
 		T: now, Kind: trace.KindRetry, Item: r.Item, Class: r.Class, Attempt: r.Attempts,
 	})
 	s.pendingRetries++
+	s.observePendingRetries()
 	s.sim.At(retryAt, func(*event.Simulator) {
 		s.pendingRetries--
+		s.observePendingRetries()
 		s.handleRetry(r)
 	})
 	return true
@@ -355,7 +414,7 @@ func (s *Server) handleRetry(r pullqueue.Request) {
 func (s *Server) startPush() {
 	item := s.pushSched.Next()
 	length := s.cfg.Catalog.Length(item)
-	s.tracer.Event(trace.Event{T: s.sim.Now(), Kind: trace.KindPushStart, Item: item, Class: -1})
+	s.emit(trace.Event{T: s.sim.Now(), Kind: trace.KindPushStart, Item: item, Class: -1})
 	s.sim.After(length, func(*event.Simulator) {
 		s.completePush(item)
 	})
@@ -370,7 +429,7 @@ func (s *Server) completePush(item int) {
 		// Nobody decoded the broadcast: waiters stay registered and catch
 		// the item's next push cycle; no cache fills, no PIX update.
 		s.metrics.CorruptedPushes++
-		s.tracer.Event(trace.Event{
+		s.emit(trace.Event{
 			T: now, Kind: trace.KindCorrupt, Item: item, Class: -1,
 			Push: true, Requests: len(s.pushWaiters[item]),
 		})
@@ -378,7 +437,7 @@ func (s *Server) completePush(item int) {
 		return
 	}
 	s.noteTransmission(item)
-	s.tracer.Event(trace.Event{
+	s.emit(trace.Event{
 		T: now, Kind: trace.KindPushComplete, Item: item, Class: -1,
 		Requests: len(s.pushWaiters[item]),
 	})
@@ -412,7 +471,7 @@ func (s *Server) attemptPull() {
 			if blocked {
 				// Paper: the item and all its pending requests are lost.
 				s.metrics.BlockedTransmissions++
-				s.tracer.Event(trace.Event{
+				s.emit(trace.Event{
 					T: s.sim.Now(), Kind: trace.KindBlocked, Item: entry.Item,
 					Class: entry.HighestClass(), Requests: len(entry.Requests),
 				})
@@ -434,9 +493,10 @@ func (s *Server) attemptPull() {
 				return
 			}
 			grant = g
+			s.observeBandwidth()
 		}
 
-		s.tracer.Event(trace.Event{
+		s.emit(trace.Event{
 			T: s.sim.Now(), Kind: trace.KindPullStart, Item: entry.Item,
 			Class: entry.HighestClass(), Requests: len(entry.Requests),
 		})
@@ -456,7 +516,7 @@ func (s *Server) completePull(entry *pullqueue.Entry, grant *bandwidth.Grant) {
 		// The delivery was corrupted: each pending request either books a
 		// client re-request (bounded backoff) or fails terminally.
 		s.metrics.CorruptedPulls++
-		s.tracer.Event(trace.Event{
+		s.emit(trace.Event{
 			T: now, Kind: trace.KindCorrupt, Item: entry.Item,
 			Class: entry.HighestClass(), Requests: len(entry.Requests),
 		})
@@ -467,6 +527,7 @@ func (s *Server) completePull(entry *pullqueue.Entry, grant *bandwidth.Grant) {
 		}
 		if grant != nil {
 			s.alloc.Release(grant)
+			s.observeBandwidth()
 		}
 		if s.cutoff > 0 {
 			s.startPush()
@@ -476,7 +537,7 @@ func (s *Server) completePull(entry *pullqueue.Entry, grant *bandwidth.Grant) {
 		return
 	}
 	s.noteTransmission(entry.Item)
-	s.tracer.Event(trace.Event{
+	s.emit(trace.Event{
 		T: now, Kind: trace.KindPullComplete, Item: entry.Item,
 		Class: entry.HighestClass(), Requests: len(entry.Requests),
 	})
@@ -486,6 +547,7 @@ func (s *Server) completePull(entry *pullqueue.Entry, grant *bandwidth.Grant) {
 	}
 	if grant != nil {
 		s.alloc.Release(grant)
+		s.observeBandwidth()
 	}
 	if s.cutoff > 0 {
 		s.startPush()
@@ -542,7 +604,7 @@ func (s *Server) recordServed(class clients.Class, arrival, completion float64, 
 	cm.Served++
 	cm.Delay.Add(d)
 	cm.DelayHist.Add(d)
-	s.tracer.Event(trace.Event{
+	s.emit(trace.Event{
 		T: completion, Kind: trace.KindServed, Class: class,
 		Arrival: arrival, Push: push,
 	})

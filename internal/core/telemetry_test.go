@@ -1,0 +1,171 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"hybridqos/internal/bandwidth"
+	"hybridqos/internal/telemetry"
+	"hybridqos/internal/trace"
+)
+
+// captureTracer stores the full event stream in emission order.
+type captureTracer struct {
+	events []trace.Event
+}
+
+func (c *captureTracer) Event(e trace.Event) { c.events = append(c.events, e) }
+
+func newCollector(t *testing.T, every float64) *telemetry.Collector {
+	t.Helper()
+	c, err := telemetry.New(telemetry.Options{SnapshotEvery: every})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestTelemetryOffIsNoOp checks the tentpole bit-identity guarantee: a run
+// with the collector attached produces metrics byte-identical to the same
+// run without it. The collector only reads state (no RNG draws, no queue
+// mutations), so even periodic snapshot events cannot perturb the
+// trajectory.
+func TestTelemetryOffIsNoOp(t *testing.T) {
+	mk := func(tele *telemetry.Collector) *Metrics {
+		cfg, _ := fullFaultConfig(t)
+		bw := bandwidth.PaperConfig()
+		cfg.Bandwidth = &bw
+		cfg.Telemetry = tele
+		m, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	off := mk(nil)
+	on := mk(newCollector(t, 100))
+	if !reflect.DeepEqual(off, on) {
+		t.Fatalf("telemetry perturbed the run:\nwithout: %+v\nwith:    %+v", off, on)
+	}
+}
+
+// TestTelemetryCountersMatchTrace cross-checks the collector against an
+// independent event tally: every counter the collector maintains must equal
+// the corresponding trace-kind count, because both are fed from the same
+// emitted stream.
+func TestTelemetryCountersMatchTrace(t *testing.T) {
+	cfg, counts := fullFaultConfig(t)
+	bw := bandwidth.PaperConfig()
+	cfg.Bandwidth = &bw
+	tele := newCollector(t, 500)
+	cfg.Telemetry = tele
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	final := tele.TakeSnapshot(cfg.Horizon)
+	sumClasses := func(name string) int64 {
+		var n int64
+		for c := 0; c < cfg.Classes.NumClasses(); c++ {
+			n += final.Counter(name, c)
+		}
+		return n
+	}
+	checks := []struct {
+		name string
+		got  int64
+		want int64
+	}{
+		{"arrivals", sumClasses(telemetry.MetricArrivals), counts.Count(trace.KindArrival)},
+		{"served", sumClasses(telemetry.MetricServedPush) + sumClasses(telemetry.MetricServedPull), counts.Count(trace.KindServed)},
+		{"retries", sumClasses(telemetry.MetricRetries), counts.Count(trace.KindRetry)},
+		{"shed", sumClasses(telemetry.MetricShed), counts.Count(trace.KindShed)},
+		{"blocked", final.Counter(telemetry.MetricBlocked, telemetry.ClassNone), counts.Count(trace.KindBlocked)},
+		{"corrupt", final.Counter(telemetry.MetricCorruptPush, telemetry.ClassNone) +
+			final.Counter(telemetry.MetricCorruptPull, telemetry.ClassNone), counts.Count(trace.KindCorrupt)},
+		{"push broadcasts", final.Counter(telemetry.MetricPushBroadcasts, telemetry.ClassNone), counts.Count(trace.KindPushComplete)},
+		{"pull transmissions", final.Counter(telemetry.MetricPullTx, telemetry.ClassNone), counts.Count(trace.KindPullComplete)},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s: collector %d, trace %d", c.name, c.got, c.want)
+		}
+		if c.got == 0 {
+			t.Errorf("%s: zero events — the scenario no longer exercises this hot point", c.name)
+		}
+	}
+	if got := final.Gauge(telemetry.MetricQueueRequestsMax, telemetry.ClassNone); !(got > 0) {
+		t.Errorf("queue_requests_max = %g, want > 0", got)
+	}
+	if got := final.Gauge(telemetry.MetricBandwidthInUse, 0); math.IsNaN(got) {
+		t.Error("bandwidth_in_use{0} gauge never sampled")
+	}
+}
+
+// TestTelemetrySnapshotReplayAudit is the end-to-end audit: record a faulty,
+// bandwidth-constrained run's full trace with embedded periodic snapshots,
+// round-trip it through the JSONL encoding, and require the replay to
+// reproduce every snapshot bit-for-bit — then prove the audit has teeth by
+// corrupting one bucket count.
+func TestTelemetrySnapshotReplayAudit(t *testing.T) {
+	cfg, _ := fullFaultConfig(t)
+	bw := bandwidth.PaperConfig()
+	cfg.Bandwidth = &bw
+	cap := &captureTracer{}
+	cfg.Tracer = cap
+	cfg.Telemetry = newCollector(t, 250)
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	wantSnaps := int(cfg.Horizon / 250)
+	n, err := trace.VerifySnapshots(cap.events)
+	if err != nil {
+		t.Fatalf("live stream audit: %v", err)
+	}
+	if n != wantSnaps {
+		t.Fatalf("verified %d snapshots, want %d", n, wantSnaps)
+	}
+
+	// Round-trip through the on-disk encoding: float64 values survive JSON's
+	// shortest-round-trip form exactly, so the audit must still pass.
+	var buf bytes.Buffer
+	jl := trace.NewJSONL(&buf)
+	for _, e := range cap.events {
+		jl.Event(e)
+	}
+	if err := jl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := trace.VerifySnapshots(decoded); err != nil || n != wantSnaps {
+		t.Fatalf("decoded stream audit: %d snapshots, err %v", n, err)
+	}
+
+	// Teeth: a single corrupted bucket count must fail the audit.
+	snaps := trace.Snapshots(decoded)
+	if len(snaps) != wantSnaps {
+		t.Fatalf("Snapshots() found %d, want %d", len(snaps), wantSnaps)
+	}
+	for _, s := range snaps {
+		if len(s.Hists) > 0 {
+			s.Hists[0].Counts[0]++
+			break
+		}
+	}
+	if _, err := trace.VerifySnapshots(decoded); err == nil {
+		t.Fatal("corrupted snapshot passed the audit")
+	}
+}
+
+// TestSnapshotEventWithoutPayloadErrors covers the malformed-trace path.
+func TestSnapshotEventWithoutPayloadErrors(t *testing.T) {
+	events := []trace.Event{{T: 1, Kind: trace.KindSnapshot, Class: -1}}
+	if _, err := trace.VerifySnapshots(events); err == nil {
+		t.Fatal("payload-less snapshot event accepted")
+	}
+}

@@ -73,8 +73,9 @@ func (s *Summary) MeanCost(c clients.Class) float64 { return s.PerClass[c].Cost.
 // identical numbers regardless of scheduling order.
 //
 // Stateful per-run components (uplink channels, loss models, MMPP arrival
-// processes, tracers) must NOT be shared across replications; use RunReplicationsWith
-// and construct fresh instances in the perRun hook.
+// processes, tracers, telemetry collectors) must NOT be shared across
+// replications; use RunReplicationsWith and construct fresh instances in the
+// perRun hook.
 func RunReplications(cfg core.Config, reps int) (*Summary, error) {
 	return RunReplicationsWith(cfg, reps, nil)
 }

@@ -257,6 +257,56 @@ func (h *Histogram) Merge(other *Histogram) {
 	h.sorted = false
 }
 
+// BucketQuantile estimates the p-th percentile (0 ≤ p ≤ 100) of a bucketed
+// distribution: bounds are the ascending inclusive upper bounds of the
+// buckets and counts the per-bucket observation counts, with an optional
+// final overflow bucket (len(counts) == len(bounds)+1). The estimate
+// interpolates linearly within the target bucket (first bucket's lower edge
+// is 0), so for log-scale bounds with ratio r the estimate is within a
+// factor r of the exact percentile. It returns NaN on an invalid p, empty
+// counts, or when the percentile lands in the unbounded overflow bucket's
+// interior (the last bound is returned only when the overflow bucket is
+// empty at that rank). Negative counts are treated as zero.
+func BucketQuantile(p float64, bounds []float64, counts []int64) float64 {
+	if p < 0 || p > 100 || math.IsNaN(p) || len(bounds) == 0 {
+		return math.NaN()
+	}
+	var total int64
+	for i := range counts {
+		if counts[i] > 0 {
+			total += counts[i]
+		}
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := p / 100 * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range counts {
+		n := counts[i]
+		if n < 0 {
+			n = 0
+		}
+		if float64(cum+n) < rank {
+			cum += n
+			continue
+		}
+		if i >= len(bounds) {
+			return bounds[len(bounds)-1] // overflow bucket: no upper edge to interpolate to
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		frac := (rank - float64(cum)) / float64(n)
+		return lo + frac*(bounds[i]-lo)
+	}
+	return bounds[len(bounds)-1]
+}
+
 // Buckets returns counts of samples falling into nBuckets equal-width buckets
 // spanning [min, max], plus the bucket edges. Useful for ASCII rendering.
 func (h *Histogram) Buckets(nBuckets int) (counts []int, edges []float64) {

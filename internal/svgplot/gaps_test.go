@@ -1,0 +1,66 @@
+package svgplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAllowGapsSplitsPolyline(t *testing.T) {
+	nan := math.NaN()
+	c := Chart{
+		Title:     "gaps",
+		AllowGaps: true,
+		Series: []Series{{
+			Name: "windowed p95",
+			X:    []float64{1, 2, 3, 4, 5},
+			Y:    []float64{10, 20, nan, 15, 12},
+		}},
+	}
+	svg, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("%d polyline segments, want 2 (gap splits the line)", got)
+	}
+	if got := strings.Count(svg, "<circle"); got != 4 {
+		t.Errorf("%d point markers, want 4 (gap point not drawn)", got)
+	}
+}
+
+func TestGapsRejectedWithoutAllowGaps(t *testing.T) {
+	c := Chart{Series: []Series{{Name: "s", X: []float64{1, 2}, Y: []float64{1, math.NaN()}}}}
+	if _, err := c.Render(); err == nil {
+		t.Fatal("NaN accepted without AllowGaps")
+	}
+}
+
+func TestAllNaNSeriesRejected(t *testing.T) {
+	nan := math.NaN()
+	c := Chart{AllowGaps: true, Series: []Series{{Name: "s", X: []float64{1, 2}, Y: []float64{nan, nan}}}}
+	if _, err := c.Render(); err == nil {
+		t.Fatal("series with no finite points accepted")
+	}
+}
+
+// TestGapPointExcludedFromBounds pins that a non-finite Y does not poison
+// the axis range: the remaining points still produce tick labels around
+// their own span.
+func TestGapPointExcludedFromBounds(t *testing.T) {
+	c := Chart{
+		AllowGaps: true,
+		Series: []Series{{
+			Name: "s",
+			X:    []float64{0, 1, 2},
+			Y:    []float64{1, math.Inf(1), 3},
+		}},
+	}
+	svg, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, ">3<") {
+		t.Error("expected a tick near the finite maximum of 3")
+	}
+}

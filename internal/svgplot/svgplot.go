@@ -30,6 +30,12 @@ type Chart struct {
 	Series []Series
 	// Width and Height are the SVG pixel dimensions (0 → 760×440).
 	Width, Height int
+	// AllowGaps renders non-finite points (NaN/Inf) as gaps: they are
+	// excluded from the axis bounds and split the series' polyline, instead
+	// of failing the render. Each series still needs at least one finite
+	// point. Useful for windowed time series where some windows are empty
+	// (e.g. a percentile over an interval with no observations).
+	AllowGaps bool
 }
 
 // palette is a colour-blind-friendly categorical cycle.
@@ -59,12 +65,20 @@ func (c Chart) Render() (string, error) {
 		if len(s.X) != len(s.Y) || len(s.X) == 0 {
 			return "", fmt.Errorf("svgplot: series %q has %d x vs %d y points", s.Name, len(s.X), len(s.Y))
 		}
+		finitePoints := 0
 		for i := range s.X {
 			if !finite(s.X[i]) || !finite(s.Y[i]) {
+				if c.AllowGaps {
+					continue
+				}
 				return "", fmt.Errorf("svgplot: series %q has non-finite point %d", s.Name, i)
 			}
+			finitePoints++
 			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
 			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+		if finitePoints == 0 {
+			return "", fmt.Errorf("svgplot: series %q has no finite points", s.Name)
 		}
 	}
 	if minX == maxX {
@@ -121,13 +135,31 @@ func (c Chart) Render() (string, error) {
 	// Series.
 	for i, s := range c.Series {
 		color := palette[i%len(palette)]
-		var pts []string
+		// Non-finite points (only reachable under AllowGaps) end the current
+		// polyline segment; finite runs on either side render separately.
+		var segments [][]string
+		var cur []string
 		for j := range s.X {
-			pts = append(pts, fmt.Sprintf("%.1f,%.1f", sx(s.X[j]), sy(s.Y[j])))
+			if !finite(s.X[j]) || !finite(s.Y[j]) {
+				if len(cur) > 0 {
+					segments = append(segments, cur)
+					cur = nil
+				}
+				continue
+			}
+			cur = append(cur, fmt.Sprintf("%.1f,%.1f", sx(s.X[j]), sy(s.Y[j])))
 		}
-		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`,
-			strings.Join(pts, " "), color)
+		if len(cur) > 0 {
+			segments = append(segments, cur)
+		}
+		for _, seg := range segments {
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`,
+				strings.Join(seg, " "), color)
+		}
 		for j := range s.X {
+			if !finite(s.X[j]) || !finite(s.Y[j]) {
+				continue
+			}
 			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.4" fill="%s"/>`, sx(s.X[j]), sy(s.Y[j]), color)
 		}
 		// Legend entry.

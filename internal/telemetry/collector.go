@@ -1,0 +1,297 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+)
+
+// Metric names the Collector maintains. Counters and histograms are derived
+// one-for-one from trace events (replay-auditable); gauges sample live engine
+// state and exist only in live snapshots.
+const (
+	// Counters, keyed by class unless noted.
+	MetricArrivals       = "arrivals"           // requests reaching the server
+	MetricServedPush     = "served_push"        // requests satisfied by a broadcast
+	MetricServedPull     = "served_pull"        // requests satisfied on demand
+	MetricBlockedReqs    = "blocked_requests"   // requests lost to bandwidth blocking
+	MetricRetries        = "retries"            // client re-requests after corruption
+	MetricShed           = "shed"               // requests refused by admission control
+	MetricPushBroadcasts = "push_broadcasts"    // unlabelled: completed broadcasts
+	MetricPullTx         = "pull_transmissions" // unlabelled: completed pull transmissions
+	MetricBlocked        = "blocked"            // unlabelled: pull entries blocked
+	MetricCorruptPush    = "corrupt_push"       // unlabelled: broadcasts lost downlink
+	MetricCorruptPull    = "corrupt_pull"       // unlabelled: pull deliveries lost downlink
+
+	// Histograms, keyed by class.
+	MetricDelay = "delay" // access time of served requests
+
+	// Gauges (live-only; excluded from the replay audit).
+	MetricQueueItems       = "queue_items"        // distinct items pending pull
+	MetricQueueRequests    = "queue_requests"     // requests pending pull
+	MetricQueueRequestsMax = "queue_requests_max" // peak pending requests so far
+	MetricPendingRetries   = "pending_retries"    // booked but undelivered re-requests
+	MetricBandwidthInUse   = "bandwidth_in_use"   // per-class reserved bandwidth units
+)
+
+// Options parameterises a Collector.
+type Options struct {
+	// SnapshotEvery is the sim-time snapshot cadence in broadcast units. The
+	// engine emits one trace.KindSnapshot event every SnapshotEvery units of
+	// simulated time. 0 disables periodic snapshots (the collector still
+	// counts; TakeSnapshot may be called manually).
+	SnapshotEvery float64
+	// OnSnapshot, when non-nil, is called with every snapshot as it is taken
+	// — synchronously, from the simulation loop. Used by the CLI layer to
+	// serve live /metrics; keep it fast and do not touch simulation state.
+	OnSnapshot func(*Snapshot)
+}
+
+// Collector is the engine-facing instrumentation front end: one instance per
+// simulation run (it is stateful and not safe for concurrent use — like a
+// trace.Tracer or a loss model, never share one across parallel
+// replications).
+type Collector struct {
+	reg        *Registry
+	every      float64
+	onSnapshot func(*Snapshot)
+	snapshots  int64
+}
+
+// New builds a Collector. SnapshotEvery must be non-negative and finite.
+func New(opts Options) (*Collector, error) {
+	if opts.SnapshotEvery < 0 || math.IsNaN(opts.SnapshotEvery) || math.IsInf(opts.SnapshotEvery, 0) {
+		return nil, fmt.Errorf("telemetry: invalid snapshot cadence %g", opts.SnapshotEvery)
+	}
+	return &Collector{
+		reg:        NewRegistry(),
+		every:      opts.SnapshotEvery,
+		onSnapshot: opts.OnSnapshot,
+	}, nil
+}
+
+// SnapshotEvery returns the configured snapshot cadence (0 = disabled).
+func (c *Collector) SnapshotEvery() float64 { return c.every }
+
+// Registry exposes the underlying registry (tests, extensions).
+func (c *Collector) Registry() *Registry { return c.reg }
+
+// Arrival counts one request arrival for the class.
+func (c *Collector) Arrival(class int) {
+	c.reg.Counter(MetricArrivals, class).Inc()
+}
+
+// Served counts one satisfied request and observes its access delay. push
+// distinguishes broadcast-served from pull-served (a client-cache hit counts
+// as pull-served with zero delay, mirroring the trace event it comes from).
+func (c *Collector) Served(class int, delay float64, push bool) {
+	if push {
+		c.reg.Counter(MetricServedPush, class).Inc()
+	} else {
+		c.reg.Counter(MetricServedPull, class).Inc()
+	}
+	c.reg.Histogram(MetricDelay, class).Observe(delay)
+}
+
+// PushComplete counts one completed broadcast transmission.
+func (c *Collector) PushComplete() {
+	c.reg.Counter(MetricPushBroadcasts, ClassNone).Inc()
+}
+
+// PullComplete counts one completed pull transmission.
+func (c *Collector) PullComplete() {
+	c.reg.Counter(MetricPullTx, ClassNone).Inc()
+}
+
+// Blocked counts one pull entry dropped for bandwidth, attributing its
+// pending requests to the entry's governing class.
+func (c *Collector) Blocked(class, requests int) {
+	c.reg.Counter(MetricBlocked, ClassNone).Inc()
+	c.reg.Counter(MetricBlockedReqs, class).Add(int64(requests))
+}
+
+// Corrupt counts one transmission lost on the lossy downlink.
+func (c *Collector) Corrupt(push bool) {
+	if push {
+		c.reg.Counter(MetricCorruptPush, ClassNone).Inc()
+	} else {
+		c.reg.Counter(MetricCorruptPull, ClassNone).Inc()
+	}
+}
+
+// Retry counts one client re-request for the class.
+func (c *Collector) Retry(class int) {
+	c.reg.Counter(MetricRetries, class).Inc()
+}
+
+// Shed counts one admission-control refusal for the class.
+func (c *Collector) Shed(class int) {
+	c.reg.Counter(MetricShed, class).Inc()
+}
+
+// ObserveQueue samples the pull queue depth (distinct items and pending
+// requests). Called by the engine whenever the queue changes, so the gauges
+// hold the exact current depth at every snapshot tick.
+func (c *Collector) ObserveQueue(items, requests int) {
+	c.reg.Gauge(MetricQueueItems, ClassNone).Set(float64(items))
+	c.reg.Gauge(MetricQueueRequests, ClassNone).Set(float64(requests))
+	c.reg.Gauge(MetricQueueRequestsMax, ClassNone).SetMax(float64(requests))
+}
+
+// ObservePendingRetries samples the count of booked-but-undelivered client
+// re-requests.
+func (c *Collector) ObservePendingRetries(n int) {
+	c.reg.Gauge(MetricPendingRetries, ClassNone).Set(float64(n))
+}
+
+// ObserveBandwidth samples one class's reserved bandwidth units.
+func (c *Collector) ObserveBandwidth(class int, inUse float64) {
+	c.reg.Gauge(MetricBandwidthInUse, class).Set(inUse)
+}
+
+// Snapshots returns how many snapshots have been taken.
+func (c *Collector) Snapshots() int64 { return c.snapshots }
+
+// CounterSnap is one counter's value in a snapshot.
+type CounterSnap struct {
+	// Name is the metric name.
+	Name string `json:"name"`
+	// Class is the service class label, ClassNone (-1) when unlabelled.
+	Class int `json:"class"`
+	// V is the count.
+	V int64 `json:"v"`
+}
+
+// GaugeSnap is one gauge's value in a snapshot.
+type GaugeSnap struct {
+	Name  string  `json:"name"`
+	Class int     `json:"class"`
+	V     float64 `json:"v"`
+}
+
+// HistSnap is one histogram's state in a snapshot. Counts follow the fixed
+// DelayBuckets layout (one count per bound, overflow last).
+type HistSnap struct {
+	Name   string  `json:"name"`
+	Class  int     `json:"class"`
+	Counts []int64 `json:"counts"`
+	Sum    float64 `json:"sum"`
+}
+
+// N returns the histogram's total observation count.
+func (h HistSnap) N() int64 {
+	var n int64
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// Snapshot is the registry's full state at one simulated instant. All three
+// sections are sorted by (name, class), so identical collector states always
+// serialise to identical bytes.
+type Snapshot struct {
+	// T is the simulated time the snapshot was taken.
+	T float64 `json:"t"`
+	// Seq is the 1-based snapshot index within the run.
+	Seq int64 `json:"seq"`
+	// Counters, Gauges and Hists hold every live metric instance.
+	Counters []CounterSnap `json:"counters,omitempty"`
+	Gauges   []GaugeSnap   `json:"gauges,omitempty"`
+	Hists    []HistSnap    `json:"hists,omitempty"`
+}
+
+// Counter returns the named counter's value in the snapshot, 0 when absent.
+func (s *Snapshot) Counter(name string, class int) int64 {
+	for _, c := range s.Counters {
+		if c.Name == name && c.Class == class {
+			return c.V
+		}
+	}
+	return 0
+}
+
+// Gauge returns the named gauge's value, NaN when absent.
+func (s *Snapshot) Gauge(name string, class int) float64 {
+	for _, g := range s.Gauges {
+		if g.Name == name && g.Class == class {
+			return g.V
+		}
+	}
+	return math.NaN()
+}
+
+// Hist returns the named histogram snapshot and whether it is present.
+func (s *Snapshot) Hist(name string, class int) (HistSnap, bool) {
+	for _, h := range s.Hists {
+		if h.Name == name && h.Class == class {
+			return h, true
+		}
+	}
+	return HistSnap{}, false
+}
+
+// TakeSnapshot captures the registry's current state at simulated time t and
+// invokes the OnSnapshot hook. The returned snapshot owns copies of every
+// count, so later collection does not mutate it.
+func (c *Collector) TakeSnapshot(t float64) *Snapshot {
+	c.snapshots++
+	s := &Snapshot{T: t, Seq: c.snapshots}
+	for _, k := range sortedCounterKeys(c.reg.counters) {
+		s.Counters = append(s.Counters, CounterSnap{Name: k.name, Class: k.class, V: c.reg.counters[k].Value()})
+	}
+	for _, k := range sortedGaugeKeys(c.reg.gauges) {
+		s.Gauges = append(s.Gauges, GaugeSnap{Name: k.name, Class: k.class, V: c.reg.gauges[k].Value()})
+	}
+	for _, k := range sortedHistKeys(c.reg.hists) {
+		h := c.reg.hists[k]
+		s.Hists = append(s.Hists, HistSnap{Name: k.name, Class: k.class, Counts: h.Counts(), Sum: h.Sum()})
+	}
+	if c.onSnapshot != nil {
+		c.onSnapshot(s)
+	}
+	return s
+}
+
+// DiffReplay compares the replay-auditable sections of two snapshots — the
+// counters and histogram states — and returns a descriptive error on the
+// first divergence. Gauges sample live engine state a replay cannot
+// reconstruct and are deliberately excluded.
+func DiffReplay(got, want *Snapshot) error {
+	if got == nil || want == nil {
+		return fmt.Errorf("telemetry: nil snapshot")
+	}
+	if len(got.Counters) != len(want.Counters) {
+		return fmt.Errorf("telemetry: %d counters, want %d", len(got.Counters), len(want.Counters))
+	}
+	for i, g := range got.Counters {
+		w := want.Counters[i]
+		if g != w {
+			return fmt.Errorf("telemetry: counter %d: %s{class=%d}=%d, want %s{class=%d}=%d",
+				i, g.Name, g.Class, g.V, w.Name, w.Class, w.V)
+		}
+	}
+	if len(got.Hists) != len(want.Hists) {
+		return fmt.Errorf("telemetry: %d histograms, want %d", len(got.Hists), len(want.Hists))
+	}
+	for i, g := range got.Hists {
+		w := want.Hists[i]
+		if g.Name != w.Name || g.Class != w.Class {
+			return fmt.Errorf("telemetry: histogram %d: %s{class=%d}, want %s{class=%d}",
+				i, g.Name, g.Class, w.Name, w.Class)
+		}
+		if g.Sum != w.Sum {
+			return fmt.Errorf("telemetry: histogram %s{class=%d}: sum %v, want %v", g.Name, g.Class, g.Sum, w.Sum)
+		}
+		if len(g.Counts) != len(w.Counts) {
+			return fmt.Errorf("telemetry: histogram %s{class=%d}: %d buckets, want %d",
+				g.Name, g.Class, len(g.Counts), len(w.Counts))
+		}
+		for b := range g.Counts {
+			if g.Counts[b] != w.Counts[b] {
+				return fmt.Errorf("telemetry: histogram %s{class=%d}: bucket %d count %d, want %d",
+					g.Name, g.Class, b, g.Counts[b], w.Counts[b])
+			}
+		}
+	}
+	return nil
+}

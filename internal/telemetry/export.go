@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+
+	"hybridqos/internal/clients"
+	"hybridqos/internal/report"
+	"hybridqos/internal/svgplot"
+)
+
+// This file lowers a Timeline to the artefact formats shared by
+// `traceinfo -timeline` and the facade's ExportTimeline: one wide CSV and two
+// SVG charts.
+
+// TimelineCSV renders the timeline as one wide CSV: snapshot time, queue
+// gauges, then per-class windowed percentiles and served counts.
+func TimelineCSV(tl *Timeline) string {
+	headers := []string{"t", "queue_items", "queue_requests"}
+	for _, ct := range tl.PerClass {
+		c := clients.Class(ct.Class).String()
+		headers = append(headers, c+"_p50", c+"_p95", c+"_p99", c+"_served")
+	}
+	csv := report.NewCSV(headers...)
+	for i := range tl.T {
+		row := []string{
+			report.FormatFloat(tl.T[i], "%g"),
+			report.FormatFloat(tl.QueueItems[i], "%g"),
+			report.FormatFloat(tl.QueueRequests[i], "%g"),
+		}
+		for _, ct := range tl.PerClass {
+			row = append(row,
+				report.FormatFloat(ct.P50[i], "%.4g"),
+				report.FormatFloat(ct.P95[i], "%.4g"),
+				report.FormatFloat(ct.P99[i], "%.4g"),
+				fmt.Sprint(ct.Served[i]))
+		}
+		csv.AddRow(row...)
+	}
+	return csv.String()
+}
+
+// DelayChart plots each class's windowed p95 delay; empty windows render as
+// gaps.
+func DelayChart(tl *Timeline) svgplot.Chart {
+	var series []svgplot.Series
+	for _, ct := range tl.PerClass {
+		series = append(series, svgplot.Series{
+			Name: clients.Class(ct.Class).String() + " p95",
+			X:    tl.T,
+			Y:    ct.P95,
+		})
+	}
+	return svgplot.Chart{
+		Title:     "Windowed p95 access delay per class",
+		XLabel:    "simulated time (broadcast units)",
+		YLabel:    "p95 delay (broadcast units)",
+		Series:    series,
+		AllowGaps: true,
+	}
+}
+
+// QueueChart plots the sampled pull-queue depth gauges.
+func QueueChart(tl *Timeline) svgplot.Chart {
+	return svgplot.Chart{
+		Title:  "Pull queue depth at snapshot ticks",
+		XLabel: "simulated time (broadcast units)",
+		YLabel: "queue depth",
+		Series: []svgplot.Series{
+			{Name: "distinct items", X: tl.T, Y: tl.QueueItems},
+			{Name: "pending requests", X: tl.T, Y: tl.QueueRequests},
+		},
+		AllowGaps: true,
+	}
+}
+
+// Artifacts names the files WriteArtifacts produced.
+type Artifacts struct {
+	CSV, DelaySVG, QueueSVG string
+}
+
+// WriteArtifacts writes the timeline as <prefix>.csv plus the delay and
+// queue-depth SVG charts at <prefix>-delay.svg and <prefix>-queue.svg, and
+// returns the three paths.
+func WriteArtifacts(tl *Timeline, prefix string) (Artifacts, error) {
+	a := Artifacts{
+		CSV:      prefix + ".csv",
+		DelaySVG: prefix + "-delay.svg",
+		QueueSVG: prefix + "-queue.svg",
+	}
+	if err := os.WriteFile(a.CSV, []byte(TimelineCSV(tl)), 0o644); err != nil {
+		return Artifacts{}, err
+	}
+	for _, chart := range []struct {
+		path string
+		c    svgplot.Chart
+	}{
+		{a.DelaySVG, DelayChart(tl)},
+		{a.QueueSVG, QueueChart(tl)},
+	} {
+		svg, err := chart.c.Render()
+		if err != nil {
+			return Artifacts{}, err
+		}
+		if err := os.WriteFile(chart.path, []byte(svg), 0o644); err != nil {
+			return Artifacts{}, err
+		}
+	}
+	return a, nil
+}

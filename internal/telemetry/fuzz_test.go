@@ -1,0 +1,46 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzSnapshotDecode feeds arbitrary bytes through the snapshot JSON decoder
+// and exercises every consumer of a decoded snapshot: the Prometheus
+// exposition writer, the timeline builder and the replay differ must never
+// panic on malformed input (short count slices, absurd classes, NaN fields).
+func FuzzSnapshotDecode(f *testing.F) {
+	c, err := New(Options{SnapshotEvery: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	c.Arrival(0)
+	c.Served(0, 1.5, true)
+	c.Blocked(1, 3)
+	c.ObserveQueue(2, 4)
+	seed, err := json.Marshal(c.TakeSnapshot(1))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"t":1,"hists":[{"name":"delay","class":-5,"counts":[1,2],"sum":1e308}]}`))
+	f.Add([]byte(`{"counters":[{"name":"x","class":0,"v":-1}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s Snapshot
+		if err := json.Unmarshal(data, &s); err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteProm(&buf, &s); err != nil {
+			t.Fatalf("WriteProm on decodable snapshot: %v", err)
+		}
+		_, _ = BuildTimeline([]*Snapshot{&s})
+		_ = DiffReplay(&s, &s)
+		// Round-trip: a decoded snapshot must re-encode.
+		if _, err := json.Marshal(&s); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+	})
+}

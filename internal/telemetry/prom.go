@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// WriteProm renders a snapshot in the Prometheus text exposition format
+// (version 0.0.4): counters as `hybridqos_<name>_total`, gauges as
+// `hybridqos_<name>`, histograms as the conventional `_bucket`/`_sum`/
+// `_count` triple with cumulative `le` buckets. Class-labelled metrics carry
+// a `class` label with the numeric class index. Output order follows the
+// snapshot's sorted sections, so identical snapshots render to identical
+// bytes. The function is tolerant of snapshots decoded from untrusted input:
+// histogram count slices of any length render without panicking.
+func WriteProm(w io.Writer, s *Snapshot) error {
+	if s == nil {
+		return fmt.Errorf("telemetry: nil snapshot")
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE hybridqos_sim_time gauge\nhybridqos_sim_time %s\n", promFloat(s.T)); err != nil {
+		return err
+	}
+	var lastType string
+	emitType := func(name, kind string) error {
+		if name == lastType {
+			return nil
+		}
+		lastType = name
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, kind)
+		return err
+	}
+	for _, c := range s.Counters {
+		name := "hybridqos_" + c.Name + "_total"
+		if err := emitType(name, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", name, promLabels(c.Class, ""), c.V); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		name := "hybridqos_" + g.Name
+		if err := emitType(name, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", name, promLabels(g.Class, ""), promFloat(g.V)); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Hists {
+		name := "hybridqos_" + h.Name
+		if err := emitType(name, "histogram"); err != nil {
+			return err
+		}
+		var cum int64
+		for i, bound := range delayBounds {
+			if i < len(h.Counts) {
+				cum += h.Counts[i]
+			}
+			le := promFloat(bound)
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabels(h.Class, le), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabels(h.Class, "+Inf"), h.N()); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, promLabels(h.Class, ""), promFloat(h.Sum)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", name, promLabels(h.Class, ""), h.N()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promLabels renders the label set for a metric: the class label when the
+// metric is class-keyed and the `le` bound label for histogram buckets.
+func promLabels(class int, le string) string {
+	switch {
+	case class == ClassNone && le == "":
+		return ""
+	case class == ClassNone:
+		return `{le="` + le + `"}`
+	case le == "":
+		return `{class="` + strconv.Itoa(class) + `"}`
+	default:
+		return `{class="` + strconv.Itoa(class) + `",le="` + le + `"}`
+	}
+}
+
+// promFloat renders a float the way Prometheus expects (shortest round-trip
+// form; NaN and infinities spelled out).
+func promFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"fmt"
+
+	"hybridqos/internal/telemetry"
+)
+
+// Apply folds one event into a telemetry collector. This is the single
+// definition of the event → metric mapping: the live engine routes every
+// emitted event through it, and VerifySnapshots replays a recorded stream
+// through it, so the two sides agree by construction. Gauge-backed metrics
+// (queue depth, bandwidth occupancy) sample live engine state and are not
+// derivable from events; the engine feeds those to the collector directly
+// and the replay audit excludes them.
+func Apply(c *telemetry.Collector, e Event) {
+	if c == nil {
+		return
+	}
+	switch e.Kind {
+	case KindArrival:
+		c.Arrival(int(e.Class))
+	case KindServed:
+		c.Served(int(e.Class), e.T-e.Arrival, e.Push)
+	case KindPushComplete:
+		c.PushComplete()
+	case KindPullComplete:
+		c.PullComplete()
+	case KindBlocked:
+		c.Blocked(int(e.Class), e.Requests)
+	case KindCorrupt:
+		c.Corrupt(e.Push)
+	case KindRetry:
+		c.Retry(int(e.Class))
+	case KindShed:
+		c.Shed(int(e.Class))
+	}
+}
+
+// Snapshots extracts the embedded telemetry snapshots from an event stream,
+// in trace order.
+func Snapshots(events []Event) []*telemetry.Snapshot {
+	var out []*telemetry.Snapshot
+	for _, e := range events {
+		if e.Kind == KindSnapshot && e.Snap != nil {
+			out = append(out, e.Snap)
+		}
+	}
+	return out
+}
+
+// VerifySnapshots replays an event stream through a fresh collector and
+// cross-checks every embedded snapshot against the replayed state — the
+// counters and histogram buckets must match bit-for-bit. It returns the
+// number of snapshots verified; the first divergence (or a KindSnapshot
+// event with no payload) errors. A trace with no snapshots verifies
+// vacuously with count 0.
+func VerifySnapshots(events []Event) (int, error) {
+	c, err := telemetry.New(telemetry.Options{})
+	if err != nil {
+		return 0, err
+	}
+	verified := 0
+	for i, e := range events {
+		if e.Kind != KindSnapshot {
+			Apply(c, e)
+			continue
+		}
+		if e.Snap == nil {
+			return verified, fmt.Errorf("trace: event %d: snapshot event without payload", i)
+		}
+		got := c.TakeSnapshot(e.T)
+		if err := telemetry.DiffReplay(got, e.Snap); err != nil {
+			return verified, fmt.Errorf("trace: snapshot %d (t=%g): %w", e.Snap.Seq, e.T, err)
+		}
+		verified++
+	}
+	return verified, nil
+}

@@ -12,6 +12,7 @@ import (
 	"io"
 
 	"hybridqos/internal/clients"
+	"hybridqos/internal/telemetry"
 )
 
 // Kind enumerates traced event types.
@@ -29,10 +30,12 @@ const (
 	KindCorrupt      Kind = "corrupt"       // transmission corrupted on the lossy downlink
 	KindRetry        Kind = "retry"         // client scheduled a re-request after corruption
 	KindShed         Kind = "shed"          // request refused by the overload admission controller
+	KindSnapshot     Kind = "snapshot"      // periodic telemetry snapshot (read-only; carries Snap)
 )
 
-// Event is one trace record. Fields are pointer-free and compact so a run
-// can emit millions of them.
+// Event is one trace record. Fields are compact so a run can emit millions
+// of them; the only pointer is Snap, set solely on the (rare) periodic
+// KindSnapshot events.
 type Event struct {
 	// T is the simulated time.
 	T float64 `json:"t"`
@@ -51,6 +54,8 @@ type Event struct {
 	Push bool `json:"push,omitempty"`
 	// Attempt is the 1-based re-request number (KindRetry only).
 	Attempt int `json:"attempt,omitempty"`
+	// Snap is the embedded telemetry snapshot (KindSnapshot only).
+	Snap *telemetry.Snapshot `json:"snap,omitempty"`
 }
 
 // Tracer consumes events. Implementations must tolerate high event rates;
