@@ -42,7 +42,7 @@ func BenchmarkFig3DelayVsCutoffAlpha0(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(minY(f.Series[0].Y), "classA-min-delay")
+		b.ReportMetric(minY(b, f.Series[0].Y), "classA-min-delay")
 	}
 }
 
@@ -53,7 +53,7 @@ func BenchmarkFig4DelayVsCutoffAlpha1(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(minY(f.Series[0].Y), "classA-min-delay")
+		b.ReportMetric(minY(b, f.Series[0].Y), "classA-min-delay")
 	}
 }
 
@@ -65,7 +65,7 @@ func BenchmarkFig5PrioritizedCost(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(minY(f.Series[0].Y), "classA-min-cost")
+		b.ReportMetric(minY(b, f.Series[0].Y), "classA-min-cost")
 	}
 }
 
@@ -112,7 +112,11 @@ func BenchmarkExtBlocking(b *testing.B) {
 	}
 }
 
-func minY(ys []float64) float64 {
+func minY(b *testing.B, ys []float64) float64 {
+	b.Helper()
+	if len(ys) == 0 {
+		b.Fatal("empty series: experiment produced no data points")
+	}
 	m := ys[0]
 	for _, y := range ys[1:] {
 		if y < m {
@@ -324,7 +328,7 @@ func BenchmarkExtChannels(b *testing.B) {
 			b.Fatal(err)
 		}
 		overall := f.Series[len(f.Series)-1].Y
-		b.ReportMetric(minY(overall), "best-split-delay")
+		b.ReportMetric(minY(b, overall), "best-split-delay")
 	}
 }
 
@@ -394,7 +398,7 @@ func BenchmarkExtIndexing(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(minY(f.Series[0].Y), "best-access-time")
+		b.ReportMetric(minY(b, f.Series[0].Y), "best-access-time")
 	}
 }
 

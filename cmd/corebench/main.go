@@ -1,0 +1,266 @@
+// Command corebench measures the simulator hot path and writes the results
+// as machine-readable JSON (BENCH_core.json at the repo root is a committed
+// baseline). Three families:
+//
+//   - engine throughput: requests simulated per wall-clock second for one
+//     core.Run at the paper's workload, exact and bounded delay histograms;
+//   - allocation profile: steady-state heap allocations per simulated
+//     request via testing.AllocsPerRun (the quantity the CI gate bounds);
+//   - sweep scaling: wall-clock for a full cutoff sweep with 1 worker vs
+//     the machine's worker count (the two sweeps are asserted bit-identical
+//     before timing is reported).
+//
+// Usage:
+//
+//	corebench [-o BENCH_core.json] [-quick] [-workers N]
+//	corebench -verify BENCH_core.json [-max-allocs-per-request N]
+//
+// -verify parses an existing results file and (optionally) enforces an
+// allocations-per-request ceiling; it runs no benchmarks, exits non-zero on
+// a parse failure or a ceiling breach, and is what CI uses to gate alloc
+// regressions against the committed baseline.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"hybridqos/internal/catalog"
+	"hybridqos/internal/clients"
+	"hybridqos/internal/core"
+	"hybridqos/internal/sim"
+)
+
+// Result is one benchmark's measurement.
+type Result struct {
+	// Name identifies the benchmark (family/variant).
+	Name string `json:"name"`
+	// Iterations is testing.Benchmark's chosen b.N (1 for one-shot timings).
+	Iterations int `json:"iterations"`
+	// NsPerOp is nanoseconds per benchmark iteration.
+	NsPerOp float64 `json:"ns_per_op"`
+	// OpsPerSec is the headline rate: simulated requests per second for the
+	// engine family, sweep points per second for the sweep family.
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// AllocsPerOp is heap allocations per iteration (0 when not measured).
+	AllocsPerOp int64 `json:"allocs_per_op,omitempty"`
+	// BytesPerOp is heap bytes allocated per iteration (0 when not measured).
+	BytesPerOp int64 `json:"bytes_per_op,omitempty"`
+	// AllocsPerRequest is heap allocations per simulated request, measured
+	// with testing.AllocsPerRun (only on the allocation-profile results).
+	AllocsPerRequest float64 `json:"allocs_per_request,omitempty"`
+	// Workers is the worker count used (sweep family only).
+	Workers int `json:"workers,omitempty"`
+}
+
+// report is the committed JSON document.
+type report struct {
+	Description string   `json:"description"`
+	Results     []Result `json:"results"`
+}
+
+func main() {
+	var (
+		out       = flag.String("o", "BENCH_core.json", "output JSON path (- for stdout)")
+		quick     = flag.Bool("quick", false, "reduced horizons for CI smoke runs")
+		workers   = flag.Int("workers", 0, "sweep worker override (0 = one per spare CPU)")
+		verify    = flag.String("verify", "", "parse an existing results file instead of benchmarking")
+		maxAllocs = flag.Float64("max-allocs-per-request", 0, "with -verify: fail if allocs/request exceeds this (0 = no gate)")
+	)
+	flag.Parse()
+
+	if *verify != "" {
+		verifyFile(*verify, *maxAllocs)
+		return
+	}
+
+	if *workers > 0 {
+		sim.SetWorkers(*workers)
+	}
+	horizon, sweepHorizon := 10000.0, 2000.0
+	if *quick {
+		horizon, sweepHorizon = 1500.0, 600.0
+	}
+
+	var results []Result
+	results = append(results,
+		engineBench("engine/throughput", horizon, 0),
+		engineBench("engine/throughput-bounded-hist", horizon, 512),
+		allocBench(horizon),
+	)
+	seq, par, err := sweepBenches(sweepHorizon)
+	if err != nil {
+		fatal("%v", err)
+	}
+	results = append(results, seq, par)
+
+	blob, err := json.MarshalIndent(report{
+		Description: "simulator hot-path benchmarks; regenerate with `go run ./cmd/corebench`",
+		Results:     results,
+	}, "", "  ")
+	if err != nil {
+		fatal("marshal: %v", err)
+	}
+	blob = append(blob, '\n')
+	if *out == "-" {
+		os.Stdout.Write(blob)
+		return
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fatal("writing %s: %v", *out, err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d results to %s\n", len(results), *out)
+}
+
+// benchConfig is the paper's workload at the benchmark seed — the same shape
+// BenchmarkSimulatorThroughput uses, so the committed numbers line up with
+// `go test -bench`.
+func benchConfig(horizon float64, histBound int) core.Config {
+	cat, err := catalog.Generate(catalog.PaperConfig(0.6, 42))
+	if err != nil {
+		fatal("catalog: %v", err)
+	}
+	cl, err := clients.New(clients.PaperConfig())
+	if err != nil {
+		fatal("clients: %v", err)
+	}
+	return core.Config{
+		Catalog:        cat,
+		Classes:        cl,
+		Lambda:         5,
+		Cutoff:         40,
+		Alpha:          0.5,
+		Horizon:        horizon,
+		WarmupFraction: 0.1,
+		Seed:           9,
+		DelayHistBound: histBound,
+	}
+}
+
+// engineBench measures one core.Run's throughput and allocation counters.
+func engineBench(name string, horizon float64, histBound int) Result {
+	cfg := benchConfig(horizon, histBound)
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	ns := float64(res.NsPerOp())
+	return Result{
+		Name:        name,
+		Iterations:  res.N,
+		NsPerOp:     ns,
+		OpsPerSec:   cfg.Horizon * cfg.Lambda / (ns / 1e9),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}
+}
+
+// allocBench reports steady-state heap allocations per simulated request —
+// the ratio the CI regression gate bounds.
+func allocBench(horizon float64) Result {
+	cfg := benchConfig(horizon, 0)
+	requests := cfg.Horizon * cfg.Lambda
+	perRun := testing.AllocsPerRun(3, func() {
+		if _, err := core.Run(cfg); err != nil {
+			fatal("alloc bench: %v", err)
+		}
+	})
+	return Result{
+		Name:             "engine/allocs",
+		Iterations:       3,
+		AllocsPerRequest: perRun / requests,
+	}
+}
+
+// sweepBenches times a full cutoff sweep sequentially and with the worker
+// pool, asserting the two produce bit-identical summaries before reporting.
+func sweepBenches(horizon float64) (seq, par Result, err error) {
+	cfg := benchConfig(horizon, 0)
+	var cutoffs []int
+	for k := 10; k <= 90; k += 10 {
+		cutoffs = append(cutoffs, k)
+	}
+	const reps = 2
+
+	run := func(workers int) ([]sim.SweepPoint, Result, error) {
+		prev := sim.SetWorkers(workers)
+		defer sim.SetWorkers(prev)
+		start := time.Now()
+		pts, err := sim.SweepCutoffs(cfg, cutoffs, reps)
+		elapsed := time.Since(start)
+		if err != nil {
+			return nil, Result{}, err
+		}
+		ns := float64(elapsed.Nanoseconds())
+		return pts, Result{
+			Iterations: 1,
+			NsPerOp:    ns,
+			OpsPerSec:  float64(len(cutoffs)) / (ns / 1e9),
+			Workers:    workers,
+		}, nil
+	}
+
+	seqPts, seq, err := run(1)
+	if err != nil {
+		return seq, par, fmt.Errorf("sequential sweep: %w", err)
+	}
+	seq.Name = "sweep/cutoff/workers=1"
+	parWorkers := sim.Workers()
+	parPts, par, err := run(parWorkers)
+	if err != nil {
+		return seq, par, fmt.Errorf("parallel sweep: %w", err)
+	}
+	par.Name = fmt.Sprintf("sweep/cutoff/workers=%d", parWorkers)
+
+	for i := range seqPts {
+		a, b := seqPts[i].Summary, parPts[i].Summary
+		if a.OverallDelay != b.OverallDelay || a.TotalCost != b.TotalCost {
+			return seq, par, fmt.Errorf("sweep diverged at K=%d: workers=1 delay %v vs workers=%d delay %v",
+				seqPts[i].K, a.OverallDelay, parWorkers, b.OverallDelay)
+		}
+	}
+	return seq, par, nil
+}
+
+// verifyFile parses a results file and optionally enforces the
+// allocations-per-request ceiling.
+func verifyFile(path string, maxAllocs float64) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	var rep report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		fatal("parsing %s: %v", path, err)
+	}
+	if len(rep.Results) == 0 {
+		fatal("%s: no results", path)
+	}
+	var allocs float64
+	found := false
+	for _, r := range rep.Results {
+		if r.Name == "engine/allocs" {
+			allocs, found = r.AllocsPerRequest, true
+		}
+	}
+	if !found {
+		fatal("%s: missing engine/allocs result", path)
+	}
+	if maxAllocs > 0 && allocs > maxAllocs {
+		fatal("%s: %.2f allocs/request exceeds ceiling %.2f", path, allocs, maxAllocs)
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d results, %.2f allocs/request ok\n", path, len(rep.Results), allocs)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "corebench: "+format+"\n", args...)
+	os.Exit(1)
+}

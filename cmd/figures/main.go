@@ -15,9 +15,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"hybridqos/internal/experiments"
+	"hybridqos/internal/sim"
 )
 
 func main() {
@@ -29,8 +32,16 @@ func main() {
 		reps    = flag.Int("reps", 3, "replications per configuration")
 		step    = flag.Int("step", 10, "cutoff sweep step")
 		seed    = flag.Uint64("seed", 1, "base seed")
+		workers = flag.Int("workers", 0, "sweep worker count (0 = one per spare CPU)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the generation to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile after generation to this file")
 	)
 	flag.Parse()
+
+	if *workers > 0 {
+		sim.SetWorkers(*workers)
+	}
+	stopCPU := startCPUProfile(*cpuProf)
 
 	p := experiments.Defaults()
 	p.Horizon = *horizon
@@ -106,8 +117,47 @@ func main() {
 			fmt.Printf("wrote %s\n\n", path)
 		}
 	}
+	// Profiles are flushed before the claims gate: fatal exits with os.Exit,
+	// and a failing claim is exactly the run one wants a profile of.
+	stopCPU()
+	writeMemProfile(*memProf)
 	if failures > 0 {
 		fatal("%d claim(s) failed", failures)
+	}
+}
+
+// startCPUProfile begins CPU profiling to path ("" disables) and returns the
+// stop function.
+func startCPUProfile(path string) func() {
+	if path == "" {
+		return func() {}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal("cpuprofile: %v", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		fatal("cpuprofile: %v", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}
+}
+
+// writeMemProfile writes a post-GC heap profile to path ("" disables).
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal("memprofile: %v", err)
+	}
+	defer f.Close()
+	runtime.GC() // materialise final heap state
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fatal("memprofile: %v", err)
 	}
 }
 

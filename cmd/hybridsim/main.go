@@ -23,6 +23,8 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -71,6 +73,9 @@ func main() {
 		traceOut = flag.String("trace", "", "write a JSONL event trace of one run to this file")
 		confIn   = flag.String("config", "", "load configuration from a JSON file (flags are ignored)")
 		confOut  = flag.String("saveconfig", "", "write the effective configuration to a JSON file")
+		workers  = flag.Int("workers", 0, "replication worker count (0 = one per spare CPU)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile after the simulation to this file")
 	)
 	flag.Parse()
 
@@ -154,10 +159,16 @@ func main() {
 		}
 	}
 
+	if *workers > 0 {
+		hybridqos.SetWorkers(*workers)
+	}
+	stopCPU := startCPUProfile(*cpuProf)
 	res, err := hybridqos.Simulate(cfg)
+	stopCPU()
 	if err != nil {
 		fatal("simulate: %v", err)
 	}
+	writeMemProfile(*memProf)
 
 	if *traceOut != "" {
 		n, err := hybridqos.WriteTrace(cfg, *traceOut)
@@ -283,6 +294,42 @@ func parseFloats(s string) ([]float64, error) {
 		out = append(out, v)
 	}
 	return out, nil
+}
+
+// startCPUProfile begins CPU profiling to path ("" disables) and returns the
+// stop function. Called explicitly rather than deferred because fatal exits
+// with os.Exit, which would skip a deferred stop.
+func startCPUProfile(path string) func() {
+	if path == "" {
+		return func() {}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal("cpuprofile: %v", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		fatal("cpuprofile: %v", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}
+}
+
+// writeMemProfile writes a post-GC heap profile to path ("" disables).
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal("memprofile: %v", err)
+	}
+	defer f.Close()
+	runtime.GC() // materialise final heap state
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fatal("memprofile: %v", err)
+	}
 }
 
 func fatal(format string, args ...any) {

@@ -23,6 +23,7 @@ package hybridqos
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math"
 	"os"
@@ -132,6 +133,12 @@ type Config struct {
 	Replications int
 	// Seed is the base random seed; replication r uses Seed+r.
 	Seed uint64
+	// DelayHistBound, when positive, caps each per-class delay histogram at
+	// that many retained samples per replication (a deterministic systematic
+	// reservoir), so long-horizon runs use constant memory. Percentiles
+	// (Result.P95Delay) become estimates over at least DelayHistBound/2
+	// samples; 0 keeps the exact unbounded histograms. Must be 0 or >= 2.
+	DelayHistBound int
 	// Rotation, when non-nil, makes item popularity drift: every Period
 	// broadcast units the popularity ranking rotates by Shift positions
 	// while the push set stays put — the mismatch adaptive cutoff tuning
@@ -339,6 +346,7 @@ func (c Config) build() (core.Config, error) {
 		Horizon:        c.Horizon,
 		WarmupFraction: c.WarmupFraction,
 		Seed:           c.Seed,
+		DelayHistBound: c.DelayHistBound,
 	}
 	// Policy selection is by name only: the core engine resolves the names
 	// through the policy registry, so externally registered policies work
@@ -489,6 +497,16 @@ type Result struct {
 	Replications int
 }
 
+// SetWorkers overrides the size of the shared deterministic work pool used
+// by Simulate, OptimizeCutoff and the experiment sweeps, returning the
+// previous override; n <= 0 restores automatic sizing (GOMAXPROCS−1, at
+// least one). Results are bit-identical at any worker count, so this only
+// trades wall-clock time against CPU use. The override is process-global.
+func SetWorkers(n int) (prev int) { return sim.SetWorkers(n) }
+
+// Workers reports the effective work-pool size.
+func Workers() int { return sim.Workers() }
+
 // Simulate runs the configured system (Replications independent runs in
 // parallel) and aggregates the results.
 func Simulate(c Config) (*Result, error) {
@@ -595,15 +613,30 @@ func OptimizeCutoff(c Config, kMin, kMax, step int, objective string) (*Result, 
 	if reps <= 0 {
 		reps = 1
 	}
-	var points []sim.SweepPoint
+	ks := make([]int, 0, (kMax-kMin)/step+1)
+	cfgs := make([]core.Config, 0, cap(ks))
 	for k := kMin; k <= kMax; k += step {
 		kCfg := cfg
 		kCfg.Cutoff = k
-		summary, err := sim.RunReplicationsWith(kCfg, reps, c.perRun())
-		if err != nil {
-			return nil, err
+		ks = append(ks, k)
+		cfgs = append(cfgs, kCfg)
+	}
+	perRun := c.perRun()
+	var hook func(point, rep int, kc *core.Config) error
+	if perRun != nil {
+		hook = func(_, rep int, kc *core.Config) error { return perRun(rep, kc) }
+	}
+	sums, err := sim.SweepConfigsWith(cfgs, reps, hook)
+	if err != nil {
+		var pe *sim.PointError
+		if errors.As(err, &pe) {
+			return nil, pe.Err
 		}
-		points = append(points, sim.SweepPoint{K: k, Alpha: c.Alpha, Summary: summary})
+		return nil, err
+	}
+	points := make([]sim.SweepPoint, len(ks))
+	for i, k := range ks {
+		points[i] = sim.SweepPoint{K: k, Alpha: c.Alpha, Summary: sums[i]}
 	}
 	var best sim.SweepPoint
 	switch objective {

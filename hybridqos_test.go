@@ -279,3 +279,59 @@ func TestP95DelayExposed(t *testing.T) {
 		}
 	}
 }
+
+func TestDelayHistBound(t *testing.T) {
+	exact, err := Simulate(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := quickConfig()
+	c.DelayHistBound = 256
+	bounded, err := Simulate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reservoir only changes which samples back the percentile query —
+	// means, counts and costs are untouched.
+	if bounded.OverallDelay != exact.OverallDelay || bounded.TotalCost != exact.TotalCost {
+		t.Fatal("bounded histograms perturbed aggregate results")
+	}
+	for i := range exact.PerClass {
+		eb, bb := exact.PerClass[i], bounded.PerClass[i]
+		if eb.Served != bb.Served || eb.MeanDelay != bb.MeanDelay {
+			t.Fatalf("class %d aggregates differ under bounded histograms", i)
+		}
+		if math.IsNaN(bb.P95Delay) || bb.P95Delay <= 0 {
+			t.Fatalf("class %d bounded P95 %g", i, bb.P95Delay)
+		}
+		// The estimate must land near the exact percentile.
+		if math.Abs(bb.P95Delay-eb.P95Delay)/eb.P95Delay > 0.25 {
+			t.Fatalf("class %d P95 estimate %g too far from exact %g", i, bb.P95Delay, eb.P95Delay)
+		}
+	}
+
+	c.DelayHistBound = 1
+	if _, err := Simulate(c); err == nil {
+		t.Fatal("bound 1 accepted")
+	}
+}
+
+func TestSetWorkersExposed(t *testing.T) {
+	prev := SetWorkers(2)
+	defer SetWorkers(prev)
+	if Workers() != 2 {
+		t.Fatalf("Workers() = %d", Workers())
+	}
+	a, err := Simulate(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetWorkers(1)
+	b, err := Simulate(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.OverallDelay != b.OverallDelay {
+		t.Fatal("worker count changed results")
+	}
+}

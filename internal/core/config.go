@@ -119,6 +119,11 @@ type Config struct {
 	WarmupFraction float64
 	// Seed drives all randomness in the run.
 	Seed uint64
+	// DelayHistBound, when positive, caps each per-class delay histogram at
+	// that many retained samples (a deterministic systematic reservoir;
+	// see stats.Histogram.SetBound), so long-horizon runs stop pooling raw
+	// samples. Zero keeps the exact unbounded histograms. Must be 0 or >= 2.
+	DelayHistBound int
 }
 
 // CacheConfig parameterises the client-side caches.
@@ -218,6 +223,9 @@ func (c Config) Validate() error {
 	}
 	if c.PushDisks < 0 {
 		return fmt.Errorf("core: negative push disk count %d", c.PushDisks)
+	}
+	if c.DelayHistBound < 0 || c.DelayHistBound == 1 {
+		return fmt.Errorf("core: delay histogram bound %d (want 0 or >= 2)", c.DelayHistBound)
 	}
 	// Dry-resolve the policy names so an unknown name or a parameter the
 	// factory rejects fails before the run starts.

@@ -51,20 +51,23 @@ type Server struct {
 	itemRng  *rng.Source
 	classRng *rng.Source
 
-	pushSched   sched.PushScheduler
-	selector    sched.Selector
-	alloc       *bandwidth.Allocator
-	arrivals    workload.ArrivalProcess
-	items       workload.ItemSampler
-	tracer      trace.Tracer
-	tele        *telemetry.Collector
-	up          uplink.Channel
-	uplinkRng   *rng.Source
-	caches      *cache.Population
-	clientRng   *rng.Source
-	txCounts    []int64 // per-rank transmission counts (PIX frequency)
-	txTotal     int64
-	pushWaiters map[int][]pushWaiter
+	pushSched sched.PushScheduler
+	selector  sched.Selector
+	alloc     *bandwidth.Allocator
+	arrivals  workload.ArrivalProcess
+	items     workload.ItemSampler
+	tracer    trace.Tracer
+	tele      *telemetry.Collector
+	up        uplink.Channel
+	uplinkRng *rng.Source
+	caches    *cache.Population
+	clientRng *rng.Source
+	txCounts  []int64 // per-rank transmission counts (PIX frequency)
+	txTotal   int64
+	// pushWaiters is indexed by push rank (1..cutoff); slot 0 is unused.
+	// Slices are reset to length 0 on drain, so waiter capacity is reused
+	// across broadcast cycles instead of reallocated per arrival burst.
+	pushWaiters [][]pushWaiter
 
 	loss           faults.LossModel
 	lossRng        *rng.Source
@@ -84,14 +87,13 @@ func New(cfg Config) (*Server, error) {
 	}
 	root := rng.New(cfg.Seed)
 	s := &Server{
-		cfg:         cfg,
-		cutoff:      cfg.Cutoff,
-		sim:         event.New(),
-		arrRng:      root.Split("arrivals"),
-		itemRng:     root.Split("items"),
-		classRng:    root.Split("classes"),
-		pushWaiters: make(map[int][]pushWaiter),
-		warmupEnd:   cfg.Horizon * cfg.WarmupFraction,
+		cfg:       cfg,
+		cutoff:    cfg.Cutoff,
+		sim:       event.New(),
+		arrRng:    root.Split("arrivals"),
+		itemRng:   root.Split("items"),
+		classRng:  root.Split("classes"),
+		warmupEnd: cfg.Horizon * cfg.WarmupFraction,
 	}
 
 	pull, err := cfg.buildPullPolicy()
@@ -171,12 +173,20 @@ func New(cfg Config) (*Server, error) {
 		s.shedder = sh
 	}
 
+	// The waiter table is indexed by push rank; ranks run 1..cutoff, using
+	// the effective cutoff (a "none" push scheduler zeroes it above).
+	s.pushWaiters = make([][]pushWaiter, s.cutoff+1)
+
 	s.metrics = &Metrics{Horizon: cfg.Horizon, Cutoff: cfg.Cutoff}
 	for c := 0; c < cfg.Classes.NumClasses(); c++ {
-		s.metrics.PerClass = append(s.metrics.PerClass, &ClassMetrics{
+		cm := &ClassMetrics{
 			Class:  clients.Class(c),
 			Weight: cfg.Classes.Weight(clients.Class(c)),
-		})
+		}
+		if cfg.DelayHistBound > 0 {
+			cm.DelayHist.SetBound(cfg.DelayHistBound)
+		}
+		s.metrics.PerClass = append(s.metrics.PerClass, cm)
 	}
 	return s, nil
 }
@@ -445,7 +455,7 @@ func (s *Server) completePush(item int) {
 		s.recordServed(w.class, w.arrival, now, true)
 		s.fillCache(w.client, item, now)
 	}
-	delete(s.pushWaiters, item)
+	s.pushWaiters[item] = s.pushWaiters[item][:0]
 	s.attemptPull()
 }
 
@@ -480,6 +490,7 @@ func (s *Server) attemptPull() {
 						s.metrics.PerClass[r.Class].Dropped++
 					}
 				}
+				s.selector.Recycle(entry)
 				if s.cfg.RetryOnBlock {
 					continue
 				}
@@ -520,11 +531,14 @@ func (s *Server) completePull(entry *pullqueue.Entry, grant *bandwidth.Grant) {
 			T: now, Kind: trace.KindCorrupt, Item: entry.Item,
 			Class: entry.HighestClass(), Requests: len(entry.Requests),
 		})
+		// retryAfterLoss schedules against value copies of the requests, so
+		// the entry (and its request slice) is free to reuse immediately.
 		for _, r := range entry.Requests {
 			if !s.retryAfterLoss(r, now) && r.Arrival >= s.warmupEnd {
 				s.metrics.PerClass[r.Class].Failed++
 			}
 		}
+		s.selector.Recycle(entry)
 		if grant != nil {
 			s.alloc.Release(grant)
 			s.observeBandwidth()
@@ -545,6 +559,7 @@ func (s *Server) completePull(entry *pullqueue.Entry, grant *bandwidth.Grant) {
 		s.recordServed(r.Class, r.Arrival, now, false)
 		s.fillCache(r.Client, entry.Item, now)
 	}
+	s.selector.Recycle(entry)
 	if grant != nil {
 		s.alloc.Release(grant)
 		s.observeBandwidth()

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+
+	"hybridqos/internal/workpool"
 )
 
 // Objective scores a run's metrics; lower is better.
@@ -28,6 +30,9 @@ type SweepPoint struct {
 // step, scoring each with the objective. Every run reuses the base
 // configuration (including its seed, so the runs are common-random-number
 // coupled — differences between cutoffs are not drowned in sampling noise).
+// The cutoffs are evaluated on the shared deterministic work pool; results
+// land in index-addressed slots, so the output is bit-identical to a
+// sequential sweep.
 func SweepCutoff(base Config, kMin, kMax, step int, objective Objective) ([]SweepPoint, error) {
 	if base.Catalog == nil {
 		return nil, fmt.Errorf("core: nil catalog")
@@ -38,15 +43,23 @@ func SweepCutoff(base Config, kMin, kMax, step int, objective Objective) ([]Swee
 	if objective == nil {
 		return nil, fmt.Errorf("core: nil objective")
 	}
-	var out []SweepPoint
+	ks := make([]int, 0, (kMax-kMin)/step+1)
 	for k := kMin; k <= kMax; k += step {
+		ks = append(ks, k)
+	}
+	out := make([]SweepPoint, len(ks))
+	err := workpool.Run(len(ks), func(i int) error {
 		cfg := base
-		cfg.Cutoff = k
+		cfg.Cutoff = ks[i]
 		m, err := Run(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("core: sweep at K=%d: %w", k, err)
+			return fmt.Errorf("core: sweep at K=%d: %w", ks[i], err)
 		}
-		out = append(out, SweepPoint{K: k, Metrics: m, Value: objective(m)})
+		out[i] = SweepPoint{K: ks[i], Metrics: m, Value: objective(m)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

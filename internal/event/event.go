@@ -14,16 +14,24 @@ import (
 // simulator so it can schedule further events.
 type Handler func(sim *Simulator)
 
-// event is one scheduled occurrence.
+// event is one scheduled occurrence. Fired and cancelled events are parked
+// on the simulator's freelist and reused by later At calls; gen increments
+// on every reuse so stale Tokens can never cancel the recycled event.
 type event struct {
 	time    float64
 	seq     uint64 // insertion order, breaks time ties deterministically
 	handler Handler
-	index   int // heap index, -1 once popped or cancelled
+	index   int    // heap index, -1 once popped or cancelled
+	gen     uint64 // reuse generation, guards Token validity
 }
 
-// Token identifies a scheduled event so it can be cancelled.
-type Token struct{ ev *event }
+// Token identifies a scheduled event so it can be cancelled. A Token held
+// past its event's firing (or cancellation) goes stale and cancels nothing,
+// even after the simulator reuses the event's storage.
+type Token struct {
+	ev  *event
+	gen uint64
+}
 
 // eventHeap orders events by (time, seq).
 type eventHeap []*event
@@ -62,6 +70,30 @@ type Simulator struct {
 	nextSeq uint64
 	fired   uint64
 	stopped bool
+	free    []*event // fired/cancelled events awaiting reuse
+}
+
+// alloc returns a recycled event (bumping its generation) or a fresh one.
+func (s *Simulator) alloc(t float64, h Handler) *event {
+	n := len(s.free)
+	if n == 0 {
+		return &event{time: t, seq: s.nextSeq, handler: h}
+	}
+	ev := s.free[n-1]
+	s.free[n-1] = nil
+	s.free = s.free[:n-1]
+	ev.time = t
+	ev.seq = s.nextSeq
+	ev.handler = h
+	ev.gen++
+	return ev
+}
+
+// recycle parks a popped or cancelled event for reuse. The handler is
+// dropped immediately so captured state does not outlive the event.
+func (s *Simulator) recycle(ev *event) {
+	ev.handler = nil
+	s.free = append(s.free, ev)
 }
 
 // New returns a Simulator with the clock at zero.
@@ -85,10 +117,10 @@ func (s *Simulator) At(t float64, h Handler) Token {
 	if h == nil {
 		panic("event: nil handler")
 	}
-	ev := &event{time: t, seq: s.nextSeq, handler: h}
+	ev := s.alloc(t, h)
 	s.nextSeq++
 	heap.Push(&s.queue, ev)
-	return Token{ev: ev}
+	return Token{ev: ev, gen: ev.gen}
 }
 
 // After schedules h to run delay time units from now. Negative delay panics.
@@ -102,11 +134,12 @@ func (s *Simulator) After(delay float64, h Handler) Token {
 // Cancel removes a scheduled event. Cancelling an already-fired or
 // already-cancelled event is a no-op and returns false.
 func (s *Simulator) Cancel(tok Token) bool {
-	if tok.ev == nil || tok.ev.index < 0 {
+	if tok.ev == nil || tok.ev.index < 0 || tok.ev.gen != tok.gen {
 		return false
 	}
 	heap.Remove(&s.queue, tok.ev.index)
 	tok.ev.index = -1
+	s.recycle(tok.ev)
 	return true
 }
 
@@ -122,7 +155,9 @@ func (s *Simulator) step() bool {
 	ev := heap.Pop(&s.queue).(*event)
 	s.now = ev.time
 	s.fired++
-	ev.handler(s)
+	h := ev.handler
+	s.recycle(ev)
+	h(s)
 	return true
 }
 

@@ -280,3 +280,54 @@ func BenchmarkScheduleAndFire(b *testing.B) {
 	}
 	s.Run()
 }
+
+func TestStaleTokenCannotCancelRecycledEvent(t *testing.T) {
+	s := New()
+	fired := make([]string, 0, 2)
+	tok := s.At(1, func(*Simulator) { fired = append(fired, "first") })
+	s.Run()
+	// The first event has fired; its storage may now back a new event.
+	s.At(2, func(*Simulator) { fired = append(fired, "second") })
+	if s.Cancel(tok) {
+		t.Fatal("stale token cancelled something")
+	}
+	s.Run()
+	if len(fired) != 2 || fired[1] != "second" {
+		t.Fatalf("fired %v, want [first second]", fired)
+	}
+}
+
+func TestCancelledTokenStaysDeadAfterReuse(t *testing.T) {
+	s := New()
+	tok := s.At(1, func(*Simulator) { t.Fatal("cancelled event fired") })
+	if !s.Cancel(tok) {
+		t.Fatal("first cancel failed")
+	}
+	ran := false
+	s.At(1, func(*Simulator) { ran = true })
+	if s.Cancel(tok) {
+		t.Fatal("double cancel hit the recycled event")
+	}
+	s.Run()
+	if !ran {
+		t.Fatal("replacement event never fired")
+	}
+}
+
+func TestEventStorageIsReused(t *testing.T) {
+	s := New()
+	// Steady-state schedule/fire cycles must stop allocating events: after
+	// a warm-up the freelist satisfies every At.
+	for i := 0; i < 100; i++ {
+		s.At(s.Now(), func(*Simulator) {})
+		s.Run()
+	}
+	if len(s.free) == 0 {
+		t.Fatal("no events parked for reuse")
+	}
+	before := len(s.free)
+	s.At(s.Now(), func(*Simulator) {})
+	if len(s.free) != before-1 {
+		t.Fatalf("At did not pop the freelist: %d -> %d", before, len(s.free))
+	}
+}

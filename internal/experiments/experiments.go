@@ -547,8 +547,8 @@ func ExtBlocking(p Params) (*Figure, error) {
 	}
 	fracs := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7}
 	classNames := []string{"Class-A", "Class-B", "Class-C"}
-	drops := make([][]float64, 3)
-	for _, fracA := range fracs {
+	cfgs := make([]core.Config, len(fracs))
+	for i, fracA := range fracs {
 		cfg, err := p.buildConfig(0.60, 0.50)
 		if err != nil {
 			return nil, err
@@ -560,10 +560,14 @@ func ExtBlocking(p Params) (*Figure, error) {
 			Fractions:  []float64{fracA, rest, rest},
 			DemandMean: 1.5,
 		}
-		summary, err := sim.RunReplications(cfg, p.Replications)
-		if err != nil {
-			return nil, err
-		}
+		cfgs[i] = cfg
+	}
+	sums, err := sim.SweepConfigs(cfgs, p.Replications)
+	if err != nil {
+		return nil, err
+	}
+	drops := make([][]float64, 3)
+	for _, summary := range sums {
 		for c := 0; c < 3; c++ {
 			drops[c] = append(drops[c], summary.PerClass[c].DropRate.Mean())
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 
 	"hybridqos/internal/core"
@@ -38,10 +39,10 @@ func ExtFaults(p Params) (*Figure, error) {
 	}
 	classNames := []string{"Class-A", "Class-B", "Class-C"}
 
-	run := func(loss float64, flat bool) (*sim.Summary, error) {
+	build := func(flat bool) (core.Config, error) {
 		cfg, err := p.buildConfig(0.60, 0.5)
 		if err != nil {
-			return nil, err
+			return core.Config{}, err
 		}
 		cfg.Cutoff = cutoff
 		cfg.Retry = faults.RetryPolicy{MaxAttempts: 3, Base: 1, Multiplier: 2, Jitter: 0.5}
@@ -53,17 +54,45 @@ func ExtFaults(p Params) (*Figure, error) {
 			// activates only when loss-induced retries inflate the queue.
 			cfg.Shed = &faults.ShedConfig{High: 260, Low: 200}
 		}
-		return sim.RunReplicationsWith(cfg, p.Replications, func(_ int, c *core.Config) error {
-			if loss == 0 {
-				return nil
-			}
-			lm, err := faults.NewBurstLoss(loss, meanBurst)
-			if err != nil {
-				return err
-			}
-			c.Loss = lm
+		return cfg, nil
+	}
+
+	// Both systems at every loss level share the work pool: even points are
+	// γ+shed, odd points the flat baseline, at losses[point/2].
+	cfgs := make([]core.Config, 0, 2*len(losses))
+	for range losses {
+		shedCfg, err := build(false)
+		if err != nil {
+			return nil, err
+		}
+		flatCfg, err := build(true)
+		if err != nil {
+			return nil, err
+		}
+		cfgs = append(cfgs, shedCfg, flatCfg)
+	}
+	sums, err := sim.SweepConfigsWith(cfgs, p.Replications, func(point, _ int, c *core.Config) error {
+		loss := losses[point/2]
+		if loss == 0 {
 			return nil
-		})
+		}
+		lm, err := faults.NewBurstLoss(loss, meanBurst)
+		if err != nil {
+			return err
+		}
+		c.Loss = lm
+		return nil
+	})
+	if err != nil {
+		var pe *sim.PointError
+		if errors.As(err, &pe) {
+			loss := losses[pe.Point/2]
+			if pe.Point%2 == 0 {
+				return nil, fmt.Errorf("experiments: faults γ+shed loss %g: %w", loss, pe.Err)
+			}
+			return nil, fmt.Errorf("experiments: faults flat loss %g: %w", loss, pe.Err)
+		}
+		return nil, err
 	}
 
 	xs := make([]float64, len(losses))
@@ -73,14 +102,7 @@ func ExtFaults(p Params) (*Figure, error) {
 	var shedSummaries []*sim.Summary
 	for i, loss := range losses {
 		xs[i] = loss
-		shed, err := run(loss, false)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: faults γ+shed loss %g: %w", loss, err)
-		}
-		flat, err := run(loss, true)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: faults flat loss %g: %w", loss, err)
-		}
+		shed, flat := sums[2*i], sums[2*i+1]
 		shedSummaries = append(shedSummaries, shed)
 		for c := 0; c < 3; c++ {
 			shedFail[c] = append(shedFail[c], shed.PerClass[c].FailureRate.Mean())

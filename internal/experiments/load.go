@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hybridqos/internal/clients"
+	"hybridqos/internal/core"
 	"hybridqos/internal/sim"
 )
 
@@ -25,18 +26,22 @@ func ExtLoad(p Params) (*Figure, error) {
 		YLabel: "delay (broadcast units)",
 	}
 	classNames := []string{"Class-A", "Class-B", "Class-C"}
-	perClass := make([][]float64, 3)
-	for _, lambda := range lambdas {
+	cfgs := make([]core.Config, len(lambdas))
+	for i, lambda := range lambdas {
 		cfg, err := p.buildConfig(0.60, 0.25)
 		if err != nil {
 			return nil, err
 		}
 		cfg.Lambda = lambda
 		cfg.Cutoff = 40
-		summary, err := sim.RunReplications(cfg, p.Replications)
-		if err != nil {
-			return nil, err
-		}
+		cfgs[i] = cfg
+	}
+	sums, err := sim.SweepConfigs(cfgs, p.Replications)
+	if err != nil {
+		return nil, err
+	}
+	perClass := make([][]float64, 3)
+	for _, summary := range sums {
 		for c := 0; c < 3; c++ {
 			perClass[c] = append(perClass[c], summary.MeanDelay(clients.Class(c)))
 		}

@@ -43,9 +43,9 @@ func ExtMultiClass(p Params) (*Figure, error) {
 		YLabel: "delay (broadcast units)",
 	}
 	alphas := []float64{0, 0.25, 0.5, 0.75, 1.0}
-	perClass := make([][]float64, numClasses)
-	for _, alpha := range alphas {
-		cfg := core.Config{
+	cfgs := make([]core.Config, len(alphas))
+	for i, alpha := range alphas {
+		cfgs[i] = core.Config{
 			Catalog:        cat,
 			Classes:        cl,
 			Lambda:         p.Lambda,
@@ -55,10 +55,13 @@ func ExtMultiClass(p Params) (*Figure, error) {
 			WarmupFraction: p.WarmupFraction,
 			Seed:           p.Seed,
 		}
-		summary, err := sim.RunReplications(cfg, p.Replications)
-		if err != nil {
-			return nil, err
-		}
+	}
+	sums, err := sim.SweepConfigs(cfgs, p.Replications)
+	if err != nil {
+		return nil, err
+	}
+	perClass := make([][]float64, numClasses)
+	for _, summary := range sums {
 		for c := 0; c < numClasses; c++ {
 			perClass[c] = append(perClass[c], summary.MeanDelay(clients.Class(c)))
 		}

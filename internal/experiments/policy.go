@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"hybridqos/internal/clients"
+	"hybridqos/internal/core"
 	"hybridqos/internal/sim"
 )
 
@@ -31,15 +33,15 @@ func ExtPolicy(p Params) (*Figure, error) {
 	}
 	xs := []float64{1, 2, 3}
 
-	run := func(pull, push string) (*sim.Summary, error) {
+	build := func(pull, push string) (core.Config, error) {
 		cfg, err := p.buildConfig(theta, alpha)
 		if err != nil {
-			return nil, err
+			return core.Config{}, err
 		}
 		cfg.Cutoff = 40
 		cfg.PullPolicyName = pull
 		cfg.PushPolicyName = push
-		return sim.RunReplications(cfg, p.Replications)
+		return cfg, nil
 	}
 	delays := func(s *sim.Summary) []float64 {
 		ys := make([]float64, 3)
@@ -50,20 +52,40 @@ func ExtPolicy(p Params) (*Figure, error) {
 	}
 
 	pulls := []string{"gamma", "stretch", "priority", "fcfs", "edf"}
-	byPull := map[string][]float64{}
+	pushes := []string{"broadcast-disk", "none"}
+	cfgs := make([]core.Config, 0, len(pulls)+len(pushes))
 	for _, name := range pulls {
-		s, err := run(name, "")
+		cfg, err := build(name, "")
 		if err != nil {
-			return nil, fmt.Errorf("pull=%s: %w", name, err)
+			return nil, err
 		}
-		byPull[name] = delays(s)
+		cfgs = append(cfgs, cfg)
+	}
+	for _, name := range pushes {
+		cfg, err := build("", name)
+		if err != nil {
+			return nil, err
+		}
+		cfgs = append(cfgs, cfg)
+	}
+	sums, err := sim.SweepConfigs(cfgs, p.Replications)
+	if err != nil {
+		var pe *sim.PointError
+		if errors.As(err, &pe) {
+			if pe.Point < len(pulls) {
+				return nil, fmt.Errorf("pull=%s: %w", pulls[pe.Point], pe.Err)
+			}
+			return nil, fmt.Errorf("push=%s: %w", pushes[pe.Point-len(pulls)], pe.Err)
+		}
+		return nil, err
+	}
+	byPull := map[string][]float64{}
+	for i, name := range pulls {
+		byPull[name] = delays(sums[i])
 		fig.Series = append(fig.Series, Series{Name: "pull=" + name, X: xs, Y: byPull[name]})
 	}
-	for _, name := range []string{"broadcast-disk", "none"} {
-		s, err := run("", name)
-		if err != nil {
-			return nil, fmt.Errorf("push=%s: %w", name, err)
-		}
+	for i, name := range pushes {
+		s := sums[len(pulls)+i]
 		fig.Series = append(fig.Series, Series{Name: "push=" + name, X: xs, Y: delays(s)})
 		if name == "none" {
 			fig.Claims = append(fig.Claims, Claim{

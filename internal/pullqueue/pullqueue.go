@@ -188,6 +188,55 @@ type Queue interface {
 	Items() int
 	// Requests returns the total number of pending requests.
 	Requests() int
+	// Recycle returns an entry obtained from ExtractMax or Remove to the
+	// queue's freelist so a later Add can reuse it (and its request-slice
+	// capacity) instead of allocating. The caller must not retain the entry
+	// afterwards. Entries still enqueued, nil entries and double recycles
+	// are ignored, so Recycle is always safe to call.
+	Recycle(e *Entry)
+}
+
+// freeIndex marks an entry parked on a queue's freelist (heapIndex is
+// len(heap)-indexed while enqueued in a Heap and -1 once extracted).
+const freeIndex = -2
+
+// reuse pops an entry from the freelist and re-initialises it for item, or
+// allocates a fresh one. The recycled request slice keeps its capacity.
+func reuse(free *[]*Entry, req Request, length float64, heapIndex int) *Entry {
+	n := len(*free)
+	if n == 0 {
+		return &Entry{
+			Item:         req.Item,
+			Length:       length,
+			FirstArrival: req.Arrival,
+			heapIndex:    heapIndex,
+		}
+	}
+	e := (*free)[n-1]
+	(*free)[n-1] = nil
+	*free = (*free)[:n-1]
+	e.Item = req.Item
+	e.Length = length
+	e.FirstArrival = req.Arrival
+	e.heapIndex = heapIndex
+	return e
+}
+
+// park resets an extracted entry and pushes it onto the freelist. It reports
+// false (and does nothing) when the entry is nil, still enqueued, already
+// parked, or still the live entry for its item.
+func park(free *[]*Entry, byItem map[int]*Entry, e *Entry) bool {
+	if e == nil || e.heapIndex != -1 || byItem[e.Item] == e {
+		return false
+	}
+	e.Requests = e.Requests[:0]
+	e.SumPriority = 0
+	e.FirstArrival = 0
+	e.Item = 0
+	e.Length = 0
+	e.heapIndex = freeIndex
+	*free = append(*free, e)
+	return true
 }
 
 // Heap is the production pull queue: an indexed binary max-heap over entries
@@ -198,6 +247,7 @@ type Heap struct {
 	heap     []*Entry
 	byItem   map[int]*Entry
 	requests int
+	free     []*Entry
 }
 
 // NewHeap returns an empty heap-backed queue ordered by the paper's
@@ -235,12 +285,7 @@ func (h *Heap) Entry(item int) *Entry { return h.byItem[item] }
 func (h *Heap) Add(req Request, length float64) {
 	e := h.byItem[req.Item]
 	if e == nil {
-		e = &Entry{
-			Item:         req.Item,
-			Length:       length,
-			FirstArrival: req.Arrival,
-			heapIndex:    len(h.heap),
-		}
+		e = reuse(&h.free, req, length, len(h.heap))
 		h.byItem[req.Item] = e
 		h.heap = append(h.heap, e)
 	}
@@ -349,6 +394,9 @@ func (h *Heap) Remove(item int) *Entry {
 	return e
 }
 
+// Recycle returns an extracted entry to the freelist for reuse by Add.
+func (h *Heap) Recycle(e *Entry) { park(&h.free, h.byItem, e) }
+
 // Linear is the O(n)-scan implementation of Queue. It re-evaluates the score
 // at every extraction, so time-dependent (ageing) scores are supported; it
 // also serves as the obviously-correct reference in property tests.
@@ -357,6 +405,7 @@ type Linear struct {
 	entries  []*Entry
 	byItem   map[int]*Entry
 	requests int
+	free     []*Entry
 }
 
 // NewLinear returns an empty scan-backed queue ordered by the paper's
@@ -388,7 +437,7 @@ func (l *Linear) Requests() int { return l.requests }
 func (l *Linear) Add(req Request, length float64) {
 	e := l.byItem[req.Item]
 	if e == nil {
-		e = &Entry{Item: req.Item, Length: length, FirstArrival: req.Arrival, heapIndex: -1}
+		e = reuse(&l.free, req, length, -1)
 		l.byItem[req.Item] = e
 		l.entries = append(l.entries, e)
 	}
@@ -456,6 +505,9 @@ func (l *Linear) removeAt(i int) *Entry {
 	l.requests -= len(e.Requests)
 	return e
 }
+
+// Recycle returns an extracted entry to the freelist for reuse by Add.
+func (l *Linear) Recycle(e *Entry) { park(&l.free, l.byItem, e) }
 
 var (
 	_ Queue = (*Heap)(nil)

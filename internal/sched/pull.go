@@ -185,6 +185,10 @@ type Selector interface {
 	Items() int
 	// Requests is the total number of pending requests.
 	Requests() int
+	// Recycle hands an entry obtained from ExtractBest or Remove back for
+	// reuse by later Adds. The caller must not retain the entry afterwards;
+	// nil, enqueued and already-recycled entries are ignored.
+	Recycle(e *pullqueue.Entry)
 }
 
 // NewSelector returns the fastest selector able to realise the policy: a
@@ -221,5 +225,6 @@ func (s *queueSelector) ExtractBest(now float64) *pullqueue.Entry  { return s.q.
 func (s *queueSelector) Remove(item int) *pullqueue.Entry          { return s.q.Remove(item) }
 func (s *queueSelector) Items() int                                { return s.q.Items() }
 func (s *queueSelector) Requests() int                             { return s.q.Requests() }
+func (s *queueSelector) Recycle(e *pullqueue.Entry)                { s.q.Recycle(e) }
 
 var _ Selector = (*queueSelector)(nil)

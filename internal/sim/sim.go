@@ -1,18 +1,18 @@
-// Package sim orchestrates simulation experiments: independent replications
-// run in parallel across CPU cores, per-class summaries with confidence
-// intervals, and the common-random-number seed discipline that keeps sweep
-// comparisons sharp.
+// Package sim orchestrates simulation experiments: sweep points and
+// independent replications are flattened into one deterministic work pool
+// sized to the machine, per-class summaries carry confidence intervals, and
+// the common-random-number seed discipline keeps sweep comparisons sharp.
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
 	"hybridqos/internal/clients"
 	"hybridqos/internal/core"
 	"hybridqos/internal/stats"
+	"hybridqos/internal/workpool"
 )
 
 // ClassSummary aggregates one class's results across replications.
@@ -67,10 +67,35 @@ func (s *Summary) MeanDelay(c clients.Class) float64 { return s.PerClass[c].Dela
 // MeanCost returns class c's mean prioritised cost across replications.
 func (s *Summary) MeanCost(c clients.Class) float64 { return s.PerClass[c].Cost.Mean() }
 
+// SetWorkers overrides the shared work-pool size for subsequent runs and
+// returns the previous override; n <= 0 restores automatic sizing
+// (GOMAXPROCS−1, at least one). The override is process-global.
+func SetWorkers(n int) (prev int) { return workpool.SetWorkers(n) }
+
+// Workers reports the effective work-pool size used by sweeps and
+// replications.
+func Workers() int { return workpool.Workers() }
+
+// PointError reports which sweep point a SweepConfigs/SweepConfigsWith
+// failure occurred at. Err carries the underlying (replication-wrapped)
+// error; the error text is Err's, so single-point callers can surface it
+// unchanged while sweep wrappers prepend their point label.
+type PointError struct {
+	// Point is the index into the swept configuration slice.
+	Point int
+	// Err is the underlying error.
+	Err error
+}
+
+func (e *PointError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *PointError) Unwrap() error { return e.Err }
+
 // RunReplications executes reps independent runs of cfg, varying only the
-// seed (base seed + replication index), in parallel across CPU cores. The
-// returned summary is deterministic: the same cfg and reps always produce
-// identical numbers regardless of scheduling order.
+// seed (base seed + replication index), in parallel across the shared work
+// pool. The returned summary is deterministic: the same cfg and reps always
+// produce identical numbers regardless of scheduling order or worker count.
 //
 // Stateful per-run components (uplink channels, loss models, MMPP arrival
 // processes, tracers, telemetry collectors) must NOT be shared across
@@ -85,41 +110,76 @@ func RunReplications(cfg core.Config, reps int) (*Summary, error) {
 // is set) before the run starts. The hook runs concurrently across
 // replications and must only touch its own config.
 func RunReplicationsWith(cfg core.Config, reps int, perRun func(rep int, c *core.Config) error) (*Summary, error) {
-	if reps <= 0 {
-		return nil, fmt.Errorf("sim: replications %d", reps)
+	var hook func(point, rep int, c *core.Config) error
+	if perRun != nil {
+		hook = func(_, rep int, c *core.Config) error { return perRun(rep, c) }
 	}
-	if err := cfg.Validate(); err != nil {
+	sums, err := SweepConfigsWith([]core.Config{cfg}, reps, hook)
+	if err != nil {
+		var pe *PointError
+		if errors.As(err, &pe) {
+			return nil, pe.Err
+		}
 		return nil, err
 	}
+	return sums[0], nil
+}
 
-	results := make([]*core.Metrics, reps)
-	errs := make([]error, reps)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxParallel())
-	for i := 0; i < reps; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			repCfg := cfg
-			repCfg.Seed = cfg.Seed + uint64(i)
-			if perRun != nil {
-				if err := perRun(i, &repCfg); err != nil {
-					errs[i] = err
-					return
-				}
-			}
-			results[i], errs[i] = core.Run(repCfg)
-		}(i)
+// SweepConfigs runs reps replications of every configuration, flattening the
+// (point × replication) grid into the shared deterministic work pool, and
+// returns one Summary per configuration in input order.
+func SweepConfigs(cfgs []core.Config, reps int) ([]*Summary, error) {
+	return SweepConfigsWith(cfgs, reps, nil)
+}
+
+// SweepConfigsWith is SweepConfigs with a per-replication customisation
+// hook, called with the point index, replication index and that
+// replication's config (after the seed is set) before the run starts. The
+// hook runs concurrently and must only touch its own config.
+//
+// Every (point, replication) pair is one job in the shared work pool;
+// results land in index-addressed slots and are aggregated in input order,
+// so the output is bit-identical whatever the worker count. Failures are
+// reported as *PointError wrapping the lowest-indexed failing job's error.
+func SweepConfigsWith(cfgs []core.Config, reps int, perRun func(point, rep int, c *core.Config) error) ([]*Summary, error) {
+	if reps <= 0 {
+		return nil, &PointError{Point: 0, Err: fmt.Errorf("sim: replications %d", reps)}
 	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("sim: replication %d: %w", i, err)
+	for p := range cfgs {
+		if err := cfgs[p].Validate(); err != nil {
+			return nil, &PointError{Point: p, Err: err}
 		}
 	}
+	results := make([]*core.Metrics, len(cfgs)*reps)
+	err := workpool.Run(len(results), func(i int) error {
+		p, r := i/reps, i%reps
+		repCfg := cfgs[p]
+		repCfg.Seed = cfgs[p].Seed + uint64(r)
+		if perRun != nil {
+			if err := perRun(p, r, &repCfg); err != nil {
+				return &PointError{Point: p, Err: fmt.Errorf("sim: replication %d: %w", r, err)}
+			}
+		}
+		m, err := core.Run(repCfg)
+		if err != nil {
+			return &PointError{Point: p, Err: fmt.Errorf("sim: replication %d: %w", r, err)}
+		}
+		results[i] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Summary, len(cfgs))
+	for p := range cfgs {
+		out[p] = aggregate(cfgs[p], reps, results[p*reps:(p+1)*reps])
+	}
+	return out, nil
+}
 
+// aggregate folds one point's per-replication metrics, in replication-index
+// order, into a Summary.
+func aggregate(cfg core.Config, reps int, results []*core.Metrics) *Summary {
 	s := &Summary{Config: cfg, Replications: reps}
 	for c := 0; c < cfg.Classes.NumClasses(); c++ {
 		s.PerClass = append(s.PerClass, &ClassSummary{
@@ -159,16 +219,7 @@ func RunReplicationsWith(cfg core.Config, reps int, perRun func(rep int, c *core
 		s.CorruptedPushes += m.CorruptedPushes
 		s.CorruptedPulls += m.CorruptedPulls
 	}
-	return s, nil
-}
-
-// maxParallel bounds the worker pool: all cores but one, at least one.
-func maxParallel() int {
-	n := runtime.NumCPU() - 1
-	if n < 1 {
-		n = 1
-	}
-	return n
+	return s
 }
 
 // SweepPoint is one swept configuration's summary.
@@ -181,41 +232,57 @@ type SweepPoint struct {
 	Summary *Summary
 }
 
-// SweepCutoffs runs RunReplications at each cutoff, reusing the base seed so
-// the cutoffs are compared under common random numbers.
+// SweepCutoffs runs reps replications at each cutoff, reusing the base seed
+// so the cutoffs are compared under common random numbers. All (cutoff ×
+// replication) pairs share the deterministic work pool.
 func SweepCutoffs(cfg core.Config, cutoffs []int, reps int) ([]SweepPoint, error) {
 	if len(cutoffs) == 0 {
 		return nil, fmt.Errorf("sim: no cutoffs")
 	}
-	out := make([]SweepPoint, 0, len(cutoffs))
-	for _, k := range cutoffs {
-		c := cfg
-		c.Cutoff = k
-		sum, err := RunReplications(c, reps)
-		if err != nil {
-			return nil, fmt.Errorf("sim: cutoff %d: %w", k, err)
+	cfgs := make([]core.Config, len(cutoffs))
+	for i, k := range cutoffs {
+		cfgs[i] = cfg
+		cfgs[i].Cutoff = k
+	}
+	sums, err := SweepConfigs(cfgs, reps)
+	if err != nil {
+		var pe *PointError
+		if errors.As(err, &pe) {
+			return nil, fmt.Errorf("sim: cutoff %d: %w", cutoffs[pe.Point], pe.Err)
 		}
-		out = append(out, SweepPoint{K: k, Alpha: c.Alpha, Summary: sum})
+		return nil, err
+	}
+	out := make([]SweepPoint, len(cutoffs))
+	for i, k := range cutoffs {
+		out[i] = SweepPoint{K: k, Alpha: cfgs[i].Alpha, Summary: sums[i]}
 	}
 	return out, nil
 }
 
-// SweepAlphas runs RunReplications at each α (with the paper's
-// importance-factor policy), reusing the base seed.
+// SweepAlphas runs reps replications at each α (with the paper's
+// importance-factor policy), reusing the base seed. All (α × replication)
+// pairs share the deterministic work pool.
 func SweepAlphas(cfg core.Config, alphas []float64, reps int) ([]SweepPoint, error) {
 	if len(alphas) == 0 {
 		return nil, fmt.Errorf("sim: no alphas")
 	}
-	out := make([]SweepPoint, 0, len(alphas))
-	for _, a := range alphas {
-		c := cfg
-		c.Alpha = a
-		c.PullPolicy = nil // force the importance-factor policy at this α
-		sum, err := RunReplications(c, reps)
-		if err != nil {
-			return nil, fmt.Errorf("sim: alpha %g: %w", a, err)
+	cfgs := make([]core.Config, len(alphas))
+	for i, a := range alphas {
+		cfgs[i] = cfg
+		cfgs[i].Alpha = a
+		cfgs[i].PullPolicy = nil // force the importance-factor policy at this α
+	}
+	sums, err := SweepConfigs(cfgs, reps)
+	if err != nil {
+		var pe *PointError
+		if errors.As(err, &pe) {
+			return nil, fmt.Errorf("sim: alpha %g: %w", alphas[pe.Point], pe.Err)
 		}
-		out = append(out, SweepPoint{K: c.Cutoff, Alpha: a, Summary: sum})
+		return nil, err
+	}
+	out := make([]SweepPoint, len(alphas))
+	for i, a := range alphas {
+		out[i] = SweepPoint{K: cfgs[i].Cutoff, Alpha: a, Summary: sums[i]}
 	}
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -209,9 +210,69 @@ func TestOptimalSelectors(t *testing.T) {
 	}
 }
 
-func TestMaxParallelAtLeastOne(t *testing.T) {
-	if maxParallel() < 1 {
-		t.Fatal("maxParallel < 1")
+func TestWorkersAtLeastOne(t *testing.T) {
+	if Workers() < 1 {
+		t.Fatal("Workers < 1")
+	}
+}
+
+func TestSetWorkersRoundTrip(t *testing.T) {
+	prev := SetWorkers(3)
+	defer SetWorkers(prev)
+	if Workers() != 3 {
+		t.Fatalf("Workers = %d after SetWorkers(3)", Workers())
+	}
+	if p := SetWorkers(prev); p != 3 {
+		t.Fatalf("SetWorkers returned %d, want 3", p)
+	}
+	SetWorkers(prev)
+}
+
+// TestSweepConfigsMatchesPerPointRuns pins the tentpole contract: flattening
+// (point × replication) into the shared pool must be bit-identical to
+// running each point on its own, at any worker count.
+func TestSweepConfigsMatchesPerPointRuns(t *testing.T) {
+	cfg := baseConfig(t)
+	cfgs := make([]core.Config, 3)
+	for i, k := range []int{20, 40, 60} {
+		cfgs[i] = cfg
+		cfgs[i].Cutoff = k
+	}
+	swept, err := SweepConfigs(cfgs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cfgs {
+		solo, err := RunReplications(cfgs[i], 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if swept[i].OverallDelay.Mean() != solo.OverallDelay.Mean() {
+			t.Fatalf("point %d overall delay differs: %x vs %x",
+				i, swept[i].OverallDelay.Mean(), solo.OverallDelay.Mean())
+		}
+		for c := range solo.PerClass {
+			if swept[i].PerClass[c].Served != solo.PerClass[c].Served {
+				t.Fatalf("point %d class %d served differs", i, c)
+			}
+		}
+	}
+}
+
+func TestSweepConfigsPointError(t *testing.T) {
+	cfg := baseConfig(t)
+	bad := cfg
+	bad.Lambda = -1
+	_, err := SweepConfigs([]core.Config{cfg, bad}, 2)
+	if err == nil {
+		t.Fatal("invalid point accepted")
+	}
+	var pe *PointError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %T is not *PointError", err)
+	}
+	if pe.Point != 1 {
+		t.Fatalf("PointError.Point = %d, want 1", pe.Point)
 	}
 }
 
@@ -224,6 +285,82 @@ func TestPooledDelayHistogram(t *testing.T) {
 	for c, cs := range s.PerClass {
 		if int64(cs.DelayHist.N()) != cs.Served {
 			t.Fatalf("class %d: hist N %d vs served %d", c, cs.DelayHist.N(), cs.Served)
+		}
+		p50, p95 := cs.DelayHist.Percentile(50), cs.DelayHist.Percentile(95)
+		if !(p50 > 0 && p95 >= p50) {
+			t.Fatalf("class %d: P50 %g P95 %g", c, p50, p95)
+		}
+	}
+}
+
+// TestParallelWorkersBitIdentical is the determinism-under-parallelism
+// gate: the same sweep at workers=1 and workers=N must produce bit-for-bit
+// identical summaries, including bounded-histogram percentiles.
+func TestParallelWorkersBitIdentical(t *testing.T) {
+	cfg := baseConfig(t)
+	cfg.DelayHistBound = 512
+	ks := []int{10, 30, 50, 70}
+
+	sweep := func(workers int) []SweepPoint {
+		prev := SetWorkers(workers)
+		defer SetWorkers(prev)
+		points, err := SweepCutoffs(cfg, ks, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return points
+	}
+	seq := sweep(1)
+	par := sweep(8)
+
+	for i := range ks {
+		a, b := seq[i].Summary, par[i].Summary
+		if a.OverallDelay.Mean() != b.OverallDelay.Mean() {
+			t.Fatalf("K=%d overall delay differs: %x vs %x", ks[i], a.OverallDelay.Mean(), b.OverallDelay.Mean())
+		}
+		if a.TotalCost.Mean() != b.TotalCost.Mean() {
+			t.Fatalf("K=%d total cost differs", ks[i])
+		}
+		if a.PullTransmissions != b.PullTransmissions || a.PushBroadcasts != b.PushBroadcasts {
+			t.Fatalf("K=%d transmission counts differ", ks[i])
+		}
+		for c := range a.PerClass {
+			ca, cb := a.PerClass[c], b.PerClass[c]
+			if ca.Served != cb.Served || ca.Dropped != cb.Dropped {
+				t.Fatalf("K=%d class %d counts differ", ks[i], c)
+			}
+			if ca.Delay.Mean() != cb.Delay.Mean() {
+				t.Fatalf("K=%d class %d delay differs: %x vs %x", ks[i], c, ca.Delay.Mean(), cb.Delay.Mean())
+			}
+			if ca.DelayHist.N() != cb.DelayHist.N() {
+				t.Fatalf("K=%d class %d hist N differs", ks[i], c)
+			}
+			for _, p := range []float64{50, 95, 99} {
+				pa, pb := ca.DelayHist.Percentile(p), cb.DelayHist.Percentile(p)
+				if pa != pb {
+					t.Fatalf("K=%d class %d P%g differs: %x vs %x", ks[i], c, p, pa, pb)
+				}
+			}
+		}
+	}
+}
+
+// TestBoundedDelayHistKeepsTrueCounts checks the bounded reservoir through
+// the replication pipeline: N() still equals Served while retention is
+// capped, and percentiles stay ordered.
+func TestBoundedDelayHistKeepsTrueCounts(t *testing.T) {
+	cfg := baseConfig(t)
+	cfg.DelayHistBound = 128
+	s, err := RunReplications(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, cs := range s.PerClass {
+		if int64(cs.DelayHist.N()) != cs.Served {
+			t.Fatalf("class %d: hist N %d vs served %d", c, cs.DelayHist.N(), cs.Served)
+		}
+		if cs.DelayHist.Retained() > 3*128 {
+			t.Fatalf("class %d: %d retained samples across 3 reps, bound 128", c, cs.DelayHist.Retained())
 		}
 		p50, p95 := cs.DelayHist.Percentile(50), cs.DelayHist.Percentile(95)
 		if !(p50 > 0 && p95 >= p50) {

@@ -192,22 +192,83 @@ func (tw *TimeWeighted) Max() float64 {
 // Elapsed returns the total time span covered.
 func (tw *TimeWeighted) Elapsed() float64 { return tw.elapsed }
 
-// Histogram collects observations for percentile queries. It stores raw
-// samples (simulations here produce at most a few million observations, well
-// within memory) so percentiles are exact.
+// Histogram collects observations for percentile queries. By default it
+// stores every raw sample, so percentiles are exact. SetBound switches an
+// empty histogram into bounded mode: a fixed-capacity deterministic
+// systematic reservoir that retains every stride-th observation in arrival
+// order and doubles the stride whenever the retained set hits the bound, so
+// steady-state memory (and allocation) stays constant however long the run.
+// Bounded percentiles are estimates over the retained subsample — a
+// systematic 1-in-stride thinning, never fewer than bound/2 samples — while
+// N() always reports the true observation count.
 type Histogram struct {
 	samples []float64
 	sorted  bool
+	n       int64 // total observations, including ones thinned away
+	bound   int   // retained-sample cap; 0 = exact (unbounded) mode
+	stride  int64 // bounded mode: retain every stride-th observation
+	skip    int64 // bounded mode: observations left to drop before retaining
 }
+
+// SetBound switches h into bounded mode with the given retained-sample cap.
+// It panics on a bound below 2 or when observations were already recorded
+// (the thinning schedule must see the stream from the start to stay
+// deterministic).
+func (h *Histogram) SetBound(bound int) {
+	if bound < 2 {
+		panic(fmt.Sprintf("stats: histogram bound %d < 2", bound))
+	}
+	if h.n != 0 {
+		panic("stats: SetBound on a non-empty histogram")
+	}
+	h.bound = bound
+	h.stride = 1
+	h.skip = 0
+	if h.samples == nil {
+		h.samples = make([]float64, 0, bound)
+	}
+}
+
+// Bound returns the retained-sample cap, or 0 in exact mode.
+func (h *Histogram) Bound() int { return h.bound }
 
 // Add records one observation.
 func (h *Histogram) Add(x float64) {
+	h.n++
+	if h.bound > 0 {
+		if h.skip > 0 {
+			h.skip--
+			return
+		}
+		h.skip = h.stride - 1
+	}
 	h.samples = append(h.samples, x)
+	h.sorted = false
+	if h.bound > 0 && len(h.samples) >= h.bound {
+		h.thin()
+	}
+}
+
+// thin halves the retained set (keeping every 2nd sample in arrival order)
+// and doubles the stride, so the reservoir keeps covering the whole stream.
+func (h *Histogram) thin() {
+	kept := h.samples[:0]
+	for i := 0; i < len(h.samples); i += 2 {
+		kept = append(kept, h.samples[i])
+	}
+	h.samples = kept
+	h.stride *= 2
+	h.skip = h.stride - 1
 	h.sorted = false
 }
 
-// N returns the number of observations.
-func (h *Histogram) N() int { return len(h.samples) }
+// N returns the number of observations, including any thinned away in
+// bounded mode.
+func (h *Histogram) N() int { return int(h.n) }
+
+// Retained returns the number of samples currently held (equal to N in
+// exact mode, at most the bound in bounded mode).
+func (h *Histogram) Retained() int { return len(h.samples) }
 
 // Percentile returns the p-th percentile (0 <= p <= 100) using linear
 // interpolation between closest ranks. NaN when empty; panics on p outside
@@ -248,13 +309,19 @@ func (h *Histogram) Mean() float64 {
 	return sum / float64(len(h.samples))
 }
 
-// Merge appends all of other's samples into h.
+// Merge folds other into h: retained samples are appended (and re-thinned
+// when h is bounded) and the true observation count is carried over, so
+// N() stays the total across both streams.
 func (h *Histogram) Merge(other *Histogram) {
-	if other == nil || len(other.samples) == 0 {
+	if other == nil || other.n == 0 {
 		return
 	}
+	h.n += other.n
 	h.samples = append(h.samples, other.samples...)
 	h.sorted = false
+	for h.bound > 0 && len(h.samples) >= h.bound {
+		h.thin()
+	}
 }
 
 // BucketQuantile estimates the p-th percentile (0 ≤ p ≤ 100) of a bucketed

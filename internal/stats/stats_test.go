@@ -355,3 +355,117 @@ func TestHistogramMerge(t *testing.T) {
 		t.Fatal("empty merges changed N")
 	}
 }
+
+func TestHistogramBoundedCapsRetention(t *testing.T) {
+	var h Histogram
+	h.SetBound(64)
+	for i := 0; i < 100000; i++ {
+		h.Add(float64(i))
+	}
+	if h.N() != 100000 {
+		t.Fatalf("N = %d, want true count 100000", h.N())
+	}
+	if h.Retained() >= 64 {
+		t.Fatalf("retained %d samples, bound 64", h.Retained())
+	}
+	if h.Retained() < 32 {
+		t.Fatalf("retained %d samples, want at least bound/2", h.Retained())
+	}
+	if h.Bound() != 64 {
+		t.Fatalf("Bound() = %d", h.Bound())
+	}
+}
+
+func TestHistogramBoundedPercentileAccuracy(t *testing.T) {
+	// Uniform stream 0..N-1: every percentile is known exactly. The
+	// systematic reservoir must estimate within a few stride-widths.
+	var h Histogram
+	h.SetBound(256)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		h.Add(float64(i))
+	}
+	for _, p := range []float64{5, 25, 50, 75, 95} {
+		want := p / 100 * (n - 1)
+		got := h.Percentile(p)
+		if math.Abs(got-want)/n > 0.02 {
+			t.Fatalf("P%g = %g, want ~%g (err %.2f%% of range)", p, got, want, 100*math.Abs(got-want)/n)
+		}
+	}
+}
+
+func TestHistogramBoundedDeterministic(t *testing.T) {
+	run := func() []float64 {
+		var h Histogram
+		h.SetBound(128)
+		for i := 0; i < 10000; i++ {
+			h.Add(float64((i * 7919) % 10007))
+		}
+		return []float64{h.Percentile(50), h.Percentile(95), h.Percentile(99)}
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("percentile %d differs across identical streams: %x vs %x", i, a[i], b[i])
+		}
+	}
+}
+
+func TestHistogramBoundedMergeKeepsTrueN(t *testing.T) {
+	var a, b Histogram
+	a.SetBound(32)
+	b.SetBound(32)
+	for i := 0; i < 1000; i++ {
+		a.Add(float64(i))
+		b.Add(float64(1000 + i))
+	}
+	a.Merge(&b)
+	if a.N() != 2000 {
+		t.Fatalf("merged N = %d, want 2000", a.N())
+	}
+	if a.Retained() >= 32 {
+		t.Fatalf("merged retained %d, bound 32", a.Retained())
+	}
+	// An unbounded pool merging bounded parts keeps the true count too.
+	var pool Histogram
+	pool.Merge(&a)
+	if pool.N() != 2000 {
+		t.Fatalf("pooled N = %d, want 2000", pool.N())
+	}
+}
+
+func TestHistogramSetBoundPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("bound 1 accepted")
+			}
+		}()
+		var h Histogram
+		h.SetBound(1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("SetBound on non-empty histogram accepted")
+			}
+		}()
+		var h Histogram
+		h.Add(1)
+		h.SetBound(8)
+	}()
+}
+
+func TestHistogramUnboundedUnchanged(t *testing.T) {
+	// Exact mode must keep every sample: N == Retained, percentiles exact.
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Add(float64(i))
+	}
+	if h.N() != 1000 || h.Retained() != 1000 {
+		t.Fatalf("N %d retained %d", h.N(), h.Retained())
+	}
+	if got := h.Percentile(50); got != 499.5 {
+		t.Fatalf("P50 = %g", got)
+	}
+}

@@ -1,0 +1,100 @@
+package workpool
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunExecutesEveryJobExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		prev := SetWorkers(workers)
+		n := 100
+		counts := make([]int32, n)
+		if err := Run(n, func(i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, c)
+			}
+		}
+		SetWorkers(prev)
+	}
+}
+
+func TestRunReturnsLowestIndexedError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		prev := SetWorkers(workers)
+		err := Run(10, func(i int) error {
+			if i == 3 || i == 7 {
+				return fmt.Errorf("job %d failed", i)
+			}
+			return nil
+		})
+		SetWorkers(prev)
+		if err == nil || err.Error() != "job 3 failed" {
+			t.Fatalf("workers=%d: err = %v, want the lowest-indexed failure", workers, err)
+		}
+	}
+}
+
+func TestRunZeroJobs(t *testing.T) {
+	if err := Run(0, func(int) error { t.Fatal("job ran"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := Run(-3, func(int) error { t.Fatal("job ran"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkersRespectsGOMAXPROCS(t *testing.T) {
+	prev := SetWorkers(0)
+	defer SetWorkers(prev)
+	want := runtime.GOMAXPROCS(0) - 1
+	if want < 1 {
+		want = 1
+	}
+	if got := Workers(); got != want {
+		t.Fatalf("Workers() = %d, want GOMAXPROCS-1 clamped = %d", got, want)
+	}
+}
+
+func TestSetWorkersOverrideAndRestore(t *testing.T) {
+	prev := SetWorkers(5)
+	if got := Workers(); got != 5 {
+		t.Fatalf("Workers() = %d after SetWorkers(5)", got)
+	}
+	if p := SetWorkers(0); p != 5 {
+		t.Fatalf("SetWorkers returned prev %d, want 5", p)
+	}
+	SetWorkers(prev)
+}
+
+// TestRunDeterministicResults pins the pool's core contract: index-addressed
+// results are identical whatever the worker count.
+func TestRunDeterministicResults(t *testing.T) {
+	compute := func(workers int) []int {
+		prev := SetWorkers(workers)
+		defer SetWorkers(prev)
+		out := make([]int, 50)
+		if err := Run(len(out), func(i int) error {
+			out[i] = i * i
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	seq := compute(1)
+	par := compute(8)
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("result %d differs: %d vs %d", i, seq[i], par[i])
+		}
+	}
+}
