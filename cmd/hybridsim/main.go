@@ -18,9 +18,9 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"net"
 	"net/http"
 	"os"
 	"runtime"
@@ -28,8 +28,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"hybridqos"
+	"hybridqos/internal/httpserve"
 	"hybridqos/internal/report"
 )
 
@@ -145,10 +147,11 @@ func main() {
 		}
 		tc := &hybridqos.TelemetryConfig{SnapshotEvery: every}
 		if *telAddr != "" {
-			srv, err := serveMetrics(*telAddr)
+			srv, stop, err := serveMetrics(*telAddr)
 			if err != nil {
 				fatal("telemetry: %v", err)
 			}
+			defer stop()
 			tc.OnSnapshot = srv.update
 		}
 		cfg.Telemetry = tc
@@ -264,20 +267,28 @@ func (m *metricsServer) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
 	w.Write(body)
 }
 
-// serveMetrics binds addr and serves /metrics in the background for the
-// lifetime of the process. The resolved address is announced on stderr so
-// scripts can scrape a port-0 listener.
-func serveMetrics(addr string) (*metricsServer, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
+// serveMetrics binds addr and serves /metrics in the background on a
+// managed server (the same internal/httpserve lifecycle cmd/qosd uses). The
+// resolved address is announced on stderr so scripts can scrape a port-0
+// listener. The returned stop function shuts the listener down cleanly and
+// reports any accept-loop error that would otherwise vanish.
+func serveMetrics(addr string) (*metricsServer, func(), error) {
 	srv := &metricsServer{}
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", srv)
-	fmt.Fprintf(os.Stderr, "serving /metrics on http://%s/metrics\n", ln.Addr())
-	go http.Serve(ln, mux)
-	return srv, nil
+	hs, err := httpserve.Start(addr, mux)
+	if err != nil {
+		return nil, nil, err
+	}
+	fmt.Fprintf(os.Stderr, "serving /metrics on http://%s/metrics\n", hs.Addr)
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "hybridsim: metrics listener: %v\n", err)
+		}
+	}
+	return srv, stop, nil
 }
 
 func parseFloats(s string) ([]float64, error) {

@@ -1,0 +1,102 @@
+// Command qosd serves the hybrid push/pull scheduler in real time: the same
+// deterministic engine the simulator runs, mounted on a wall clock behind
+// class-aware admission control and an HTTP API.
+//
+// Usage:
+//
+//	qosd -config qosd.json [-addr 127.0.0.1:8080]
+//
+// Endpoints: POST /request (X-API-Key), GET /metrics, /healthz, /readyz.
+// SIGTERM or SIGINT triggers a graceful drain: admission stops immediately,
+// every in-flight request is answered by its deadline, then the process
+// exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hybridqos/internal/clock"
+	"hybridqos/internal/httpserve"
+	"hybridqos/internal/qosd"
+)
+
+func main() {
+	var (
+		confPath = flag.String("config", "", "JSON daemon configuration (required)")
+		addr     = flag.String("addr", "127.0.0.1:8080", "HTTP listen address (port 0 picks a free port)")
+	)
+	flag.Parse()
+	if *confPath == "" {
+		fatal("-config is required")
+	}
+	data, err := os.ReadFile(*confPath)
+	if err != nil {
+		fatal("%v", err)
+	}
+	cfg, err := qosd.ParseConfig(data)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	wall, err := clock.NewWall(time.Duration(cfg.UnitMillis * float64(time.Millisecond)))
+	if err != nil {
+		fatal("%v", err)
+	}
+	d, err := qosd.New(cfg, wall, wall.Submit)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	go wall.Run()
+	d.Start()
+
+	srv, err := httpserve.Start(*addr, d.Handler())
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "qosd: serving on http://%s (unit = %gms)\n", srv.Addr, cfg.UnitMillis)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigs:
+		fmt.Fprintf(os.Stderr, "qosd: %v: draining (deadlines bound the wait)\n", sig)
+	case err := <-srv.Err:
+		// The accept loop died under us; drain what was admitted and exit
+		// nonzero below.
+		fmt.Fprintf(os.Stderr, "qosd: listener failed: %v\n", err)
+		drainAndStop(d, wall, srv, true)
+		os.Exit(1)
+	}
+	drainAndStop(d, wall, srv, false)
+	fmt.Fprintln(os.Stderr, "qosd: drained, exiting")
+}
+
+// drainAndStop runs the graceful shutdown sequence: stop admitting, resolve
+// every in-flight request to its deadline, close the HTTP server (waiting
+// for handlers to flush their answers), then stop the clock loop.
+func drainAndStop(d *qosd.Daemon, wall *clock.Wall, srv *httpserve.Server, listenerDead bool) {
+	drained := make(chan struct{})
+	d.Drain(func() { close(drained) })
+	<-drained
+	if !listenerDead {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "qosd: shutdown: %v\n", err)
+		}
+	}
+	wall.Stop()
+	<-wall.Done()
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "qosd: "+format+"\n", args...)
+	os.Exit(1)
+}

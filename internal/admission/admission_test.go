@@ -1,0 +1,228 @@
+package admission
+
+import (
+	"strings"
+	"testing"
+
+	"hybridqos/internal/faults"
+)
+
+func mustNew(t *testing.T, cfg Config) *Controller {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRateLimitBurstAndRefillBoundaries(t *testing.T) {
+	c := mustNew(t, Config{
+		Classes:         []ClassConfig{{Rate: 1, Burst: 3}},
+		DefaultDeadline: 10,
+	})
+	// The bucket starts full: exactly Burst requests pass at t=0.
+	for i := 0; i < 3; i++ {
+		if v := c.Admit(0, 0, 0); v != Admitted {
+			t.Fatalf("burst request %d: %v", i, v)
+		}
+	}
+	if v := c.Admit(0, 0, 0); v != RateLimited {
+		t.Fatalf("request past the burst: %v, want rate_limited", v)
+	}
+	// Refill boundary: at rate 1/unit, one token exists exactly at t=1.
+	if v := c.Admit(0.999, 0, 0); v != RateLimited {
+		t.Fatalf("at t=0.999: %v, want rate_limited", v)
+	}
+	if v := c.Admit(1, 0, 0); v != Admitted {
+		t.Fatalf("at t=1: %v, want admitted", v)
+	}
+	if v := c.Admit(1, 0, 0); v != RateLimited {
+		t.Fatalf("second request at t=1: %v, want rate_limited", v)
+	}
+	// The bucket never overfills past Burst, however long the idle gap.
+	for i := 0; i < 3; i++ {
+		if v := c.Admit(1000, 0, 0); v != Admitted {
+			t.Fatalf("post-idle request %d: %v", i, v)
+		}
+	}
+	if v := c.Admit(1000, 0, 0); v != RateLimited {
+		t.Fatalf("request past the refilled burst: %v, want rate_limited", v)
+	}
+}
+
+func TestQuotaExhaustionAndRecovery(t *testing.T) {
+	c := mustNew(t, Config{
+		Classes:         []ClassConfig{{MaxPending: 2}},
+		DefaultDeadline: 10,
+	})
+	if c.Admit(0, 0, 0) != Admitted || c.Admit(0, 0, 0) != Admitted {
+		t.Fatal("quota slots not granted")
+	}
+	if v := c.Admit(0, 0, 0); v != QuotaExceeded {
+		t.Fatalf("third in-flight request: %v, want quota_exceeded", v)
+	}
+	c.Release(0)
+	if v := c.Admit(0, 0, 0); v != Admitted {
+		t.Fatalf("after Release: %v, want admitted", v)
+	}
+	if got := c.Pending(0); got != 2 {
+		t.Fatalf("Pending = %d, want 2", got)
+	}
+}
+
+func TestShedOverloadDegradesLowestClassFirst(t *testing.T) {
+	c := mustNew(t, Config{
+		Classes:         []ClassConfig{{}, {}, {}},
+		Shed:            &faults.ShedConfig{High: 10, Low: 2, MaxShedClasses: 2},
+		DefaultDeadline: 10,
+	})
+	// Below the high-water mark everyone passes.
+	for class := 0; class < 3; class++ {
+		if v := c.Admit(0, class, 5); v != Admitted {
+			t.Fatalf("class %d under light load: %v", class, v)
+		}
+	}
+	// First high-water crossing sheds exactly the bottom class.
+	if v := c.Admit(0, 2, 10); v != ShedOverload {
+		t.Fatalf("class 2 at high water: %v, want shed_overload", v)
+	}
+	if v := c.Admit(0, 1, 9); v != Admitted {
+		t.Fatalf("class 1 at level 1: %v, want admitted", v)
+	}
+	// Second crossing sheds class 1 too; class 0 is never shed.
+	if v := c.Admit(0, 1, 12); v != ShedOverload {
+		t.Fatalf("class 1 after second crossing: %v, want shed_overload", v)
+	}
+	if c.ShedLevel() != 2 {
+		t.Fatalf("ShedLevel = %d, want 2", c.ShedLevel())
+	}
+	if v := c.Admit(0, 0, 12); v != Admitted {
+		t.Fatalf("class 0 under full shedding: %v, want admitted", v)
+	}
+	// Hysteresis: load between the watermarks holds the level.
+	if v := c.Admit(0, 2, 5); v != ShedOverload {
+		t.Fatalf("class 2 between watermarks: %v, want shed_overload", v)
+	}
+	// Recovery, one class per low-water crossing.
+	if v := c.Admit(0, 1, 2); v != Admitted {
+		t.Fatalf("class 1 after first recovery: %v, want admitted", v)
+	}
+	if v := c.Admit(0, 2, 2); v != Admitted {
+		t.Fatalf("class 2 after second recovery: %v, want admitted", v)
+	}
+	if c.ShedLevel() != 0 {
+		t.Fatalf("ShedLevel = %d after recovery, want 0", c.ShedLevel())
+	}
+}
+
+// TestShedBeforeQuotaBeforeRate pins the gate order: a shed or quota refusal
+// must not spend a rate token.
+func TestShedBeforeQuotaBeforeRate(t *testing.T) {
+	c := mustNew(t, Config{
+		Classes:         []ClassConfig{{}, {Rate: 1, Burst: 1, MaxPending: 1}},
+		Shed:            &faults.ShedConfig{High: 10, Low: 2, MaxShedClasses: 1},
+		DefaultDeadline: 10,
+	})
+	// Shed refusals leave the bucket full.
+	for i := 0; i < 5; i++ {
+		if v := c.Admit(0, 1, 10); v != ShedOverload {
+			t.Fatalf("shed refusal %d: %v", i, v)
+		}
+	}
+	// Recover, then the single token is still there.
+	if v := c.Admit(0, 1, 0); v != Admitted {
+		t.Fatalf("post-recovery admit: %v (the shed refusals spent tokens?)", v)
+	}
+	// Quota refusals (slot still held) leave the bucket state alone too.
+	for i := 0; i < 5; i++ {
+		if v := c.Admit(100, 1, 0); v != QuotaExceeded {
+			t.Fatalf("quota refusal %d: %v", i, v)
+		}
+	}
+	c.Release(1)
+	if v := c.Admit(100, 1, 0); v != Admitted {
+		t.Fatalf("admit after quota release: %v (the quota refusals spent tokens?)", v)
+	}
+}
+
+func TestDeadlineDefaultsAndOverrides(t *testing.T) {
+	c := mustNew(t, Config{
+		Classes:         []ClassConfig{{Deadline: 4}, {}},
+		DefaultDeadline: 9,
+	})
+	if got := c.Deadline(0); got != 4 {
+		t.Fatalf("class 0 deadline = %g, want 4", got)
+	}
+	if got := c.Deadline(1); got != 9 {
+		t.Fatalf("class 1 deadline = %g, want 9 (the default)", got)
+	}
+}
+
+func TestDecisionsCounters(t *testing.T) {
+	c := mustNew(t, Config{
+		Classes:         []ClassConfig{{Rate: 1, Burst: 1}},
+		DefaultDeadline: 10,
+	})
+	c.Admit(0, 0, 0)
+	c.Admit(0, 0, 0)
+	c.Admit(0, 0, 0)
+	if got := c.Decisions(0, Admitted); got != 1 {
+		t.Errorf("Decisions(admitted) = %d, want 1", got)
+	}
+	if got := c.Decisions(0, RateLimited); got != 2 {
+		t.Errorf("Decisions(rate_limited) = %d, want 2", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"no classes", Config{DefaultDeadline: 1}},
+		{"zero deadline", Config{Classes: []ClassConfig{{}}}},
+		{"negative rate", Config{Classes: []ClassConfig{{Rate: -1}}, DefaultDeadline: 1}},
+		{"fractional burst", Config{Classes: []ClassConfig{{Rate: 1, Burst: 0.5}}, DefaultDeadline: 1}},
+		{"negative quota", Config{Classes: []ClassConfig{{MaxPending: -1}}, DefaultDeadline: 1}},
+		{"negative class deadline", Config{Classes: []ClassConfig{{Deadline: -2}}, DefaultDeadline: 1}},
+		{"bad shed marks", Config{
+			Classes:         []ClassConfig{{}},
+			Shed:            &faults.ShedConfig{High: 5, Low: 5},
+			DefaultDeadline: 1,
+		}},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.cfg); err == nil {
+			t.Errorf("%s: New succeeded", tc.name)
+		}
+	}
+}
+
+func TestReleaseWithoutAdmitPanics(t *testing.T) {
+	c := mustNew(t, Config{Classes: []ClassConfig{{}}, DefaultDeadline: 1})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Release without a pending request did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.HasPrefix(msg, "admission: ") {
+			t.Fatalf("panic %v lacks the package prefix", r)
+		}
+	}()
+	c.Release(0)
+}
+
+func TestVerdictStrings(t *testing.T) {
+	want := map[Verdict]string{
+		Admitted:      "admitted",
+		ShedOverload:  "shed_overload",
+		QuotaExceeded: "quota_exceeded",
+		RateLimited:   "rate_limited",
+	}
+	for v, s := range want {
+		if v.String() != s {
+			t.Errorf("Verdict(%d).String() = %q, want %q", int(v), v.String(), s)
+		}
+	}
+}

@@ -49,7 +49,7 @@ func TestHybridChainMatchesDES(t *testing.T) {
 		if tNext > horizon {
 			return
 		}
-		sim.At(tNext, func(*event.Simulator) {
+		sim.At(tNext, func() {
 			if i < p.C {
 				i++
 				observe()
@@ -71,7 +71,7 @@ func TestHybridChainMatchesDES(t *testing.T) {
 		if tNext > horizon {
 			return
 		}
-		sim.At(tNext, func(*event.Simulator) {
+		sim.At(tNext, func() {
 			if phase == 0 {
 				if i >= 1 {
 					phase = 1 // push completed, pull starts

@@ -1,0 +1,190 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"hybridqos/internal/event"
+)
+
+// TestVirtualMirrorsSimulator pins the bit-identity claim at its root: a
+// schedule driven through the Virtual adapter fires in exactly the order and
+// at exactly the times the raw simulator produces.
+func TestVirtualMirrorsSimulator(t *testing.T) {
+	run := func(at func(t float64, h func()), now func() float64, run func()) []float64 {
+		var fired []float64
+		at(3, func() { fired = append(fired, now()) })
+		at(1, func() {
+			fired = append(fired, now())
+			at(1, func() { fired = append(fired, now()) }) // same-time tie
+			at(2, func() { fired = append(fired, now()) })
+		})
+		run()
+		return fired
+	}
+
+	sim := event.New()
+	raw := run(func(tm float64, h func()) { sim.At(tm, h) }, sim.Now, sim.Run)
+
+	v := NewVirtual()
+	adapted := run(func(tm float64, h func()) { v.At(tm, h) }, v.Now, v.Run)
+
+	if len(raw) != len(adapted) {
+		t.Fatalf("fired %d handlers via Virtual, %d via Simulator", len(adapted), len(raw))
+	}
+	for i := range raw {
+		if raw[i] != adapted[i] {
+			t.Errorf("firing %d: Virtual at t=%g, Simulator at t=%g", i, adapted[i], raw[i])
+		}
+	}
+}
+
+func TestVirtualCancel(t *testing.T) {
+	v := NewVirtual()
+	fired := false
+	tok := v.After(5, func() { fired = true })
+	if !v.Cancel(tok) {
+		t.Fatal("Cancel of a pending handler returned false")
+	}
+	if v.Cancel(tok) {
+		t.Error("second Cancel returned true")
+	}
+	if (Token{}) != tok {
+		// tok holds the stale event; cancelling the zero Token must also be
+		// a no-op.
+		if v.Cancel(Token{}) {
+			t.Error("Cancel of the zero Token returned true")
+		}
+	}
+	v.RunUntil(10)
+	if fired {
+		t.Error("cancelled handler fired")
+	}
+}
+
+func TestVirtualRunUntilAdvancesClock(t *testing.T) {
+	v := NewVirtual()
+	v.RunUntil(42)
+	if got := v.Now(); got != 42 {
+		t.Errorf("Now() = %g after RunUntil(42)", got)
+	}
+}
+
+// TestWallOrderAndTies checks the wall loop fires due handlers in (time,
+// insertion) order even when everything is already due.
+func TestWallOrderAndTies(t *testing.T) {
+	w, err := NewWall(time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var order []int
+	done := make(chan struct{})
+	// All in the past by the time the loop starts: order must be (t, seq).
+	w.At(0, func() { mu.Lock(); order = append(order, 1); mu.Unlock() })
+	w.At(0, func() { mu.Lock(); order = append(order, 2); mu.Unlock() })
+	w.Submit(func() { mu.Lock(); order = append(order, 0); mu.Unlock() }) // -Inf: before both
+	w.At(0, func() {
+		mu.Lock()
+		order = append(order, 3)
+		mu.Unlock()
+		close(done)
+	})
+	go w.Run()
+	defer w.Stop()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("wall loop did not fire handlers")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("firing order %v, want 0,1,2,3", order)
+		}
+	}
+}
+
+func TestWallTimedFire(t *testing.T) {
+	w, err := NewWall(time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go w.Run()
+	defer w.Stop()
+	fired := make(chan float64, 1)
+	start := w.Now()
+	w.After(20, func() { fired <- w.Now() })
+	select {
+	case at := <-fired:
+		if at < start+20 {
+			t.Errorf("handler fired at %g units, scheduled for %g", at, start+20)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed handler never fired")
+	}
+}
+
+func TestWallCancel(t *testing.T) {
+	w, err := NewWall(time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go w.Run()
+	fired := make(chan struct{}, 1)
+	tok := w.After(50, func() { fired <- struct{}{} })
+	if !w.Cancel(tok) {
+		t.Fatal("Cancel of a pending wall handler returned false")
+	}
+	if w.Cancel(tok) {
+		t.Error("second Cancel returned true")
+	}
+	if w.Cancel(Token{}) {
+		t.Error("Cancel of the zero Token returned true")
+	}
+	// Let a later handler pass the cancelled one's instant.
+	passed := make(chan struct{})
+	w.After(75, func() { close(passed) })
+	select {
+	case <-passed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("wall loop stalled")
+	}
+	select {
+	case <-fired:
+		t.Error("cancelled wall handler fired")
+	default:
+	}
+	w.Stop()
+	select {
+	case <-w.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after Stop")
+	}
+}
+
+func TestWallStopIdempotent(t *testing.T) {
+	w, err := NewWall(time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go w.Run()
+	w.Stop()
+	w.Stop()
+	select {
+	case <-w.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return")
+	}
+}
+
+func TestNewWallRejectsBadUnit(t *testing.T) {
+	if _, err := NewWall(0); err == nil {
+		t.Error("NewWall(0) succeeded")
+	}
+	if _, err := NewWall(-time.Second); err == nil {
+		t.Error("NewWall(-1s) succeeded")
+	}
+}

@@ -24,7 +24,7 @@ import (
 	"hybridqos/internal/bandwidth"
 	"hybridqos/internal/cache"
 	"hybridqos/internal/clients"
-	"hybridqos/internal/event"
+	"hybridqos/internal/clock"
 	"hybridqos/internal/faults"
 	"hybridqos/internal/pullqueue"
 	"hybridqos/internal/rng"
@@ -42,11 +42,15 @@ type pushWaiter struct {
 	client  int // −1 when client identity is not tracked
 }
 
-// Server is one configured simulation instance.
+// Server is one configured simulation instance. All time access goes
+// through the clock.Clock interface; the sim instantiates it as a Virtual
+// clock (the serving mode's Realtime engine shares the same machinery on a
+// Wall clock).
 type Server struct {
 	cfg      Config
-	cutoff   int // effective K: 0 under the "none" push policy
-	sim      *event.Simulator
+	cutoff   int         // effective K: 0 under the "none" push policy
+	clk      clock.Clock // the engine's only time source (s.vclk, as an interface)
+	vclk     *clock.Virtual
 	arrRng   *rng.Source
 	itemRng  *rng.Source
 	classRng *rng.Source
@@ -86,10 +90,12 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	root := rng.New(cfg.Seed)
+	vclk := clock.NewVirtual()
 	s := &Server{
 		cfg:       cfg,
 		cutoff:    cfg.Cutoff,
-		sim:       event.New(),
+		clk:       vclk,
+		vclk:      vclk,
 		arrRng:    root.Split("arrivals"),
 		itemRng:   root.Split("items"),
 		classRng:  root.Split("classes"),
@@ -230,7 +236,7 @@ func (s *Server) scheduleSnapshot(k int64) {
 	if t > s.cfg.Horizon {
 		return
 	}
-	s.sim.At(t, func(*event.Simulator) {
+	s.clk.At(t, func() {
 		s.emit(trace.Event{T: t, Kind: trace.KindSnapshot, Class: -1, Snap: s.tele.TakeSnapshot(t)})
 		s.scheduleSnapshot(k + 1)
 	})
@@ -250,7 +256,7 @@ func (s *Server) Run() *Metrics {
 	} else {
 		s.idle = true
 	}
-	s.sim.RunUntil(s.cfg.Horizon)
+	s.vclk.RunUntil(s.cfg.Horizon)
 	s.metrics.QueueItems.MeanAt(s.cfg.Horizon)
 	s.metrics.QueueRequests.MeanAt(s.cfg.Horizon)
 	if s.alloc != nil {
@@ -264,7 +270,7 @@ func (s *Server) Run() *Metrics {
 // observeQueue snapshots queue sizes into the time-weighted trackers and the
 // telemetry gauges.
 func (s *Server) observeQueue() {
-	now := s.sim.Now()
+	now := s.clk.Now()
 	items, requests := s.selector.Items(), s.selector.Requests()
 	s.metrics.QueueItems.Observe(now, float64(items))
 	s.metrics.QueueRequests.Observe(now, float64(requests))
@@ -278,11 +284,11 @@ func (s *Server) observeQueue() {
 // never scheduled (RunUntil would cut them anyway).
 func (s *Server) scheduleNextArrival() {
 	gap, batch := s.arrivals.Next(s.arrRng)
-	t := s.sim.Now() + gap
+	t := s.clk.Now() + gap
 	if t > s.cfg.Horizon {
 		return
 	}
-	s.sim.At(t, func(*event.Simulator) {
+	s.clk.At(t, func() {
 		for i := 0; i < batch; i++ {
 			s.handleArrival()
 		}
@@ -292,7 +298,7 @@ func (s *Server) scheduleNextArrival() {
 
 // handleArrival draws the request's item and class and routes it.
 func (s *Server) handleArrival() {
-	now := s.sim.Now()
+	now := s.clk.Now()
 	rank := s.items.SampleItem(s.itemRng, now)
 	class := s.cfg.Classes.SampleClass(s.classRng)
 	if now >= s.warmupEnd {
@@ -395,7 +401,7 @@ func (s *Server) retryAfterLoss(r pullqueue.Request, now float64) bool {
 	})
 	s.pendingRetries++
 	s.observePendingRetries()
-	s.sim.At(retryAt, func(*event.Simulator) {
+	s.clk.At(retryAt, func() {
 		s.pendingRetries--
 		s.observePendingRetries()
 		s.handleRetry(r)
@@ -407,7 +413,7 @@ func (s *Server) retryAfterLoss(r pullqueue.Request, now float64) bool {
 // request it must win the uplink and pass admission control; an uplink loss
 // spends the attempt and backs off again until the budget runs out.
 func (s *Server) handleRetry(r pullqueue.Request) {
-	now := s.sim.Now()
+	now := s.clk.Now()
 	if !s.up.TryRequest(now, s.uplinkRng) {
 		if !s.retryAfterLoss(r, now) && r.Arrival >= s.warmupEnd {
 			s.metrics.PerClass[r.Class].UplinkLost++
@@ -424,8 +430,8 @@ func (s *Server) handleRetry(r pullqueue.Request) {
 func (s *Server) startPush() {
 	item := s.pushSched.Next()
 	length := s.cfg.Catalog.Length(item)
-	s.emit(trace.Event{T: s.sim.Now(), Kind: trace.KindPushStart, Item: item, Class: -1})
-	s.sim.After(length, func(*event.Simulator) {
+	s.emit(trace.Event{T: s.clk.Now(), Kind: trace.KindPushStart, Item: item, Class: -1})
+	s.clk.After(length, func() {
 		s.completePush(item)
 	})
 }
@@ -433,7 +439,7 @@ func (s *Server) startPush() {
 // completePush satisfies every waiter of the broadcast item, then gives the
 // pull system its slot.
 func (s *Server) completePush(item int) {
-	now := s.sim.Now()
+	now := s.clk.Now()
 	s.metrics.PushBroadcasts++
 	if s.loss != nil && s.loss.Corrupted(now, s.lossRng) {
 		// Nobody decoded the broadcast: waiters stay registered and catch
@@ -464,7 +470,7 @@ func (s *Server) completePush(item int) {
 // cutoff is 0).
 func (s *Server) attemptPull() {
 	for {
-		entry := s.selector.ExtractBest(s.sim.Now())
+		entry := s.selector.ExtractBest(s.clk.Now())
 		if entry == nil {
 			if s.cutoff > 0 {
 				s.startPush()
@@ -482,7 +488,7 @@ func (s *Server) attemptPull() {
 				// Paper: the item and all its pending requests are lost.
 				s.metrics.BlockedTransmissions++
 				s.emit(trace.Event{
-					T: s.sim.Now(), Kind: trace.KindBlocked, Item: entry.Item,
+					T: s.clk.Now(), Kind: trace.KindBlocked, Item: entry.Item,
 					Class: entry.HighestClass(), Requests: len(entry.Requests),
 				})
 				for _, r := range entry.Requests {
@@ -508,10 +514,10 @@ func (s *Server) attemptPull() {
 		}
 
 		s.emit(trace.Event{
-			T: s.sim.Now(), Kind: trace.KindPullStart, Item: entry.Item,
+			T: s.clk.Now(), Kind: trace.KindPullStart, Item: entry.Item,
 			Class: entry.HighestClass(), Requests: len(entry.Requests),
 		})
-		s.sim.After(entry.Length, func(*event.Simulator) {
+		s.clk.After(entry.Length, func() {
 			s.completePull(entry, grant)
 		})
 		return
@@ -521,7 +527,7 @@ func (s *Server) attemptPull() {
 // completePull satisfies all of the entry's pending requests and hands the
 // channel back to the push system.
 func (s *Server) completePull(entry *pullqueue.Entry, grant *bandwidth.Grant) {
-	now := s.sim.Now()
+	now := s.clk.Now()
 	s.metrics.PullTransmissions++
 	if s.loss != nil && s.loss.Corrupted(now, s.lossRng) {
 		// The delivery was corrupted: each pending request either books a

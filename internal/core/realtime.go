@@ -1,0 +1,490 @@
+package core
+
+// This file is the serving mode: the same hybrid push/pull slot machinery
+// as the simulation engine, driven by externally submitted requests on any
+// clock.Clock instead of generated arrivals on the virtual one. cmd/qosd
+// mounts it on a Wall clock; the chaos tests mount it on a Virtual clock
+// and replay identical scenarios deterministically.
+
+import (
+	"fmt"
+	"math"
+
+	"hybridqos/internal/admission"
+	"hybridqos/internal/catalog"
+	"hybridqos/internal/clients"
+	"hybridqos/internal/clock"
+	"hybridqos/internal/policy"
+	"hybridqos/internal/pullqueue"
+	"hybridqos/internal/sched"
+	"hybridqos/internal/telemetry"
+)
+
+// Outcome is the terminal state of an admitted realtime request.
+type Outcome int
+
+const (
+	// OutcomeServed: the item's transmission completed by the deadline.
+	OutcomeServed Outcome = iota
+	// OutcomeExpired: the deadline passed first. The callback fires exactly
+	// at the deadline, never after — a deadline that ties with a completion
+	// resolves to expiry, because the expiry timer was scheduled first and
+	// same-instant handlers fire in scheduling order on both clocks.
+	OutcomeExpired
+)
+
+// String names the outcome for logs and HTTP responses.
+func (o Outcome) String() string {
+	if o == OutcomeServed {
+		return "served"
+	}
+	return "expired"
+}
+
+// Result reports an admitted request's terminal state to its Done callback.
+type Result struct {
+	Outcome Outcome
+	// Delay is completion − submission in broadcast units (served only).
+	Delay float64
+	// Push reports whether a broadcast (vs an on-demand pull) served it.
+	Push bool
+}
+
+// RealtimeRequest is one externally submitted request.
+type RealtimeRequest struct {
+	// Item is the catalog rank in [1, D].
+	Item int
+	// Class is the requester's service class.
+	Class clients.Class
+	// DeadlineIn optionally overrides the class's delay budget for this
+	// request, in broadcast units from now; 0 uses the admission
+	// controller's per-class deadline. Must not exceed the class budget —
+	// clients cannot buy more patience than their class is sold.
+	DeadlineIn float64
+	// Done receives the terminal outcome if (and only if) the request is
+	// admitted: exactly one call, on the clock's goroutine, at or before
+	// the deadline.
+	Done func(Result)
+}
+
+// RealtimeConfig parameterises a serving engine.
+type RealtimeConfig struct {
+	// Catalog is the item database (required).
+	Catalog *catalog.Catalog
+	// Classes is the service classification (required); its class count
+	// must match the admission controller's.
+	Classes *clients.Classification
+	// Cutoff is K: items 1..K are broadcast, K+1..D served on demand.
+	Cutoff int
+	// Alpha is Eq. 1's mixing fraction for the default gamma pull policy.
+	Alpha float64
+	// PullPolicyName and PushPolicyName select registry policies exactly as
+	// in the simulation Config; empty picks the paper's defaults.
+	PullPolicyName string
+	PushPolicyName string
+	// PushDisks is the broadcast-disk count for the broadcast-disk push
+	// scheduler; 0 selects the policy package's default.
+	PushDisks int
+	// Clock is the engine's time source (required): Virtual in tests, Wall
+	// in cmd/qosd. Every Realtime method must be called on its goroutine.
+	Clock clock.Clock
+	// Admission configures the class-aware front door (required).
+	Admission admission.Config
+	// Telemetry, when non-nil, receives arrivals, verdicts, outcomes and
+	// queue/shed gauges.
+	Telemetry *telemetry.Collector
+}
+
+// Validate audits the configuration.
+func (c RealtimeConfig) Validate() error {
+	if c.Catalog == nil || c.Catalog.D() == 0 {
+		return fmt.Errorf("core: realtime needs a non-empty catalog")
+	}
+	for rank := 1; rank <= c.Catalog.D(); rank++ {
+		if l := c.Catalog.Length(rank); l <= 0 || math.IsNaN(l) || math.IsInf(l, 0) {
+			return fmt.Errorf("core: invalid length %g for item %d", l, rank)
+		}
+	}
+	if c.Classes == nil || c.Classes.NumClasses() == 0 {
+		return fmt.Errorf("core: realtime needs a classification")
+	}
+	if c.Cutoff < 0 || c.Cutoff > c.Catalog.D() {
+		return fmt.Errorf("core: cutoff %d out of [0,%d]", c.Cutoff, c.Catalog.D())
+	}
+	if err := pullqueue.ValidateAlpha(c.Alpha); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if c.Clock == nil {
+		return fmt.Errorf("core: realtime needs a clock")
+	}
+	if err := c.Admission.Validate(); err != nil {
+		return err
+	}
+	if got, want := len(c.Admission.Classes), c.Classes.NumClasses(); got != want {
+		return fmt.Errorf("core: admission configures %d classes, classification has %d", got, want)
+	}
+	return nil
+}
+
+// rtReq is one admitted request's live state.
+type rtReq struct {
+	id       int64
+	item     int
+	class    clients.Class
+	arrival  float64
+	deadline float64
+	done     func(Result)
+	expiry   clock.Token
+	terminal bool
+}
+
+// Realtime is the serving engine. It is single-goroutine: every method must
+// run on the configured clock's handler goroutine (cmd/qosd bridges HTTP
+// handlers in via Wall.Submit).
+type Realtime struct {
+	cfg      RealtimeConfig
+	cutoff   int // effective K: 0 under the "none" push policy
+	clk      clock.Clock
+	ctl      *admission.Controller
+	selector sched.Selector
+	pushSch  sched.PushScheduler
+	tele     *telemetry.Collector
+
+	nextID int64
+	// live maps pull-request tags to their state so a delivered entry can
+	// find which of its requests are still waiting. Lookups and deletes
+	// only — the map is never ranged (maporder contract).
+	live map[int64]*rtReq
+	// pushWaiters is indexed by push rank (1..cutoff); slot 0 unused.
+	pushWaiters [][]*rtReq
+
+	pending  int // admitted, not yet terminal
+	started  bool
+	idle     bool // no transmission in flight (cutoff 0 or stopped)
+	draining bool
+	stopped  bool // drain complete: the slot loop schedules nothing more
+
+	onDrained func()
+}
+
+// NewRealtime builds a serving engine. Start must be called (on the clock
+// goroutine) before the first Submit.
+func NewRealtime(cfg RealtimeConfig) (*Realtime, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	params := policy.Params{
+		Alpha:   cfg.Alpha,
+		Disks:   cfg.PushDisks,
+		Catalog: cfg.Catalog,
+		Cutoff:  cfg.Cutoff,
+	}
+	pull, err := policy.NewPull(cfg.PullPolicyName, params)
+	if err != nil {
+		return nil, err
+	}
+	sel, err := sched.NewSelector(pull)
+	if err != nil {
+		return nil, err
+	}
+	ctl, err := admission.New(cfg.Admission)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Realtime{
+		cfg:      cfg,
+		cutoff:   cfg.Cutoff,
+		clk:      cfg.Clock,
+		ctl:      ctl,
+		selector: sel,
+		tele:     cfg.Telemetry,
+		live:     make(map[int64]*rtReq),
+	}
+	if cfg.Cutoff > 0 {
+		ps, err := policy.NewPush(cfg.PushPolicyName, params)
+		if err != nil {
+			return nil, err
+		}
+		if _, none := ps.(sched.NoPush); none {
+			rt.cutoff = 0
+		} else {
+			rt.pushSch = ps
+		}
+	}
+	rt.pushWaiters = make([][]*rtReq, rt.cutoff+1)
+	return rt, nil
+}
+
+// Start begins the broadcast loop (a no-op slot-wise when the effective
+// cutoff is 0: the channel idles until the first pull request).
+func (rt *Realtime) Start() {
+	if rt.started {
+		panic("core: realtime Start called twice")
+	}
+	rt.started = true
+	if rt.cutoff > 0 {
+		rt.startPush()
+	} else {
+		rt.idle = true
+	}
+	rt.observe()
+}
+
+// Pending returns the number of admitted, not-yet-terminal requests.
+func (rt *Realtime) Pending() int { return rt.pending }
+
+// Draining reports whether Drain has been called.
+func (rt *Realtime) Draining() bool { return rt.draining }
+
+// ShedLevel returns the admission controller's current shed level.
+func (rt *Realtime) ShedLevel() int { return rt.ctl.ShedLevel() }
+
+// Deadline returns the class's delay budget in broadcast units.
+func (rt *Realtime) Deadline(class clients.Class) float64 {
+	return rt.ctl.Deadline(int(class))
+}
+
+// NumClasses returns the configured class count.
+func (rt *Realtime) NumClasses() int { return rt.cfg.Classes.NumClasses() }
+
+// Submit routes one request through admission and into the engine. The
+// verdict is admission.Admitted when the request entered: its Done callback
+// will fire exactly once, at or before the deadline. Any other verdict
+// means refusal — Done never fires. Submitting to a draining or unstarted
+// engine, or an item outside [1, D], panics: those are caller contract
+// violations (cmd/qosd validates requests and gates on Draining first).
+func (rt *Realtime) Submit(req RealtimeRequest) admission.Verdict {
+	if !rt.started {
+		panic("core: Submit before Start")
+	}
+	if rt.draining {
+		panic("core: Submit on a draining engine")
+	}
+	if req.Item < 1 || req.Item > rt.cfg.Catalog.D() {
+		panic(fmt.Sprintf("core: item %d outside [1,%d]", req.Item, rt.cfg.Catalog.D()))
+	}
+	if req.Done == nil {
+		panic("core: realtime request without a Done callback")
+	}
+	now := rt.clk.Now()
+	class := int(req.Class)
+	if rt.tele != nil {
+		rt.tele.Arrival(class)
+	}
+	v := rt.ctl.Admit(now, class, rt.pending)
+	if rt.tele != nil {
+		rt.tele.ObserveShedLevel(rt.ctl.ShedLevel())
+	}
+	if v != admission.Admitted {
+		rt.noteRefusal(class, v)
+		return v
+	}
+
+	budget := rt.ctl.Deadline(class)
+	if req.DeadlineIn > 0 && req.DeadlineIn < budget {
+		budget = req.DeadlineIn
+	}
+	r := &rtReq{
+		id:       rt.nextID,
+		item:     req.Item,
+		class:    req.Class,
+		arrival:  now,
+		deadline: now + budget,
+		done:     req.Done,
+	}
+	rt.nextID++
+	rt.pending++
+	// The expiry timer is booked before any transmission that could serve
+	// the request, so a completion landing exactly on the deadline loses
+	// the tie and the client hears "expired" — never a late success.
+	r.expiry = rt.clk.At(r.deadline, func() { rt.expire(r) })
+
+	if req.Item <= rt.cutoff {
+		rt.pushWaiters[req.Item] = append(rt.pushWaiters[req.Item], r)
+		return v
+	}
+	rt.live[r.id] = r
+	rt.selector.Add(pullqueue.Request{
+		Item:     req.Item,
+		Class:    req.Class,
+		Priority: rt.cfg.Classes.Weight(req.Class),
+		Arrival:  now,
+		Client:   -1,
+		Tag:      r.id,
+	}, rt.cfg.Catalog.Length(req.Item))
+	rt.observe()
+	if rt.idle {
+		rt.idle = false
+		rt.attemptPull()
+	}
+	return v
+}
+
+// Drain stops admission permanently and runs the engine until every
+// admitted request has reached its terminal outcome; deadlines bound the
+// wait. onDrained fires exactly once, on the clock goroutine, when the last
+// request resolves (synchronously when nothing is pending).
+func (rt *Realtime) Drain(onDrained func()) {
+	if rt.draining {
+		panic("core: Drain called twice")
+	}
+	rt.draining = true
+	rt.onDrained = onDrained
+	if rt.tele != nil {
+		rt.tele.ObserveDraining(true)
+	}
+	if rt.pending == 0 {
+		rt.finishDrain()
+	}
+}
+
+// noteRefusal counts a non-admitted verdict into telemetry.
+func (rt *Realtime) noteRefusal(class int, v admission.Verdict) {
+	if rt.tele == nil {
+		return
+	}
+	switch v {
+	case admission.ShedOverload:
+		rt.tele.Shed(class)
+	case admission.RateLimited:
+		rt.tele.RateLimited(class)
+	case admission.QuotaExceeded:
+		rt.tele.QuotaExceeded(class)
+	}
+}
+
+// expire resolves a request whose deadline arrived before its item.
+func (rt *Realtime) expire(r *rtReq) {
+	if r.terminal {
+		return
+	}
+	delete(rt.live, r.id)
+	if rt.tele != nil {
+		rt.tele.Expired(int(r.class))
+	}
+	rt.finish(r, Result{Outcome: OutcomeExpired})
+}
+
+// serve resolves a request whose item completed transmission in time.
+func (rt *Realtime) serve(r *rtReq, now float64, push bool) {
+	rt.clk.Cancel(r.expiry)
+	d := now - r.arrival
+	if rt.tele != nil {
+		rt.tele.Served(int(r.class), d, push)
+	}
+	rt.finish(r, Result{Outcome: OutcomeServed, Delay: d, Push: push})
+}
+
+// finish is the single terminal path: quota release, callback, drain check.
+func (rt *Realtime) finish(r *rtReq, res Result) {
+	r.terminal = true
+	rt.ctl.Release(int(r.class))
+	rt.pending--
+	r.done(res)
+	if rt.draining && rt.pending == 0 && !rt.stopped {
+		rt.finishDrain()
+	}
+}
+
+// finishDrain marks the slot loop stopped and reports drain completion. Any
+// in-flight transmission event still fires, sees stopped, and does nothing.
+func (rt *Realtime) finishDrain() {
+	rt.stopped = true
+	if rt.onDrained != nil {
+		rt.onDrained()
+	}
+}
+
+// observe samples queue depth into telemetry.
+func (rt *Realtime) observe() {
+	if rt.tele != nil {
+		rt.tele.ObserveQueue(rt.selector.Items(), rt.selector.Requests())
+	}
+}
+
+// startPush begins the next broadcast transmission.
+func (rt *Realtime) startPush() {
+	item := rt.pushSch.Next()
+	rt.clk.After(rt.cfg.Catalog.Length(item), func() { rt.completePush(item) })
+}
+
+// completePush serves the item's surviving waiters and hands the slot to
+// the pull system.
+func (rt *Realtime) completePush(item int) {
+	if rt.stopped {
+		return
+	}
+	now := rt.clk.Now()
+	if rt.tele != nil {
+		rt.tele.PushComplete()
+	}
+	for _, r := range rt.pushWaiters[item] {
+		if !r.terminal {
+			rt.serve(r, now, true)
+		}
+	}
+	rt.pushWaiters[item] = rt.pushWaiters[item][:0]
+	if rt.stopped { // the last waiter completed the drain
+		return
+	}
+	rt.attemptPull()
+}
+
+// attemptPull transmits the best pull entry that still has a live request,
+// recycling entries whose every request already expired (their clients were
+// answered at their deadlines; broadcasting the item would serve no one).
+func (rt *Realtime) attemptPull() {
+	for {
+		entry := rt.selector.ExtractBest(rt.clk.Now())
+		if entry == nil {
+			rt.observe()
+			if rt.cutoff > 0 {
+				rt.startPush()
+			} else {
+				rt.idle = true
+			}
+			return
+		}
+		alive := 0
+		for _, q := range entry.Requests {
+			if _, ok := rt.live[q.Tag]; ok {
+				alive++
+			}
+		}
+		if alive == 0 {
+			rt.selector.Recycle(entry)
+			continue
+		}
+		rt.observe()
+		rt.clk.After(entry.Length, func() { rt.completePull(entry) })
+		return
+	}
+}
+
+// completePull satisfies the entry's surviving requests and returns the
+// slot to the push system.
+func (rt *Realtime) completePull(entry *pullqueue.Entry) {
+	if rt.stopped {
+		rt.selector.Recycle(entry)
+		return
+	}
+	now := rt.clk.Now()
+	if rt.tele != nil {
+		rt.tele.PullComplete()
+	}
+	for _, q := range entry.Requests {
+		if r, ok := rt.live[q.Tag]; ok {
+			delete(rt.live, q.Tag)
+			rt.serve(r, now, false)
+		}
+	}
+	rt.selector.Recycle(entry)
+	if rt.stopped { // serving the entry completed the drain
+		return
+	}
+	if rt.cutoff > 0 {
+		rt.startPush()
+	} else {
+		rt.attemptPull()
+	}
+}

@@ -10,9 +10,11 @@ import (
 	"math"
 )
 
-// Handler is the action executed when an event fires. It receives the
-// simulator so it can schedule further events.
-type Handler func(sim *Simulator)
+// Handler is the action executed when an event fires. Handlers close over
+// whatever state they need (including the simulator or clock that schedules
+// them) — the signature carries no arguments so the same handler type serves
+// both the virtual event loop and the wall-clock loop in internal/clock.
+type Handler func()
 
 // event is one scheduled occurrence. Fired and cancelled events are parked
 // on the simulator's freelist and reused by later At calls; gen increments
@@ -157,7 +159,7 @@ func (s *Simulator) step() bool {
 	s.fired++
 	h := ev.handler
 	s.recycle(ev)
-	h(s)
+	h()
 	return true
 }
 

@@ -14,7 +14,7 @@ func TestFiresInTimeOrder(t *testing.T) {
 	var got []float64
 	for _, tm := range []float64{5, 1, 3, 2, 4} {
 		tm := tm
-		s.At(tm, func(sim *Simulator) { got = append(got, sim.Now()) })
+		s.At(tm, func() { got = append(got, s.Now()) })
 	}
 	s.Run()
 	want := []float64{1, 2, 3, 4, 5}
@@ -33,7 +33,7 @@ func TestTieBreakIsFIFO(t *testing.T) {
 	var order []int
 	for i := 0; i < 10; i++ {
 		i := i
-		s.At(7, func(*Simulator) { order = append(order, i) })
+		s.At(7, func() { order = append(order, i) })
 	}
 	s.Run()
 	for i, v := range order {
@@ -46,8 +46,8 @@ func TestTieBreakIsFIFO(t *testing.T) {
 func TestAfterSchedulesRelative(t *testing.T) {
 	s := New()
 	var at float64
-	s.At(10, func(sim *Simulator) {
-		sim.After(5, func(sim2 *Simulator) { at = sim2.Now() })
+	s.At(10, func() {
+		s.After(5, func() { at = s.Now() })
 	})
 	s.Run()
 	if at != 15 {
@@ -57,13 +57,13 @@ func TestAfterSchedulesRelative(t *testing.T) {
 
 func TestSchedulingInPastPanics(t *testing.T) {
 	s := New()
-	s.At(10, func(sim *Simulator) {
+	s.At(10, func() {
 		defer func() {
 			if recover() == nil {
 				t.Error("At(past) did not panic")
 			}
 		}()
-		sim.At(9, func(*Simulator) {})
+		s.At(9, func() {})
 	})
 	s.Run()
 }
@@ -75,7 +75,7 @@ func TestNegativeDelayPanics(t *testing.T) {
 			t.Fatal("After(-1) did not panic")
 		}
 	}()
-	s.After(-1, func(*Simulator) {})
+	s.After(-1, func() {})
 }
 
 func TestNaNTimePanics(t *testing.T) {
@@ -85,7 +85,7 @@ func TestNaNTimePanics(t *testing.T) {
 			t.Fatal("At(NaN) did not panic")
 		}
 	}()
-	s.At(math.NaN(), func(*Simulator) {})
+	s.At(math.NaN(), func() {})
 }
 
 func TestNilHandlerPanics(t *testing.T) {
@@ -101,7 +101,7 @@ func TestNilHandlerPanics(t *testing.T) {
 func TestCancel(t *testing.T) {
 	s := New()
 	fired := false
-	tok := s.At(5, func(*Simulator) { fired = true })
+	tok := s.At(5, func() { fired = true })
 	if !s.Cancel(tok) {
 		t.Fatal("Cancel returned false on pending event")
 	}
@@ -116,7 +116,7 @@ func TestCancel(t *testing.T) {
 
 func TestCancelFiredEventIsNoop(t *testing.T) {
 	s := New()
-	tok := s.At(1, func(*Simulator) {})
+	tok := s.At(1, func() {})
 	s.Run()
 	if s.Cancel(tok) {
 		t.Fatal("Cancel of fired event returned true")
@@ -129,7 +129,7 @@ func TestCancelMiddleOfHeap(t *testing.T) {
 	var toks []Token
 	for _, tm := range []float64{1, 2, 3, 4, 5} {
 		tm := tm
-		toks = append(toks, s.At(tm, func(sim *Simulator) { got = append(got, sim.Now()) }))
+		toks = append(toks, s.At(tm, func() { got = append(got, s.Now()) }))
 	}
 	s.Cancel(toks[2]) // remove t=3
 	s.Run()
@@ -149,10 +149,10 @@ func TestStop(t *testing.T) {
 	count := 0
 	for i := 1; i <= 10; i++ {
 		i := i
-		s.At(float64(i), func(sim *Simulator) {
+		s.At(float64(i), func() {
 			count++
 			if i == 3 {
-				sim.Stop()
+				s.Stop()
 			}
 		})
 	}
@@ -175,7 +175,7 @@ func TestRunUntil(t *testing.T) {
 	var fired []float64
 	for _, tm := range []float64{1, 2, 3, 10, 20} {
 		tm := tm
-		s.At(tm, func(sim *Simulator) { fired = append(fired, sim.Now()) })
+		s.At(tm, func() { fired = append(fired, s.Now()) })
 	}
 	s.RunUntil(5)
 	if len(fired) != 3 {
@@ -195,7 +195,7 @@ func TestRunUntil(t *testing.T) {
 
 func TestRunUntilPastHorizonPanics(t *testing.T) {
 	s := New()
-	s.At(3, func(*Simulator) {})
+	s.At(3, func() {})
 	s.Run()
 	defer func() {
 		if recover() == nil {
@@ -208,7 +208,7 @@ func TestRunUntilPastHorizonPanics(t *testing.T) {
 func TestRunUntilInclusiveBoundary(t *testing.T) {
 	s := New()
 	fired := false
-	s.At(5, func(*Simulator) { fired = true })
+	s.At(5, func() { fired = true })
 	s.RunUntil(5)
 	if !fired {
 		t.Fatal("event exactly at horizon did not fire")
@@ -221,10 +221,10 @@ func TestCascadingEvents(t *testing.T) {
 	s := New()
 	ticks := 0
 	var tick Handler
-	tick = func(sim *Simulator) {
+	tick = func() {
 		ticks++
 		if ticks < 100 {
-			sim.After(1, tick)
+			s.After(1, tick)
 		}
 	}
 	s.At(0, tick)
@@ -249,7 +249,7 @@ func TestPropertyOrdering(t *testing.T) {
 		for i := range times {
 			times[i] = math.Floor(r.Float64()*50) / 2 // coarse grid forces ties
 			tm := times[i]
-			s.At(tm, func(sim *Simulator) { fired = append(fired, sim.Now()) })
+			s.At(tm, func() { fired = append(fired, s.Now()) })
 		}
 		s.Run()
 		if len(fired) != n {
@@ -270,7 +270,7 @@ func TestPropertyOrdering(t *testing.T) {
 
 func BenchmarkScheduleAndFire(b *testing.B) {
 	s := New()
-	h := func(*Simulator) {}
+	h := func() {}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.At(s.Now()+float64(i%16), h)
@@ -284,10 +284,10 @@ func BenchmarkScheduleAndFire(b *testing.B) {
 func TestStaleTokenCannotCancelRecycledEvent(t *testing.T) {
 	s := New()
 	fired := make([]string, 0, 2)
-	tok := s.At(1, func(*Simulator) { fired = append(fired, "first") })
+	tok := s.At(1, func() { fired = append(fired, "first") })
 	s.Run()
 	// The first event has fired; its storage may now back a new event.
-	s.At(2, func(*Simulator) { fired = append(fired, "second") })
+	s.At(2, func() { fired = append(fired, "second") })
 	if s.Cancel(tok) {
 		t.Fatal("stale token cancelled something")
 	}
@@ -299,12 +299,12 @@ func TestStaleTokenCannotCancelRecycledEvent(t *testing.T) {
 
 func TestCancelledTokenStaysDeadAfterReuse(t *testing.T) {
 	s := New()
-	tok := s.At(1, func(*Simulator) { t.Fatal("cancelled event fired") })
+	tok := s.At(1, func() { t.Fatal("cancelled event fired") })
 	if !s.Cancel(tok) {
 		t.Fatal("first cancel failed")
 	}
 	ran := false
-	s.At(1, func(*Simulator) { ran = true })
+	s.At(1, func() { ran = true })
 	if s.Cancel(tok) {
 		t.Fatal("double cancel hit the recycled event")
 	}
@@ -319,14 +319,14 @@ func TestEventStorageIsReused(t *testing.T) {
 	// Steady-state schedule/fire cycles must stop allocating events: after
 	// a warm-up the freelist satisfies every At.
 	for i := 0; i < 100; i++ {
-		s.At(s.Now(), func(*Simulator) {})
+		s.At(s.Now(), func() {})
 		s.Run()
 	}
 	if len(s.free) == 0 {
 		t.Fatal("no events parked for reuse")
 	}
 	before := len(s.free)
-	s.At(s.Now(), func(*Simulator) {})
+	s.At(s.Now(), func() {})
 	if len(s.free) != before-1 {
 		t.Fatalf("At did not pop the freelist: %d -> %d", before, len(s.free))
 	}

@@ -1,0 +1,80 @@
+// Package httpserve is the shared HTTP lifecycle helper for the command
+// layer (cmd/hybridsim's live /metrics listener, cmd/qosd's daemon): bind,
+// serve in the background on a managed *http.Server, and shut down cleanly
+// — no leaked `go http.Serve` goroutines, no dropped accept-loop errors.
+//
+// All networking lives in this package and its callers; nothing under the
+// deterministic core imports it.
+package httpserve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Server is one running HTTP listener.
+type Server struct {
+	// Addr is the bound listen address; with a ":0" request it carries the
+	// kernel-assigned port.
+	Addr net.Addr
+	// Err yields the accept loop's exit: exactly one value, nil after a
+	// clean Shutdown/Close (http.ErrServerClosed is mapped to nil).
+	// Shutdown and Close consume it; select on Err only to watch for a
+	// crash while the server should still be running.
+	Err <-chan error
+
+	srv *http.Server
+}
+
+// Start binds addr and serves h in a background goroutine. The returned
+// Server owns the listener; call Shutdown (graceful) or Close (abrupt) to
+// release it.
+func Start(addr string, h http.Handler) (*Server, error) {
+	if h == nil {
+		return nil, fmt.Errorf("httpserve: nil handler")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("httpserve: %w", err)
+	}
+	srv := &http.Server{
+		Handler: h,
+		// A stuck peer must not pin header reads forever; response timing
+		// is the handler's business (long polls are expected in qosd).
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	s := &Server{Addr: ln.Addr(), Err: errCh, srv: srv}
+	go func() {
+		err := srv.Serve(ln)
+		if errors.Is(err, http.ErrServerClosed) {
+			err = nil
+		}
+		errCh <- err
+	}()
+	return s, nil
+}
+
+// Shutdown stops accepting connections and waits for in-flight requests,
+// bounded by ctx. It returns the first error from the accept loop or the
+// shutdown itself (nil on a clean exit).
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	if serveErr := <-s.Err; serveErr != nil && err == nil {
+		err = serveErr
+	}
+	return err
+}
+
+// Close abruptly closes the listener and all connections.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	if serveErr := <-s.Err; serveErr != nil && err == nil {
+		err = serveErr
+	}
+	return err
+}

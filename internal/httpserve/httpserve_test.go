@@ -1,0 +1,73 @@
+package httpserve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestStartServeShutdown(t *testing.T) {
+	s, err := Start("127.0.0.1:0", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, "ok")
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + s.Addr.String() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok" {
+		t.Fatalf("body %q", body)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + s.Addr.String() + "/"); err == nil {
+		t.Error("listener still accepting after Shutdown")
+	}
+}
+
+func TestStartPortZeroReportsBoundAddr(t *testing.T) {
+	s, err := Start("127.0.0.1:0", http.NotFoundHandler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Addr.String() == "127.0.0.1:0" {
+		t.Error("Addr did not resolve the kernel-assigned port")
+	}
+}
+
+func TestStartRejectsNilHandlerAndBadAddr(t *testing.T) {
+	if _, err := Start("127.0.0.1:0", nil); err == nil {
+		t.Error("Start(nil handler) succeeded")
+	}
+	if _, err := Start("256.0.0.1:bad", http.NotFoundHandler()); err == nil {
+		t.Error("Start(bad addr) succeeded")
+	}
+}
+
+func TestCloseDrainsErr(t *testing.T) {
+	s, err := Start("127.0.0.1:0", http.NotFoundHandler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case _, ok := <-s.Err:
+		if ok {
+			t.Error("Err yielded a second value")
+		}
+	default: // empty: Close consumed the single exit value
+	}
+}

@@ -12,7 +12,10 @@
 // Rules:
 //
 //   - nondeterminism: time.Now/time.Since and math/rand imports are banned
-//     in library code; all randomness must flow through internal/rng.
+//     in library code; all randomness must flow through internal/rng. The
+//     single sanctioned exception is internal/clock's wall implementation
+//     (wall.go), allowlisted by package and file so real-time reads have
+//     exactly one home instead of scattered waivers.
 //   - maporder: ranging over a map in library code is flagged unless the
 //     keys/values are collected into a slice that the same function sorts.
 //   - panicmsg: panics in library packages must carry a "<pkg>: ..." prefixed

@@ -41,6 +41,7 @@ func TestFixtureFindings(t *testing.T) {
 		"internal/allowcase/allowcase.go:18 [nondeterminism]",
 		"internal/allowcase/allowcase.go:24 [allow]",
 		"internal/allowcase/allowcase.go:25 [nondeterminism]",
+		"internal/clock/virtual.go:9 [nondeterminism]",
 		"internal/maporder/maporder.go:11 [maporder]",
 		"internal/maporder/maporder.go:29 [maporder]",
 		"internal/nondet/nondet.go:6 [nondeterminism]",

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"path/filepath"
 	"strconv"
 )
 
@@ -13,8 +14,16 @@ import (
 //
 // internal/rng itself is exempt from the math/rand import ban so the
 // sanctioned wrapper could build on the stdlib generator if it ever chose to.
+//
+// The wall-clock ban has exactly one sanctioned exception, expressed here as
+// a package/file allowlist rather than per-call waivers: internal/clock's
+// wall implementation (wall.go) exists to read real time, so every other
+// package can stay clean. The virtual implementation in the same package is
+// NOT exempt — only the one file.
 func checkNondeterminism(p *pkg) {
 	for _, f := range p.files {
+		wallExempt := p.relDir == "internal/clock" &&
+			filepath.Base(p.fset.Position(f.Pos()).Filename) == "wall.go"
 		for _, imp := range f.Imports {
 			path, err := strconv.Unquote(imp.Path.Value)
 			if err != nil {
@@ -36,6 +45,9 @@ func checkNondeterminism(p *pkg) {
 			}
 			switch sel.Sel.Name {
 			case "Now", "Since":
+				if wallExempt {
+					return true
+				}
 				p.report(RuleNondeterminism, sel.Pos(),
 					"time.%s reads the wall clock: simulated time must come from the event scheduler", sel.Sel.Name)
 			}

@@ -1,0 +1,9 @@
+// Package clock is a qoslint fixture: the wall-clock allowlist covers
+// exactly one file (wall.go), not the whole package.
+package clock
+
+import "time"
+
+// Leak reads the wall clock outside wall.go: finding, even though this file
+// lives in internal/clock.
+func Leak() time.Time { return time.Now() }

@@ -218,7 +218,7 @@ func (s *server) scheduleNextArrival() {
 	if t > s.cfg.Horizon {
 		return
 	}
-	s.sim.At(t, func(*event.Simulator) {
+	s.sim.At(t, func() {
 		s.handleArrival()
 		s.scheduleNextArrival()
 	})
@@ -252,7 +252,7 @@ func (s *server) handleArrival() {
 func (s *server) startPush(part *sched.FlatRoundRobinPartition) {
 	item := part.Next()
 	duration := s.cfg.Catalog.Length(item) / s.rate
-	s.sim.After(duration, func(*event.Simulator) {
+	s.sim.After(duration, func() {
 		now := s.sim.Now()
 		s.metrics.PushBroadcasts++
 		for _, w := range s.waiters[item] {
@@ -271,7 +271,7 @@ func (s *server) servePull() {
 		return
 	}
 	duration := entry.Length / s.rate
-	s.sim.After(duration, func(*event.Simulator) {
+	s.sim.After(duration, func() {
 		now := s.sim.Now()
 		s.metrics.PullTransmissions++
 		for _, r := range entry.Requests {

@@ -49,6 +49,10 @@ type Request struct {
 	// Attempts counts the re-requests already made for this request after
 	// corrupted deliveries on a lossy downlink (0 for a first attempt).
 	Attempts int
+	// Tag is an opaque caller identifier carried through the queue. The
+	// simulator leaves it 0; the serving mode uses it to map a delivered
+	// request back to the live connection waiting on it.
+	Tag int64
 }
 
 // Entry aggregates the pending requests for one item.

@@ -1,0 +1,441 @@
+package qosd
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+
+	"hybridqos/internal/clock"
+	"hybridqos/internal/telemetry"
+)
+
+// testConfig is a small pull-only daemon: unit-length items, three classes
+// confined to disjoint hundred-item bands by the load generators, shedding
+// enabled. Mirrors the core.Realtime overload scenario so daemon-level
+// results are comparable.
+func testConfig() Config {
+	return Config{
+		Catalog:      CatalogConfig{D: 300, Theta: 0.5, MinLen: 1, MaxLen: 1, Seed: 7},
+		ClassWeights: []float64{4, 2, 1},
+		PullPolicy:   "priority",
+		UnitMillis:   1,
+		Keys:         map[string]int{"bronze": 2, "gold": 0, "silver": 1},
+		Admission: AdmissionConfig{
+			DefaultDeadline: 30,
+			Shed:            &ShedConfig{High: 30, Low: 15, MaxShedClasses: 2},
+		},
+	}
+}
+
+// inlineDaemon builds a Daemon on a fresh virtual clock with exec calling
+// inline — correct single-threaded, where the test owns the clock goroutine.
+func inlineDaemon(t *testing.T, cfg Config) (*Daemon, *clock.Virtual) {
+	t.Helper()
+	v := clock.NewVirtual()
+	d, err := New(cfg, v, func(f func()) { f() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	return d, v
+}
+
+func TestParseConfigRoundTrip(t *testing.T) {
+	data, err := json.Marshal(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := ParseConfig(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Catalog.D != 300 || len(cfg.ClassWeights) != 3 || cfg.Keys["gold"] != 0 {
+		t.Fatalf("round trip mangled config: %+v", cfg)
+	}
+	if cfg.defaultClass() != -1 {
+		t.Errorf("omitted default_class resolved to %d, want -1", cfg.defaultClass())
+	}
+}
+
+func TestParseConfigErrors(t *testing.T) {
+	mutate := func(f func(*Config)) []byte {
+		cfg := testConfig()
+		f(&cfg)
+		data, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"unknown field", []byte(`{"catalog":{"d":10,"theta":0.5,"min_len":1,"max_len":1},"class_weights":[2,1],"unit_ms":1,"admission":{"default_deadline":5},"bogus":1}`)},
+		{"trailing data", append(mutate(func(*Config) {}), []byte(" {}")...)},
+		{"not json", []byte("not json")},
+		{"no classes", mutate(func(c *Config) { c.ClassWeights = nil })},
+		{"non-decreasing weights", mutate(func(c *Config) { c.ClassWeights = []float64{1, 1, 2} })},
+		{"cutoff out of range", mutate(func(c *Config) { c.Cutoff = 301 })},
+		{"zero unit", mutate(func(c *Config) { c.UnitMillis = 0 })},
+		{"key class out of range", mutate(func(c *Config) { c.Keys = map[string]int{"k": 3} })},
+		{"empty key", mutate(func(c *Config) { c.Keys = map[string]int{"": 0} })},
+		{"default class out of range", mutate(func(c *Config) { dc := 3; c.DefaultClass = &dc })},
+		{"too many admission classes", mutate(func(c *Config) { c.Admission.Classes = make([]ClassAdmission, 4) })},
+		{"no deadline", mutate(func(c *Config) { c.Admission.DefaultDeadline = 0 })},
+		{"negative snapshot cadence", mutate(func(c *Config) { c.SnapshotEvery = -1 })},
+	}
+	for _, tc := range cases {
+		if _, err := ParseConfig(tc.data); err == nil {
+			t.Errorf("%s: ParseConfig accepted %s", tc.name, tc.data)
+		}
+	}
+}
+
+func TestParseRequestErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		data string
+	}{
+		{"empty", ``},
+		{"unknown field", `{"item":1,"extra":true}`},
+		{"trailing data", `{"item":1} {"item":2}`},
+		{"zero item", `{"item":0}`},
+		{"negative item", `{"item":-4}`},
+		{"negative deadline", `{"item":1,"deadline_in":-1}`},
+		{"string item", `{"item":"five"}`},
+	} {
+		if _, err := ParseRequest([]byte(tc.data)); err == nil {
+			t.Errorf("%s: ParseRequest accepted %q", tc.name, tc.data)
+		}
+	}
+	req, err := ParseRequest([]byte(`{"item":7,"deadline_in":2.5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Item != 7 || req.DeadlineIn != 2.5 {
+		t.Fatalf("parsed %+v", req)
+	}
+}
+
+func FuzzParseConfig(f *testing.F) {
+	seed, err := json.Marshal(testConfig())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"catalog":{"d":1,"theta":0.5,"min_len":1,"max_len":1},"class_weights":[1],"unit_ms":1,"admission":{"default_deadline":1}}`))
+	f.Add([]byte(`{"class_weights":[1e308,1]}`))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := ParseConfig(data)
+		if err != nil {
+			return
+		}
+		// An accepted config must satisfy its own validator and be safe to
+		// lower into the admission package.
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("ParseConfig accepted a config Validate rejects: %v", err)
+		}
+		if err := cfg.admissionConfig().Validate(); err != nil {
+			t.Fatalf("accepted config lowers to invalid admission config: %v", err)
+		}
+	})
+}
+
+func FuzzParseRequest(f *testing.F) {
+	f.Add([]byte(`{"item":1}`))
+	f.Add([]byte(`{"item":42,"deadline_in":3.5}`))
+	f.Add([]byte(`{"item":-1}`))
+	f.Add([]byte(`{"deadline_in":1e309}`))
+	f.Add([]byte(`[]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := ParseRequest(data)
+		if err != nil {
+			return
+		}
+		if req.Item < 1 {
+			t.Fatalf("accepted non-positive item %d", req.Item)
+		}
+		if req.DeadlineIn < 0 || math.IsNaN(req.DeadlineIn) || math.IsInf(req.DeadlineIn, 0) {
+			t.Fatalf("accepted invalid deadline %g", req.DeadlineIn)
+		}
+	})
+}
+
+// p95 returns the 95th-percentile of xs (nearest-rank).
+func p95(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	idx := (len(s)*95 + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return s[idx]
+}
+
+// TestDaemonOverloadDegradesByClass replays the 2x-overload chaos scenario
+// through the daemon's Serve path (the same stack HTTP requests traverse,
+// minus goroutine plumbing) on the virtual clock: degradation must be
+// class-ordered on both p95 effective delay and refusal rate.
+func TestDaemonOverloadDegradesByClass(t *testing.T) {
+	const (
+		numClasses = 3
+		deadline   = 30.0
+		horizon    = 1000.0
+	)
+	d, v := inlineDaemon(t, testConfig())
+	type classStats struct {
+		submitted, refused, responses int
+		effective                     []float64
+	}
+	stats := make([]classStats, numClasses)
+	for k := 0; 0.5*float64(k) < horizon; k++ {
+		class := k % numClasses
+		item := class*100 + (k/numClasses)%100 + 1
+		v.At(0.5*float64(k), func() {
+			st := &stats[class]
+			st.submitted++
+			d.Serve(Request{Item: item}, class, func(status int, resp Response) {
+				st.responses++
+				switch status {
+				case http.StatusOK:
+					st.effective = append(st.effective, resp.DelayUnits)
+				case http.StatusGatewayTimeout:
+					st.effective = append(st.effective, deadline)
+				case http.StatusTooManyRequests:
+					st.refused++
+				default:
+					t.Errorf("class %d: unexpected status %d (%+v)", class, status, resp)
+				}
+			})
+		})
+	}
+	v.RunUntil(horizon + 2*deadline)
+
+	totalRefused := 0
+	for c := 0; c < numClasses; c++ {
+		st := &stats[c]
+		if st.responses != st.submitted {
+			t.Fatalf("class %d: %d responses for %d requests", c, st.responses, st.submitted)
+		}
+		totalRefused += st.refused
+	}
+	if totalRefused == 0 {
+		t.Fatal("2x overload produced no refusals; the scenario is not stressing admission")
+	}
+	for c := 0; c+1 < numClasses; c++ {
+		hi, lo := &stats[c], &stats[c+1]
+		if hiP95, loP95 := p95(hi.effective), p95(lo.effective); hiP95 > loP95 {
+			t.Errorf("class %d p95 effective delay %g worse than class %d's %g", c, hiP95, c+1, loP95)
+		}
+		hiRate := float64(hi.refused) / float64(hi.submitted)
+		loRate := float64(lo.refused) / float64(lo.submitted)
+		if hiRate > loRate {
+			t.Errorf("class %d refusal rate %g worse than class %d's %g", c, hiRate, c+1, loRate)
+		}
+	}
+	if stats[0].refused != 0 {
+		t.Errorf("class 0 refused %d times; the highest class is never shed", stats[0].refused)
+	}
+	// The shed path must be visible in telemetry.
+	snap := d.Telemetry().TakeSnapshot(v.Now())
+	shed := int64(0)
+	for c := 0; c < numClasses; c++ {
+		shed += snap.Counter(telemetry.MetricShed, c)
+	}
+	if shed == 0 {
+		t.Error("no shed counters recorded under 2x overload")
+	}
+}
+
+// TestDaemonDeadlineStorm: a storm of near-expired requests answers every
+// client 504 by its deadline and never reports a success afterwards.
+func TestDaemonDeadlineStorm(t *testing.T) {
+	d, v := inlineDaemon(t, testConfig())
+	const n = 50
+	responses := 0
+	for i := 0; i < n; i++ {
+		item := i + 1
+		d.Serve(Request{Item: item, DeadlineIn: 0.5}, i%3, func(status int, resp Response) {
+			responses++
+			now := v.Now()
+			if status == http.StatusOK && now > 0.5 {
+				t.Errorf("request %d: served at t=%g, past its 0.5 deadline", item, now)
+			}
+			if status == http.StatusGatewayTimeout && now > 0.5 {
+				t.Errorf("request %d: expiry reported at t=%g, after the deadline", item, now)
+			}
+		})
+	}
+	v.RunUntil(10)
+	if responses != n {
+		t.Fatalf("%d of %d storm requests answered", responses, n)
+	}
+}
+
+// TestDaemonServeRefusals covers the synchronous refusal paths of Serve.
+func TestDaemonServeRefusals(t *testing.T) {
+	d, v := inlineDaemon(t, testConfig())
+	gotStatus, gotOutcome := 0, ""
+	record := func(status int, resp Response) { gotStatus, gotOutcome = status, resp.Outcome }
+
+	d.Serve(Request{Item: 9999}, 0, record)
+	if gotStatus != http.StatusBadRequest || gotOutcome != "bad_item" {
+		t.Errorf("item out of range answered %d %q", gotStatus, gotOutcome)
+	}
+
+	d.Drain(nil)
+	d.Serve(Request{Item: 1}, 0, record)
+	if gotStatus != http.StatusServiceUnavailable || gotOutcome != "draining" {
+		t.Errorf("Serve while draining answered %d %q", gotStatus, gotOutcome)
+	}
+	v.RunUntil(100)
+}
+
+// TestDaemonDrain drains mid-storm: every admitted request is answered by
+// its deadline, new requests get 503, onDrained fires exactly once, and the
+// draining gauge flips in telemetry.
+func TestDaemonDrain(t *testing.T) {
+	const deadline = 30.0
+	d, v := inlineDaemon(t, testConfig())
+	submitted, refused, answered := 0, 0, 0
+	for k := 0; k < 200; k++ {
+		item := k%100 + 1
+		class := k % 3
+		v.At(0.02*float64(k), func() {
+			submitted++
+			d.Serve(Request{Item: item}, class, func(status int, resp Response) {
+				switch status {
+				case http.StatusOK, http.StatusGatewayTimeout:
+					answered++
+					if v.Now() > 4+deadline {
+						t.Errorf("request resolved at t=%g, past drain deadline bound", v.Now())
+					}
+				case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+					refused++
+				default:
+					t.Errorf("unexpected status %d", status)
+				}
+			})
+		})
+	}
+	drainedAt, drains := -1.0, 0
+	v.At(4, func() {
+		d.Drain(func() {
+			drains++
+			drainedAt = v.Now()
+		})
+	})
+	v.RunUntil(200)
+	if drains != 1 {
+		t.Fatalf("onDrained fired %d times", drains)
+	}
+	if answered != submitted-refused {
+		t.Fatalf("%d answers for %d admitted requests", answered, submitted-refused)
+	}
+	if drainedAt > 4+deadline {
+		t.Errorf("drain completed at t=%g, beyond the deadline bound %g", drainedAt, 4+deadline)
+	}
+	snap := d.Telemetry().TakeSnapshot(v.Now())
+	if got := snap.Gauge(telemetry.MetricDraining, telemetry.ClassNone); got != 1 {
+		t.Errorf("draining gauge = %g, want 1", got)
+	}
+}
+
+// TestDaemonHTTPStateShortCircuits exercises the handler endpoints that can
+// answer without the clock goroutine, plus /metrics through inline exec.
+func TestDaemonHTTPStateShortCircuits(t *testing.T) {
+	v := clock.NewVirtual()
+	d, err := New(testConfig(), v, func(f func()) { f() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := d.Handler()
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		return rec
+	}
+	post := func(path, key, body string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+		if key != "" {
+			req.Header.Set("X-API-Key", key)
+		}
+		h.ServeHTTP(rec, req)
+		return rec
+	}
+
+	// Before Start: healthz is alive, readyz and /request refuse.
+	if rec := get("/healthz"); rec.Code != http.StatusOK {
+		t.Errorf("healthz before start: %d", rec.Code)
+	}
+	if rec := get("/readyz"); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("readyz before start: %d", rec.Code)
+	}
+	if rec := post("/request", "gold", `{"item":1}`); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("request before start: %d", rec.Code)
+	}
+
+	d.Start()
+	if rec := get("/readyz"); rec.Code != http.StatusOK {
+		t.Errorf("readyz after start: %d", rec.Code)
+	}
+	if rec := get("/request"); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /request: %d", rec.Code)
+	}
+	if rec := post("/request", "intruder", `{"item":1}`); rec.Code != http.StatusUnauthorized {
+		t.Errorf("unknown key: %d", rec.Code)
+	}
+	if rec := post("/request", "gold", `{"item":0}`); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad item: %d", rec.Code)
+	}
+	if rec := post("/request", "gold", `not json`); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad body: %d", rec.Code)
+	}
+	// Metrics are lazily created: the 401 above bumped rejected_total.
+	if rec := get("/metrics"); rec.Code != http.StatusOK ||
+		!strings.Contains(rec.Body.String(), "hybridqos_rejected_total 1") {
+		t.Errorf("metrics: %d, body %q", rec.Code, rec.Body.String())
+	}
+
+	d.Drain(nil)
+	v.RunUntil(100)
+	if rec := get("/readyz"); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("readyz after drain: %d", rec.Code)
+	}
+	if rec := post("/request", "gold", `{"item":1}`); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("request after drain: %d", rec.Code)
+	}
+	if rec := get("/metrics"); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("metrics after drain: %d", rec.Code)
+	}
+}
+
+// TestDaemonDefaultClass: unknown keys fall through to the configured
+// default class instead of 401.
+func TestDaemonDefaultClass(t *testing.T) {
+	cfg := testConfig()
+	dc := 2
+	cfg.DefaultClass = &dc
+	v := clock.NewVirtual()
+	d, err := New(cfg, v, func(f func()) { f() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if class, ok := d.classOf("intruder"); !ok || class != 2 {
+		t.Errorf("classOf(unknown) = %d,%v; want 2,true", class, ok)
+	}
+	if class, ok := d.classOf("gold"); !ok || class != 0 {
+		t.Errorf("classOf(gold) = %d,%v; want 0,true", class, ok)
+	}
+}

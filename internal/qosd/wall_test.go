@@ -1,0 +1,144 @@
+package qosd
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"hybridqos/internal/clock"
+	"hybridqos/internal/httpserve"
+)
+
+// TestDaemonWallHTTPEndToEnd runs the full serving stack — wall clock,
+// Wall.Submit bridging, httpserve, real TCP — through the lifecycle
+// cmd/qosd drives: start, serve, survive a slow client, drain, shut down.
+func TestDaemonWallHTTPEndToEnd(t *testing.T) {
+	cfg := testConfig()
+	// Generous deadline (in units = ms): a stalled CI machine must not turn
+	// a served request into an expiry.
+	cfg.Admission.DefaultDeadline = 5000
+
+	wall, err := clock.NewWall(time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(cfg, wall, wall.Submit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go wall.Run()
+	d.Start()
+	srv, err := httpserve.Start("127.0.0.1:0", d.Handler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + srv.Addr.String()
+
+	// Start is asynchronous (it rides the clock loop): wait for readiness.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never became ready")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	post := func(key, body string) (int, Response) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, base+"/request", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-API-Key", key)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out Response
+		if resp.Header.Get("Content-Type") == "application/json" {
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				t.Fatalf("decoding response: %v", err)
+			}
+		}
+		return resp.StatusCode, out
+	}
+
+	// A slow client: sends a valid admitted request, then never reads the
+	// response. The engine's answer is buffered; nothing downstream may
+	// block on this connection.
+	slow, err := net.Dial("tcp", srv.Addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slow.Close()
+	slowBody := `{"item":2}`
+	fmt.Fprintf(slow, "POST /request HTTP/1.1\r\nHost: qosd\r\nX-API-Key: silver\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n%s", len(slowBody), slowBody)
+
+	// Normal requests complete while the slow client sits on its socket.
+	if status, resp := post("gold", `{"item":1}`); status != http.StatusOK || resp.Outcome != "served" || resp.Class != 0 {
+		t.Fatalf("served request answered %d %+v", status, resp)
+	}
+	if status, _ := post("intruder", `{"item":1}`); status != http.StatusUnauthorized {
+		t.Fatalf("unknown key answered %d", status)
+	}
+	if status, resp := post("bronze", `{"item":9999}`); status != http.StatusBadRequest || resp.Outcome != "bad_item" {
+		t.Fatalf("out-of-catalog item answered %d %+v", status, resp)
+	}
+
+	// Metrics over live HTTP: the served request above must be visible.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK || !strings.Contains(string(mbody), "hybridqos_arrivals_total") {
+		t.Fatalf("metrics: %d, body %q", mresp.StatusCode, mbody)
+	}
+
+	// Graceful drain, as cmd/qosd runs it on SIGTERM.
+	drained := make(chan struct{})
+	d.Drain(func() { close(drained) })
+	select {
+	case <-drained:
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain did not complete")
+	}
+	if status, _ := post("gold", `{"item":1}`); status != http.StatusServiceUnavailable {
+		t.Fatalf("request after drain answered %d", status)
+	}
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz after drain: %d", resp.StatusCode)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	wall.Stop()
+	select {
+	case <-wall.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("wall clock loop did not stop")
+	}
+}

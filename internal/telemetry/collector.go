@@ -22,6 +22,14 @@ const (
 	MetricCorruptPush    = "corrupt_push"       // unlabelled: broadcasts lost downlink
 	MetricCorruptPull    = "corrupt_pull"       // unlabelled: pull deliveries lost downlink
 
+	// Counters emitted only by the serving mode (cmd/qosd). The registry
+	// creates metrics lazily, so attaching these names costs a simulation
+	// run nothing: sim snapshots are byte-identical with or without them.
+	MetricExpired       = "expired"        // admitted requests that missed their deadline
+	MetricRateLimited   = "rate_limited"   // requests refused by the class token bucket
+	MetricQuotaExceeded = "quota_exceeded" // requests refused by the class pending quota
+	MetricRejected      = "rejected"       // requests refused before admission (bad key, draining)
+
 	// Histograms, keyed by class.
 	MetricDelay = "delay" // access time of served requests
 
@@ -31,6 +39,8 @@ const (
 	MetricQueueRequestsMax = "queue_requests_max" // peak pending requests so far
 	MetricPendingRetries   = "pending_retries"    // booked but undelivered re-requests
 	MetricBandwidthInUse   = "bandwidth_in_use"   // per-class reserved bandwidth units
+	MetricShedLevel        = "shed_level"         // admission shed level (classes refused)
+	MetricDraining         = "draining"           // 1 once graceful drain has begun
 )
 
 // Options parameterises a Collector.
@@ -126,6 +136,42 @@ func (c *Collector) Retry(class int) {
 // Shed counts one admission-control refusal for the class.
 func (c *Collector) Shed(class int) {
 	c.reg.Counter(MetricShed, class).Inc()
+}
+
+// Expired counts one admitted request that missed its deadline (serving
+// mode: the client was answered 504 before the item's transmission).
+func (c *Collector) Expired(class int) {
+	c.reg.Counter(MetricExpired, class).Inc()
+}
+
+// RateLimited counts one request refused by the class's token bucket.
+func (c *Collector) RateLimited(class int) {
+	c.reg.Counter(MetricRateLimited, class).Inc()
+}
+
+// QuotaExceeded counts one request refused by the class's pending quota.
+func (c *Collector) QuotaExceeded(class int) {
+	c.reg.Counter(MetricQuotaExceeded, class).Inc()
+}
+
+// Rejected counts one request refused before admission control was
+// consulted — unknown API key (ClassNone) or a draining server.
+func (c *Collector) Rejected(class int) {
+	c.reg.Counter(MetricRejected, class).Inc()
+}
+
+// ObserveShedLevel samples the admission controller's shed level.
+func (c *Collector) ObserveShedLevel(level int) {
+	c.reg.Gauge(MetricShedLevel, ClassNone).Set(float64(level))
+}
+
+// ObserveDraining marks whether graceful drain has begun.
+func (c *Collector) ObserveDraining(draining bool) {
+	v := 0.0
+	if draining {
+		v = 1
+	}
+	c.reg.Gauge(MetricDraining, ClassNone).Set(v)
 }
 
 // ObserveQueue samples the pull queue depth (distinct items and pending

@@ -364,3 +364,44 @@ func TestHistDeltaClamps(t *testing.T) {
 		t.Fatalf("histDelta vs empty = %v, want [5 2 0]", got)
 	}
 }
+
+// TestServingCounters exercises the serving-mode metric methods: the lazily
+// created counters and gauges must land in snapshots under their own names.
+func TestServingCounters(t *testing.T) {
+	c, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Expired(1)
+	c.RateLimited(2)
+	c.RateLimited(2)
+	c.QuotaExceeded(0)
+	c.Rejected(ClassNone)
+	c.ObserveShedLevel(2)
+	c.ObserveDraining(true)
+	s := c.TakeSnapshot(5)
+	for _, tc := range []struct {
+		name  string
+		class int
+		want  int64
+	}{
+		{MetricExpired, 1, 1},
+		{MetricRateLimited, 2, 2},
+		{MetricQuotaExceeded, 0, 1},
+		{MetricRejected, ClassNone, 1},
+	} {
+		if got := s.Counter(tc.name, tc.class); got != tc.want {
+			t.Errorf("%s{class=%d} = %d, want %d", tc.name, tc.class, got, tc.want)
+		}
+	}
+	if got := s.Gauge(MetricShedLevel, ClassNone); got != 2 {
+		t.Errorf("shed_level = %g, want 2", got)
+	}
+	if got := s.Gauge(MetricDraining, ClassNone); got != 1 {
+		t.Errorf("draining = %g, want 1", got)
+	}
+	c.ObserveDraining(false)
+	if got := c.TakeSnapshot(6).Gauge(MetricDraining, ClassNone); got != 0 {
+		t.Errorf("draining after reset = %g, want 0", got)
+	}
+}

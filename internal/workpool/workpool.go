@@ -11,10 +11,30 @@
 package workpool
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError reports a job that panicked instead of returning. The pool
+// recovers it into an ordinary indexed error so one crashing replication
+// cannot take down a whole sweep (or leave sibling workers deadlocked on a
+// dead WaitGroup), while the stack keeps the failure debuggable.
+type PanicError struct {
+	// Index is the panicking job's index.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("workpool: job %d panicked: %v", e.Index, e.Value)
+}
 
 var (
 	mu       sync.Mutex
@@ -56,7 +76,10 @@ func Workers() int {
 // Run executes jobs 0..n−1 across min(Workers(), n) goroutines and returns
 // the error of the lowest-indexed failing job (nil when all succeed). Every
 // job runs exactly once, whatever the worker count; with a single worker the
-// jobs run inline in index order.
+// jobs run inline in index order. A job that panics is recovered into a
+// *PanicError at its index — lowest-index-wins applies to panics and
+// ordinary errors alike, so crash reporting is as deterministic as the
+// results themselves.
 func Run(n int, job func(i int) error) error {
 	if n <= 0 {
 		return nil
@@ -68,7 +91,7 @@ func Run(n int, job func(i int) error) error {
 	errs := make([]error, n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			errs[i] = job(i)
+			errs[i] = runJob(i, job)
 		}
 	} else {
 		var next atomic.Int64
@@ -82,7 +105,7 @@ func Run(n int, job func(i int) error) error {
 					if i >= n {
 						return
 					}
-					errs[i] = job(i)
+					errs[i] = runJob(i, job)
 				}
 			}()
 		}
@@ -94,4 +117,14 @@ func Run(n int, job func(i int) error) error {
 		}
 	}
 	return nil
+}
+
+// runJob invokes one job, converting a panic into its indexed error.
+func runJob(i int, job func(i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return job(i)
 }

@@ -1,8 +1,10 @@
 package workpool
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -96,5 +98,64 @@ func TestRunDeterministicResults(t *testing.T) {
 		if seq[i] != par[i] {
 			t.Fatalf("result %d differs: %d vs %d", i, seq[i], par[i])
 		}
+	}
+}
+
+// TestRunRecoversPanicsAsIndexedErrors: a panicking job becomes a
+// *PanicError at its index, lowest-index-wins holds across mixed panic and
+// ordinary failures, and sibling jobs still run exactly once.
+func TestRunRecoversPanicsAsIndexedErrors(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		prev := SetWorkers(workers)
+		ran := make([]int32, 16)
+		err := Run(16, func(i int) error {
+			atomic.AddInt32(&ran[i], 1)
+			switch i {
+			case 5:
+				return errors.New("ordinary failure")
+			case 3, 9:
+				panic(fmt.Sprintf("job %d exploded", i))
+			}
+			return nil
+		})
+		SetWorkers(prev)
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: Run returned %v, want a *PanicError", workers, err)
+		}
+		if pe.Index != 3 {
+			t.Errorf("workers=%d: panic reported for job %d, want the lowest index 3", workers, pe.Index)
+		}
+		if got := pe.Error(); !strings.Contains(got, "workpool: job 3 panicked") {
+			t.Errorf("workers=%d: error %q lacks the indexed panic message", workers, got)
+		}
+		if len(pe.Stack) == 0 {
+			t.Errorf("workers=%d: PanicError carries no stack", workers)
+		}
+		for i, n := range ran {
+			if n != 1 {
+				t.Errorf("workers=%d: job %d ran %d times", workers, i, n)
+			}
+		}
+	}
+}
+
+// TestRunPanicBelowErrorWins: an ordinary error at a lower index beats a
+// panic at a higher one — the panic is contained, not prioritised.
+func TestRunPanicBelowErrorWins(t *testing.T) {
+	prev := SetWorkers(2)
+	defer SetWorkers(prev)
+	sentinel := errors.New("first failure")
+	err := Run(8, func(i int) error {
+		if i == 2 {
+			return sentinel
+		}
+		if i == 6 {
+			panic("later panic")
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Run returned %v, want the lower-indexed ordinary error", err)
 	}
 }
