@@ -8,7 +8,10 @@
 //     request via testing.AllocsPerRun (the quantity the CI gate bounds);
 //   - sweep scaling: wall-clock for a full cutoff sweep with 1 worker vs
 //     the machine's worker count (the two sweeps are asserted bit-identical
-//     before timing is reported).
+//     before timing is reported);
+//   - cluster scaling: wall-clock for a 64-cell mobile federation with 1
+//     worker vs the machine's worker count, asserted bit-identical the same
+//     way.
 //
 // Usage:
 //
@@ -26,13 +29,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
 	"testing"
 	"time"
 
 	"hybridqos/internal/catalog"
 	"hybridqos/internal/clients"
+	"hybridqos/internal/cluster"
 	"hybridqos/internal/core"
 	"hybridqos/internal/sim"
+	"hybridqos/internal/workpool"
 )
 
 // Result is one benchmark's measurement.
@@ -97,6 +103,11 @@ func main() {
 		fatal("%v", err)
 	}
 	results = append(results, seq, par)
+	cseq, cpar, err := clusterBenches(sweepHorizon)
+	if err != nil {
+		fatal("%v", err)
+	}
+	results = append(results, cseq, cpar)
 
 	blob, err := json.MarshalIndent(report{
 		Description: "simulator hot-path benchmarks; regenerate with `go run ./cmd/corebench`",
@@ -226,6 +237,60 @@ func sweepBenches(horizon float64) (seq, par Result, err error) {
 			return seq, par, fmt.Errorf("sweep diverged at K=%d: workers=1 delay %v vs workers=%d delay %v",
 				seqPts[i].K, a.OverallDelay, parWorkers, b.OverallDelay)
 		}
+	}
+	return seq, par, nil
+}
+
+// clusterBenches times a 64-cell federation with mobility sequentially and
+// with the worker pool, asserting the two runs are bit-identical before
+// reporting (the cluster's barrier design makes worker count invisible to
+// the results; this is the committed proof).
+func clusterBenches(horizon float64) (seq, par Result, err error) {
+	cfg := cluster.Config{
+		Cells:          64,
+		Base:           benchConfig(horizon, 0),
+		CatalogOverlap: 0.8,
+		Mobility:       cluster.Mobility{Rate: 0.02, AttachDelay: 2},
+		Routing:        "least-loaded",
+		HandoffEvery:   horizon / 20,
+	}
+
+	run := func(workers int) (*cluster.Result, Result, error) {
+		prev := workpool.SetWorkers(workers)
+		defer workpool.SetWorkers(prev)
+		cl, err := cluster.New(cfg)
+		if err != nil {
+			return nil, Result{}, err
+		}
+		start := time.Now()
+		res, err := cl.Run()
+		elapsed := time.Since(start)
+		if err != nil {
+			return nil, Result{}, err
+		}
+		ns := float64(elapsed.Nanoseconds())
+		return res, Result{
+			Iterations: 1,
+			NsPerOp:    ns,
+			OpsPerSec:  float64(cfg.Cells) / (ns / 1e9),
+			Workers:    workers,
+		}, nil
+	}
+
+	seqRes, seq, err := run(1)
+	if err != nil {
+		return seq, par, fmt.Errorf("sequential cluster sweep: %w", err)
+	}
+	seq.Name = "cluster/sweep/workers=1"
+	parWorkers := workpool.Workers()
+	parRes, par, err := run(parWorkers)
+	if err != nil {
+		return seq, par, fmt.Errorf("parallel cluster sweep: %w", err)
+	}
+	par.Name = fmt.Sprintf("cluster/sweep/workers=%d", parWorkers)
+
+	if !reflect.DeepEqual(seqRes, parRes) {
+		return seq, par, fmt.Errorf("cluster sweep diverged between workers=1 and workers=%d", parWorkers)
 	}
 	return seq, par, nil
 }

@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 3|4|5|6|7|blocking|multiclass|channels|indexing|load|faults|policy|all")
+		fig     = flag.String("fig", "all", "figure to regenerate: 3|4|5|6|7|blocking|multiclass|channels|indexing|load|faults|policy|cluster|all")
 		csvDir  = flag.String("csv", "", "directory to write per-figure CSV files (optional)")
 		svgDir  = flag.String("svg", "", "directory to write per-figure SVG charts (optional)")
 		horizon = flag.Float64("horizon", 20000, "simulated duration per replication")
@@ -62,15 +62,16 @@ func main() {
 		"load":       experiments.ExtLoad,
 		"faults":     experiments.ExtFaults,
 		"policy":     experiments.ExtPolicy,
+		"cluster":    experiments.ExtCluster,
 	}
-	order := []string{"3", "4", "5", "6", "7", "blocking", "multiclass", "channels", "indexing", "load", "faults", "policy"}
+	order := []string{"3", "4", "5", "6", "7", "blocking", "multiclass", "channels", "indexing", "load", "faults", "policy", "cluster"}
 
 	var selected []string
 	if *fig == "all" {
 		selected = order
 	} else {
 		if _, ok := gens[*fig]; !ok {
-			fatal("unknown figure %q (want 3|4|5|6|7|blocking|multiclass|channels|indexing|load|faults|policy|all)", *fig)
+			fatal("unknown figure %q (want 3|4|5|6|7|blocking|multiclass|channels|indexing|load|faults|policy|cluster|all)", *fig)
 		}
 		selected = []string{*fig}
 	}

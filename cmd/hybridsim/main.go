@@ -43,41 +43,49 @@ func policyHelp(kind string, names []string) string {
 
 func main() {
 	var (
-		d        = flag.Int("items", 100, "catalog size D")
-		theta    = flag.Float64("theta", 0.6, "Zipf access skew θ")
-		lambda   = flag.Float64("lambda", 5, "aggregate request rate λ'")
-		cutoff   = flag.Int("cutoff", 40, "push/pull cutoff K")
-		alpha    = flag.Float64("alpha", 0.5, "importance-factor mixing α")
-		weights  = flag.String("weights", "3,2,1", "class priority weights, premium first")
-		popSkew  = flag.Float64("popskew", 1.0, "client population Zipf skew")
-		policy   = flag.String("policy", "", policyHelp("pull policy", hybridqos.PullPolicies()))
-		push     = flag.String("push", "", policyHelp("push scheduler", hybridqos.PushSchedulers()))
-		disks    = flag.Int("disks", 0, "speed tiers for -push broadcast-disk (0 = 3)")
-		ttl      = flag.Float64("ttl", 0, "request deadline for -policy edf and expiry stats (0 disables)")
-		horizon  = flag.Float64("horizon", 20000, "simulated duration (broadcast units)")
-		warmup   = flag.Float64("warmup", 0.1, "warmup fraction discarded from stats")
-		reps     = flag.Int("reps", 3, "independent replications")
-		seed     = flag.Uint64("seed", 1, "base random seed")
-		bw       = flag.Float64("bandwidth", 0, "total bandwidth units (0 disables blocking)")
-		fracs    = flag.String("fractions", "", "per-class bandwidth fractions, e.g. 0.5,0.3,0.2")
-		demand   = flag.Float64("demand", 1.5, "Poisson bandwidth demand mean per length unit")
-		borrow   = flag.Bool("borrow", false, "allow borrowing from lower-priority pools")
-		loss     = flag.Float64("loss", 0, "mean downlink corruption probability (0 disables)")
-		gilbert  = flag.Float64("gilbert", 0, "mean loss-burst length ≥1 (Gilbert–Elliott; 0 = i.i.d. loss)")
-		retries  = flag.Int("retries", 0, "client re-requests allowed after a corrupted pull delivery")
-		backoff  = flag.Float64("backoff", 1, "base retry backoff (broadcast units, doubling per attempt)")
-		jitter   = flag.Float64("jitter", 0, "retry backoff jitter in [0,1]")
-		shedHigh = flag.Int("shed-high", 0, "pending-load high-water mark for class shedding (0 disables)")
-		shedLow  = flag.Int("shed-low", 0, "pending-load low-water mark restoring admission")
-		telAddr  = flag.String("telemetry-addr", "", "serve live Prometheus /metrics on this address during the run (port 0 picks a free port)")
-		telEvery = flag.Float64("telemetry-every", 0, "telemetry snapshot cadence in broadcast units (0 with -telemetry-addr defaults to horizon/100)")
-		predict  = flag.Bool("predict", false, "also print the analytic model's prediction")
-		traceOut = flag.String("trace", "", "write a JSONL event trace of one run to this file")
-		confIn   = flag.String("config", "", "load configuration from a JSON file (flags are ignored)")
-		confOut  = flag.String("saveconfig", "", "write the effective configuration to a JSON file")
-		workers  = flag.Int("workers", 0, "replication worker count (0 = one per spare CPU)")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile after the simulation to this file")
+		d         = flag.Int("items", 100, "catalog size D")
+		theta     = flag.Float64("theta", 0.6, "Zipf access skew θ")
+		lambda    = flag.Float64("lambda", 5, "aggregate request rate λ'")
+		cutoff    = flag.Int("cutoff", 40, "push/pull cutoff K")
+		alpha     = flag.Float64("alpha", 0.5, "importance-factor mixing α")
+		weights   = flag.String("weights", "3,2,1", "class priority weights, premium first")
+		popSkew   = flag.Float64("popskew", 1.0, "client population Zipf skew")
+		policy    = flag.String("policy", "", policyHelp("pull policy", hybridqos.PullPolicies()))
+		push      = flag.String("push", "", policyHelp("push scheduler", hybridqos.PushSchedulers()))
+		disks     = flag.Int("disks", 0, "speed tiers for -push broadcast-disk (0 = 3)")
+		ttl       = flag.Float64("ttl", 0, "request deadline for -policy edf and expiry stats (0 disables)")
+		horizon   = flag.Float64("horizon", 20000, "simulated duration (broadcast units)")
+		warmup    = flag.Float64("warmup", 0.1, "warmup fraction discarded from stats")
+		reps      = flag.Int("reps", 3, "independent replications")
+		seed      = flag.Uint64("seed", 1, "base random seed")
+		bw        = flag.Float64("bandwidth", 0, "total bandwidth units (0 disables blocking)")
+		fracs     = flag.String("fractions", "", "per-class bandwidth fractions, e.g. 0.5,0.3,0.2")
+		demand    = flag.Float64("demand", 1.5, "Poisson bandwidth demand mean per length unit")
+		borrow    = flag.Bool("borrow", false, "allow borrowing from lower-priority pools")
+		loss      = flag.Float64("loss", 0, "mean downlink corruption probability (0 disables)")
+		gilbert   = flag.Float64("gilbert", 0, "mean loss-burst length ≥1 (Gilbert–Elliott; 0 = i.i.d. loss)")
+		retries   = flag.Int("retries", 0, "client re-requests allowed after a corrupted pull delivery")
+		backoff   = flag.Float64("backoff", 1, "base retry backoff (broadcast units, doubling per attempt)")
+		jitter    = flag.Float64("jitter", 0, "retry backoff jitter in [0,1]")
+		shedHigh  = flag.Int("shed-high", 0, "pending-load high-water mark for class shedding (0 disables)")
+		shedLow   = flag.Int("shed-low", 0, "pending-load low-water mark restoring admission")
+		cells     = flag.Int("cells", 0, "federate into this many broadcast cells (0 = single-cell mode)")
+		mobility  = flag.Float64("mobility", 0, "client roam intensity per pending request per broadcast unit")
+		routing   = flag.String("routing", "", policyHelp("cross-cell routing", hybridqos.RoutingPolicies()))
+		overlap   = flag.Float64("overlap", 1, "fraction of catalog ranks replicated in every cell")
+		handoffEv = flag.Float64("handoff-every", 0, "epoch length between cross-cell barriers (0 = horizon/100 when -cells > 1)")
+		attach    = flag.Float64("attach-delay", 1, "inter-cell transit time (broadcast units)")
+		hotCell   = flag.Int("hot-cell", 0, "index of the hot cell for -hot-factor")
+		hotFactor = flag.Float64("hot-factor", 0, "request-rate multiplier for -hot-cell (0 disables)")
+		telAddr   = flag.String("telemetry-addr", "", "serve live Prometheus /metrics on this address during the run (port 0 picks a free port)")
+		telEvery  = flag.Float64("telemetry-every", 0, "telemetry snapshot cadence in broadcast units (0 with -telemetry-addr defaults to horizon/100)")
+		predict   = flag.Bool("predict", false, "also print the analytic model's prediction")
+		traceOut  = flag.String("trace", "", "write a JSONL event trace of one run to this file")
+		confIn    = flag.String("config", "", "load configuration from a JSON file (flags are ignored)")
+		confOut   = flag.String("saveconfig", "", "write the effective configuration to a JSON file")
+		workers   = flag.Int("workers", 0, "replication worker count (0 = one per spare CPU)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile after the simulation to this file")
 	)
 	flag.Parse()
 
@@ -156,6 +164,24 @@ func main() {
 		}
 		cfg.Telemetry = tc
 	}
+	// Cluster mode applies on top of a loaded -config too, and before
+	// -saveconfig so the federation persists in canned configurations.
+	if *cells > 0 {
+		every := *handoffEv
+		if every <= 0 {
+			every = cfg.Horizon / 100
+		}
+		cfg.Cluster = &hybridqos.ClusterOptions{
+			Cells:          *cells,
+			CatalogOverlap: *overlap,
+			MobilityRate:   *mobility,
+			AttachDelay:    *attach,
+			Routing:        *routing,
+			HandoffEvery:   every,
+			HotCell:        *hotCell,
+			HotFactor:      *hotFactor,
+		}
+	}
 	if *confOut != "" {
 		if err := hybridqos.SaveConfig(cfg, *confOut); err != nil {
 			fatal("writing -saveconfig: %v", err)
@@ -164,6 +190,24 @@ func main() {
 
 	if *workers > 0 {
 		hybridqos.SetWorkers(*workers)
+	}
+	if cfg.Cluster != nil {
+		stopCPU := startCPUProfile(*cpuProf)
+		cres, err := hybridqos.SimulateCluster(cfg)
+		stopCPU()
+		if err != nil {
+			fatal("simulate: %v", err)
+		}
+		writeMemProfile(*memProf)
+		if *traceOut != "" {
+			n, err := hybridqos.WriteClusterTrace(cfg, *traceOut)
+			if err != nil {
+				fatal("trace: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %d trace events to %s\n", n, *traceOut)
+		}
+		printClusterResult(cfg, cres)
+		return
 	}
 	stopCPU := startCPUProfile(*cpuProf)
 	res, err := hybridqos.Simulate(cfg)
@@ -236,6 +280,56 @@ func main() {
 			fmt.Printf("worst per-class deviation from simulation: %.1f%%\n", dev*100)
 		}
 	}
+}
+
+// printClusterResult renders a cluster run: pooled per-class QoS, then the
+// per-cell breakdown with the roaming traffic.
+func printClusterResult(cfg hybridqos.Config, res *hybridqos.ClusterResult) {
+	o := cfg.Cluster
+	fmt.Printf("hybridqos %s — cluster of %d cells, D=%d (%d shared), θ=%.2f λ'=%.1f K=%d α=%.2f\n",
+		hybridqos.Version, res.Cells, cfg.NumItems, res.SharedRanks, cfg.Theta, cfg.Lambda, cfg.Cutoff, cfg.Alpha)
+	fmt.Printf("mobility rate %.3g, attach delay %.3g, routing %q, barrier every %.4g units\n\n",
+		o.MobilityRate, o.AttachDelay, o.Routing, o.HandoffEvery)
+
+	tbl := report.NewTable("Per-class results (pooled across cells)",
+		"class", "weight", "mean delay", "p95", "cost", "served", "dropped",
+		"expired", "shed")
+	for _, c := range res.PerClass {
+		tbl.AddRow(c.Class,
+			report.FormatFloat(c.Weight, "%.0f"),
+			report.FormatFloat(c.MeanDelay, "%.2f"),
+			report.FormatFloat(c.P95Delay, "%.2f"),
+			report.FormatFloat(c.Cost, "%.2f"),
+			strconv.FormatInt(c.Served, 10),
+			strconv.FormatInt(c.Dropped, 10),
+			strconv.FormatInt(c.Expired, 10),
+			strconv.FormatInt(c.Shed, 10))
+	}
+	fmt.Println(tbl.String())
+
+	cells := report.NewTable("Per-cell breakdown",
+		"cell", "overall delay", "served", "handoffs in", "handoffs out",
+		"refused", "final load", "saturated at")
+	for _, pc := range res.PerCell {
+		sat := "-"
+		if pc.Saturated {
+			sat = fmt.Sprintf("%.0f", pc.SaturatedAt)
+		}
+		cells.AddRow(strconv.Itoa(pc.Cell),
+			report.FormatFloat(pc.OverallDelay, "%.2f"),
+			strconv.FormatInt(pc.Served, 10),
+			strconv.FormatInt(pc.HandoffsIn, 10),
+			strconv.FormatInt(pc.HandoffsOut, 10),
+			strconv.FormatInt(pc.HandoffRefusals, 10),
+			strconv.Itoa(pc.FinalLoad),
+			sat)
+	}
+	fmt.Println(cells.String())
+
+	fmt.Printf("overall delay: %.2f broadcast units, total prioritised cost: %.2f\n",
+		res.OverallDelay, res.TotalCost)
+	fmt.Printf("handoffs accepted: %d, refused: %d, saturated cells: %d of %d\n",
+		res.Handoffs, res.HandoffRefusals, res.SaturatedCells, res.Cells)
 }
 
 // metricsServer holds the latest telemetry snapshot rendered in Prometheus

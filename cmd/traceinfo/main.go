@@ -71,6 +71,7 @@ func run(w io.Writer, events []trace.Event, opts options) error {
 		return err
 	}
 	writeFaults(w, events, opts.classes)
+	writeCells(w, events, opts.classes)
 	writeMix(w, events)
 	writeCoarseTimeline(w, events, opts.buckets)
 	if opts.timeline != "" {
@@ -169,6 +170,84 @@ func writeFaults(w io.Writer, events []trace.Event, classes int) {
 		}
 		tbl.AddRow(label(c),
 			fmt.Sprint(corrupt[c]), fmt.Sprint(retries[c]), fmt.Sprint(shed[c]))
+	}
+	fmt.Fprintln(w, tbl.String())
+}
+
+// writeCells prints the per-cell breakdown of a multi-cell (cluster) trace:
+// requests, accepted handoffs and refused handoffs by class. Single-cell
+// traces — no cell stamps, no handoff events — skip the table entirely.
+func writeCells(w io.Writer, events []trace.Event, classes int) {
+	multi := false
+	for _, e := range events {
+		if e.Cell != 0 || e.Kind == trace.KindHandoff || e.Kind == trace.KindHandoffRefused {
+			multi = true
+			break
+		}
+	}
+	if !multi {
+		return
+	}
+	type cellRow struct {
+		arrivals, handoffs, refusals []int64
+	}
+	rows := map[int]*cellRow{}
+	get := func(cell int) *cellRow {
+		r := rows[cell]
+		if r == nil {
+			r = &cellRow{
+				arrivals: make([]int64, classes),
+				handoffs: make([]int64, classes),
+				refusals: make([]int64, classes),
+			}
+			rows[cell] = r
+		}
+		return r
+	}
+	for _, e := range events {
+		c := int(e.Class)
+		if c < 0 || c >= classes {
+			continue
+		}
+		switch e.Kind {
+		case trace.KindArrival:
+			get(e.Cell).arrivals[c]++
+		case trace.KindHandoff:
+			get(e.Cell).handoffs[c]++
+		case trace.KindHandoffRefused:
+			get(e.Cell).refusals[c]++
+		}
+	}
+	ids := make([]int, 0, len(rows))
+	for id := range rows {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	perClass := func(counts []int64) string {
+		s := ""
+		for c, n := range counts {
+			if c > 0 {
+				s += "/"
+			}
+			s += fmt.Sprint(n)
+		}
+		return s
+	}
+	sum := func(counts []int64) int64 {
+		var n int64
+		for _, v := range counts {
+			n += v
+		}
+		return n
+	}
+	tbl := report.NewTable("Per-cell breakdown (class A/B/C...)",
+		"cell", "requests", "by class", "handoffs", "by class", "refused", "by class")
+	for _, id := range ids {
+		r := rows[id]
+		tbl.AddRow(fmt.Sprint(id),
+			fmt.Sprint(sum(r.arrivals)), perClass(r.arrivals),
+			fmt.Sprint(sum(r.handoffs)), perClass(r.handoffs),
+			fmt.Sprint(sum(r.refusals)), perClass(r.refusals))
 	}
 	fmt.Fprintln(w, tbl.String())
 }

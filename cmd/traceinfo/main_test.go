@@ -62,6 +62,54 @@ func TestRunGolden(t *testing.T) {
 	}
 }
 
+// clusterEvents is a hand-built two-cell trace: cell-stamped arrivals, an
+// accepted handoff in each direction, and refusals of every reason.
+func clusterEvents() []trace.Event {
+	return []trace.Event{
+		{T: 0, Kind: trace.KindArrival, Item: 50, Class: 0, Cell: 0},
+		{T: 0.5, Kind: trace.KindArrival, Item: 51, Class: 1, Cell: 1},
+		{T: 1, Kind: trace.KindArrival, Item: 52, Class: 2, Cell: 1},
+		{T: 2, Kind: trace.KindHandoff, Item: 50, Class: 0, Cell: 1},
+		{T: 3, Kind: trace.KindHandoffRefused, Item: 90, Class: 2, Cell: 0, Reason: "no-item"},
+		{T: 4, Kind: trace.KindHandoff, Item: 51, Class: 1, Cell: 0},
+		{T: 5, Kind: trace.KindHandoffRefused, Item: 52, Class: 2, Cell: 0, Reason: "expired"},
+		{T: 6, Kind: trace.KindServed, Class: 0, Arrival: 0, Cell: 1},
+		{T: 7, Kind: trace.KindArrival, Item: 53, Class: 0, Cell: 0},
+	}
+}
+
+// TestRunGoldenCluster pins the report for a multi-cell trace, including
+// the per-cell breakdown table.
+func TestRunGoldenCluster(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, clusterEvents(), options{classes: 3, buckets: 2}); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "golden_cluster.txt")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with go test -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("output drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestCellTableSkippedOnSingleCellTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, syntheticEvents(), options{classes: 3, buckets: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "Per-cell breakdown") {
+		t.Error("per-cell table printed for a single-cell trace")
+	}
+}
+
 func TestFaultTableSkippedOnCleanTrace(t *testing.T) {
 	events := []trace.Event{
 		{T: 0, Kind: trace.KindArrival, Item: 1, Class: 0},

@@ -165,6 +165,10 @@ type Config struct {
 	// Telemetry never perturbs results — a run with it enabled is
 	// bit-identical to the same run without it.
 	Telemetry *TelemetryConfig
+	// Cluster, when non-nil, federates the system into a multi-cell cluster
+	// with client mobility and cross-cell routing; SimulateCluster runs it
+	// (Simulate ignores this field).
+	Cluster *ClusterOptions
 }
 
 // TelemetryConfig parameterises the telemetry layer (see Config.Telemetry).

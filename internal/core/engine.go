@@ -243,28 +243,13 @@ func (s *Server) scheduleSnapshot(k int64) {
 }
 
 // Run executes the simulation to its horizon and returns the metrics.
-// Run may be called once per Server.
+// Run may be called once per Server. It is exactly Start + AdvanceTo(horizon)
+// + Finish — the cell lifecycle (cell.go) with no intermediate stops — so a
+// single-cell run is bit-identical whichever way it is driven.
 func (s *Server) Run() *Metrics {
-	s.observeQueue()
-	s.observeBandwidth()
-	if s.tele != nil && s.tele.SnapshotEvery() > 0 {
-		s.scheduleSnapshot(1)
-	}
-	s.scheduleNextArrival()
-	if s.cutoff > 0 {
-		s.startPush()
-	} else {
-		s.idle = true
-	}
-	s.vclk.RunUntil(s.cfg.Horizon)
-	s.metrics.QueueItems.MeanAt(s.cfg.Horizon)
-	s.metrics.QueueRequests.MeanAt(s.cfg.Horizon)
-	if s.alloc != nil {
-		for c := 0; c < s.alloc.NumClasses(); c++ {
-			s.metrics.Bandwidth = append(s.metrics.Bandwidth, s.alloc.Stats(clients.Class(c)))
-		}
-	}
-	return s.metrics
+	s.Start()
+	s.AdvanceTo(s.cfg.Horizon)
+	return s.Finish()
 }
 
 // observeQueue snapshots queue sizes into the time-weighted trackers and the

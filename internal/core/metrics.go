@@ -38,6 +38,15 @@ type ClassMetrics struct {
 	// Shed counts requests refused by the class-aware overload admission
 	// controller.
 	Shed int64
+	// HandoffsIn counts roaming requests accepted into this cell from
+	// another cell (multi-cell runs; not warmup-filtered).
+	HandoffsIn int64
+	// HandoffsOut counts pending requests that roamed away from this cell.
+	HandoffsOut int64
+	// HandoffRefusals counts roaming requests this cell turned away: the
+	// deadline expired in transit, admission control shed the request, or
+	// the item is absent from the cell's catalog.
+	HandoffRefusals int64
 	// Delay accumulates access times (arrival → end of transmission).
 	Delay stats.Welford
 	// DelayHist holds the raw access-time samples for percentiles.
@@ -171,6 +180,24 @@ func (m *Metrics) TotalShed() int64 {
 	var n int64
 	for _, cm := range m.PerClass {
 		n += cm.Shed
+	}
+	return n
+}
+
+// TotalHandoffs sums accepted inbound handoffs across classes.
+func (m *Metrics) TotalHandoffs() int64 {
+	var n int64
+	for _, cm := range m.PerClass {
+		n += cm.HandoffsIn
+	}
+	return n
+}
+
+// TotalHandoffRefusals sums refused inbound handoffs across classes.
+func (m *Metrics) TotalHandoffRefusals() int64 {
+	var n int64
+	for _, cm := range m.PerClass {
+		n += cm.HandoffRefusals
 	}
 	return n
 }

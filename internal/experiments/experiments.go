@@ -586,7 +586,7 @@ func ExtBlocking(p Params) (*Figure, error) {
 
 // All runs every figure generator with the same parameters.
 func All(p Params) ([]*Figure, error) {
-	gens := []func(Params) (*Figure, error){Fig3, Fig4, Fig5, Fig6, Fig7, ExtBlocking, ExtMultiClass, ExtChannels, ExtIndexing, ExtLoad, ExtFaults, ExtPolicy}
+	gens := []func(Params) (*Figure, error){Fig3, Fig4, Fig5, Fig6, Fig7, ExtBlocking, ExtMultiClass, ExtChannels, ExtIndexing, ExtLoad, ExtFaults, ExtPolicy, ExtCluster}
 	out := make([]*Figure, 0, len(gens))
 	for _, g := range gens {
 		f, err := g(p)

@@ -302,8 +302,8 @@ func TestAllRunsEveryGenerator(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(figs) != 12 {
-		t.Fatalf("All returned %d figures, want 12", len(figs))
+	if len(figs) != 13 {
+		t.Fatalf("All returned %d figures, want 13", len(figs))
 	}
 	seen := map[string]bool{}
 	for _, f := range figs {
@@ -312,7 +312,7 @@ func TestAllRunsEveryGenerator(t *testing.T) {
 		}
 		seen[f.ID] = true
 	}
-	for _, id := range []string{"FIG3", "FIG4", "FIG5", "FIG6", "FIG7", "EXT-BLOCK", "EXT-MULTI", "EXT-CHAN", "EXT-INDEX", "EXT-LOAD", "EXT-FAULTS", "EXT-POLICY"} {
+	for _, id := range []string{"FIG3", "FIG4", "FIG5", "FIG6", "FIG7", "EXT-BLOCK", "EXT-MULTI", "EXT-CHAN", "EXT-INDEX", "EXT-LOAD", "EXT-FAULTS", "EXT-POLICY", "EXT-CLUSTER"} {
 		if !seen[id] {
 			t.Fatalf("missing figure %s", id)
 		}
@@ -326,7 +326,7 @@ func TestGeneratorsRejectInvalidParams(t *testing.T) {
 		"Fig3": Fig3, "Fig4": Fig4, "Fig5": Fig5, "Fig6": Fig6, "Fig7": Fig7,
 		"ExtBlocking": ExtBlocking, "ExtMultiClass": ExtMultiClass,
 		"ExtChannels": ExtChannels, "ExtIndexing": ExtIndexing, "ExtLoad": ExtLoad,
-		"ExtFaults": ExtFaults,
+		"ExtFaults": ExtFaults, "ExtCluster": ExtCluster,
 	} {
 		if _, err := gen(bad); err == nil {
 			t.Errorf("%s accepted invalid params", name)

@@ -29,6 +29,7 @@ package pullqueue
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"hybridqos/internal/clients"
 )
@@ -198,6 +199,11 @@ type Queue interface {
 	// afterwards. Entries still enqueued, nil entries and double recycles
 	// are ignored, so Recycle is always safe to call.
 	Recycle(e *Entry)
+	// Drain removes every entry and returns them sorted by item rank — the
+	// deterministic whole-backlog iteration order used by the cluster's
+	// mobility model. Returned entries are live: the caller re-Adds the
+	// requests it keeps and Recycles each drained entry when done with it.
+	Drain() []*Entry
 }
 
 // freeIndex marks an entry parked on a queue's freelist (heapIndex is
@@ -401,6 +407,19 @@ func (h *Heap) Remove(item int) *Entry {
 // Recycle returns an extracted entry to the freelist for reuse by Add.
 func (h *Heap) Recycle(e *Entry) { park(&h.free, h.byItem, e) }
 
+// Drain removes every entry and returns them sorted by item rank.
+func (h *Heap) Drain() []*Entry {
+	out := h.heap
+	h.heap = nil
+	for _, e := range out {
+		e.heapIndex = -1
+		delete(h.byItem, e.Item)
+	}
+	h.requests = 0
+	sort.Slice(out, func(i, j int) bool { return out[i].Item < out[j].Item })
+	return out
+}
+
 // Linear is the O(n)-scan implementation of Queue. It re-evaluates the score
 // at every extraction, so time-dependent (ageing) scores are supported; it
 // also serves as the obviously-correct reference in property tests.
@@ -512,6 +531,19 @@ func (l *Linear) removeAt(i int) *Entry {
 
 // Recycle returns an extracted entry to the freelist for reuse by Add.
 func (l *Linear) Recycle(e *Entry) { park(&l.free, l.byItem, e) }
+
+// Drain removes every entry and returns them sorted by item rank.
+func (l *Linear) Drain() []*Entry {
+	out := l.entries
+	l.entries = nil
+	for _, e := range out {
+		e.heapIndex = -1
+		delete(l.byItem, e.Item)
+	}
+	l.requests = 0
+	sort.Slice(out, func(i, j int) bool { return out[i].Item < out[j].Item })
+	return out
+}
 
 var (
 	_ Queue = (*Heap)(nil)

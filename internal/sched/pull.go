@@ -189,6 +189,10 @@ type Selector interface {
 	// reuse by later Adds. The caller must not retain the entry afterwards;
 	// nil, enqueued and already-recycled entries are ignored.
 	Recycle(e *pullqueue.Entry)
+	// Drain removes every entry and returns them sorted by item rank, for
+	// whole-backlog operations (cross-cell client mobility). Callers re-Add
+	// kept requests and Recycle each drained entry.
+	Drain() []*pullqueue.Entry
 }
 
 // NewSelector returns the fastest selector able to realise the policy: a
@@ -226,5 +230,6 @@ func (s *queueSelector) Remove(item int) *pullqueue.Entry          { return s.q.
 func (s *queueSelector) Items() int                                { return s.q.Items() }
 func (s *queueSelector) Requests() int                             { return s.q.Requests() }
 func (s *queueSelector) Recycle(e *pullqueue.Entry)                { s.q.Recycle(e) }
+func (s *queueSelector) Drain() []*pullqueue.Entry                 { return s.q.Drain() }
 
 var _ Selector = (*queueSelector)(nil)

@@ -30,6 +30,12 @@ const (
 	MetricQuotaExceeded = "quota_exceeded" // requests refused by the class pending quota
 	MetricRejected      = "rejected"       // requests refused before admission (bad key, draining)
 
+	// Counters emitted only by multi-cell runs (internal/cluster). Like the
+	// serving-mode names, they attach lazily and cost single-cell runs
+	// nothing.
+	MetricHandoffs       = "handoffs"        // roaming requests accepted into the cell
+	MetricHandoffRefused = "handoff_refused" // roaming requests the cell turned away
+
 	// Histograms, keyed by class.
 	MetricDelay = "delay" // access time of served requests
 
@@ -54,6 +60,9 @@ type Options struct {
 	// — synchronously, from the simulation loop. Used by the CLI layer to
 	// serve live /metrics; keep it fast and do not touch simulation state.
 	OnSnapshot func(*Snapshot)
+	// Cell labels every snapshot with the broadcast cell the collector
+	// belongs to in multi-cell runs; leave 0 for single-cell runs.
+	Cell int
 }
 
 // Collector is the engine-facing instrumentation front end: one instance per
@@ -65,6 +74,7 @@ type Collector struct {
 	every      float64
 	onSnapshot func(*Snapshot)
 	snapshots  int64
+	cell       int
 }
 
 // New builds a Collector. SnapshotEvery must be non-negative and finite.
@@ -76,8 +86,13 @@ func New(opts Options) (*Collector, error) {
 		reg:        NewRegistry(),
 		every:      opts.SnapshotEvery,
 		onSnapshot: opts.OnSnapshot,
+		cell:       opts.Cell,
 	}, nil
 }
+
+// Cell returns the broadcast cell the collector is labelled with (0 in
+// single-cell runs).
+func (c *Collector) Cell() int { return c.cell }
 
 // SnapshotEvery returns the configured snapshot cadence (0 = disabled).
 func (c *Collector) SnapshotEvery() float64 { return c.every }
@@ -152,6 +167,18 @@ func (c *Collector) RateLimited(class int) {
 // QuotaExceeded counts one request refused by the class's pending quota.
 func (c *Collector) QuotaExceeded(class int) {
 	c.reg.Counter(MetricQuotaExceeded, class).Inc()
+}
+
+// Handoff counts one roaming request accepted into the cell (multi-cell
+// runs).
+func (c *Collector) Handoff(class int) {
+	c.reg.Counter(MetricHandoffs, class).Inc()
+}
+
+// HandoffRefused counts one roaming request the cell turned away — deadline
+// expired in transit, admission shed, or item absent from the cell's catalog.
+func (c *Collector) HandoffRefused(class int) {
+	c.reg.Counter(MetricHandoffRefused, class).Inc()
 }
 
 // Rejected counts one request refused before admission control was
@@ -240,6 +267,10 @@ type Snapshot struct {
 	T float64 `json:"t"`
 	// Seq is the 1-based snapshot index within the run.
 	Seq int64 `json:"seq"`
+	// Cell is the broadcast cell the snapshot belongs to in multi-cell runs
+	// (0 and omitted otherwise). Excluded from the replay audit, which
+	// reconstructs counters from a cell's own event stream.
+	Cell int `json:"cell,omitempty"`
 	// Counters, Gauges and Hists hold every live metric instance.
 	Counters []CounterSnap `json:"counters,omitempty"`
 	Gauges   []GaugeSnap   `json:"gauges,omitempty"`
@@ -281,7 +312,7 @@ func (s *Snapshot) Hist(name string, class int) (HistSnap, bool) {
 // count, so later collection does not mutate it.
 func (c *Collector) TakeSnapshot(t float64) *Snapshot {
 	c.snapshots++
-	s := &Snapshot{T: t, Seq: c.snapshots}
+	s := &Snapshot{T: t, Seq: c.snapshots, Cell: c.cell}
 	for _, k := range sortedCounterKeys(c.reg.counters) {
 		s.Counters = append(s.Counters, CounterSnap{Name: k.name, Class: k.class, V: c.reg.counters[k].Value()})
 	}

@@ -34,6 +34,10 @@ func Apply(c *telemetry.Collector, e Event) {
 		c.Retry(int(e.Class))
 	case KindShed:
 		c.Shed(int(e.Class))
+	case KindHandoff:
+		c.Handoff(int(e.Class))
+	case KindHandoffRefused:
+		c.HandoffRefused(int(e.Class))
 	}
 }
 

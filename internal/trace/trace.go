@@ -31,6 +31,10 @@ const (
 	KindRetry        Kind = "retry"         // client scheduled a re-request after corruption
 	KindShed         Kind = "shed"          // request refused by the overload admission controller
 	KindSnapshot     Kind = "snapshot"      // periodic telemetry snapshot (read-only; carries Snap)
+
+	// Multi-cell kinds (internal/cluster): cross-cell client mobility.
+	KindHandoff        Kind = "handoff"         // roaming request re-attached at this cell
+	KindHandoffRefused Kind = "handoff-refused" // roaming request turned away at this cell (see Reason)
 )
 
 // Event is one trace record. Fields are compact so a run can emit millions
@@ -54,6 +58,14 @@ type Event struct {
 	Push bool `json:"push,omitempty"`
 	// Attempt is the 1-based re-request number (KindRetry only).
 	Attempt int `json:"attempt,omitempty"`
+	// Cell is the broadcast cell the event belongs to in multi-cell runs,
+	// stamped by a Tag tracer; 0 (omitted) in single-cell runs.
+	Cell int `json:"cell,omitempty"`
+	// Reason qualifies KindHandoffRefused events: "expired" (deadline passed
+	// in transit), "shed" (admission control), "no-item" (item absent from
+	// the destination cell's catalog) or "horizon" (transit would end past
+	// the simulation horizon).
+	Reason string `json:"reason,omitempty"`
 	// Snap is the embedded telemetry snapshot (KindSnapshot only).
 	Snap *telemetry.Snapshot `json:"snap,omitempty"`
 }
@@ -132,6 +144,61 @@ func (j *JSONL) Flush() error {
 		return j.err
 	}
 	return j.w.Flush()
+}
+
+// Tag stamps a fixed cell ID onto every event before forwarding — the
+// cell-ID dimension of a multi-cell trace. Each cell wraps its own
+// downstream tracer, so parallel cells never share tracer state.
+type Tag struct {
+	// Cell is the ID stamped onto every event.
+	Cell int
+	// Next receives the stamped events.
+	Next Tracer
+}
+
+// Event implements Tracer.
+func (t Tag) Event(e Event) {
+	e.Cell = t.Cell
+	t.Next.Event(e)
+}
+
+// Buffer records events in memory, in emission order. Cluster runs give
+// each cell its own Buffer during the parallel advance and merge the
+// streams deterministically afterwards (MergeByTime).
+type Buffer struct {
+	// Events holds every recorded event.
+	Events []Event
+}
+
+// Event implements Tracer.
+func (b *Buffer) Event(e Event) { b.Events = append(b.Events, e) }
+
+// MergeByTime merges per-cell event streams — each already in nondecreasing
+// time order, as the engine emits them — into one stream ordered by time,
+// ties broken by stream index then original order. The merge is a pure
+// function of its inputs, so a merged multi-cell trace is as deterministic
+// as the per-cell runs that produced it.
+func MergeByTime(streams ...[]Event) []Event {
+	total := 0
+	for _, s := range streams {
+		total += len(s)
+	}
+	out := make([]Event, 0, total)
+	idx := make([]int, len(streams))
+	for len(out) < total {
+		best := -1
+		for i, s := range streams {
+			if idx[i] >= len(s) {
+				continue
+			}
+			if best == -1 || s[idx[i]].T < streams[best][idx[best]].T {
+				best = i
+			}
+		}
+		out = append(out, streams[best][idx[best]])
+		idx[best]++
+	}
+	return out
 }
 
 // Multi fans events out to several tracers.
