@@ -1,12 +1,15 @@
-// qoslint walks the repository and enforces the simulator's determinism and
-// panic-discipline contracts (see internal/lint). It prints one line per
-// finding as path:line:col: [rule] message and exits 1 if anything is found,
-// so it can gate CI alongside go vet.
+// qoslint walks the repository and enforces the simulator's determinism,
+// allocation and concurrency-containment contracts (see internal/lint).
+// Packages are analysed in parallel on internal/workpool; diagnostics are
+// sorted by (file, line, column, rule) so output is identical at any worker
+// count. It exits 1 if anything is found, so it can gate CI alongside go vet.
 //
 // Usage:
 //
-//	go run ./cmd/qoslint ./...            # lint the whole module
-//	go run ./cmd/qoslint ./internal/sched # lint one package
+//	go run ./cmd/qoslint ./...                  # lint the whole module
+//	go run ./cmd/qoslint ./internal/sched       # lint one package
+//	go run ./cmd/qoslint -format sarif ./...    # SARIF 2.1.0 for code scanning
+//	go run ./cmd/qoslint -format json ./...     # machine-readable findings
 //
 // A finding is waived in place with //lint:allow <rule> <reason> on the
 // offending line or the line above it.
@@ -23,9 +26,10 @@ import (
 
 func main() {
 	root := flag.String("root", "", "module root (default: nearest dir with go.mod, walking up from cwd)")
+	format := flag.String("format", "text", "output format: text, json, or sarif")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: qoslint [-root dir] <packages>\n")
-		fmt.Fprintf(flag.CommandLine.Output(), "e.g.   qoslint ./...\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: qoslint [-root dir] [-format text|json|sarif] <packages>\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "e.g.   qoslint -format sarif ./...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -46,13 +50,33 @@ func main() {
 		fmt.Fprintln(os.Stderr, "qoslint:", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		rel := d.Pos.Filename
-		if r, err := filepath.Rel(moduleRoot, rel); err == nil {
-			rel = r
+
+	switch *format {
+	case "text":
+		for _, d := range diags {
+			rel := d.Pos.Filename
+			if r, err := filepath.Rel(moduleRoot, rel); err == nil {
+				rel = r
+			}
+			fmt.Printf("%s:%d:%d: [%s] %s\n", rel, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
 		}
-		fmt.Printf("%s:%d:%d: [%s] %s\n", rel, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
+	case "json":
+		if err := lint.WriteJSON(os.Stdout, moduleRoot, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "qoslint:", err)
+			os.Exit(2)
+		}
+	case "sarif":
+		// The SARIF log is emitted whether or not there are findings, so CI
+		// always has a file to upload; the exit code still gates the job.
+		if err := lint.WriteSARIF(os.Stdout, moduleRoot, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "qoslint:", err)
+			os.Exit(2)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "qoslint: unknown -format %q (want text, json, or sarif)\n", *format)
+		os.Exit(2)
 	}
+
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "qoslint: %d finding(s)\n", len(diags))
 		os.Exit(1)

@@ -168,6 +168,8 @@ func (c Config) Validate() error {
 // cellState is one cell plus its cluster-side bookkeeping. During the
 // parallel phase a cellState is touched only by its own workpool job; the
 // barrier phase owns them all, single-threaded.
+//
+//qos:sharded
 type cellState struct {
 	id     int
 	srv    *core.Server
@@ -193,7 +195,10 @@ type Cluster struct {
 }
 
 // New builds a cluster: N cells with derived seeds and overlapped catalogs,
-// a routing policy, and per-cell mobility streams.
+// a routing policy, and per-cell mobility streams. Construction is
+// single-threaded, so it counts as a barrier phase.
+//
+//qos:barrier
 func New(cfg Config) (*Cluster, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -302,6 +307,8 @@ func (c *Cluster) Now() float64 { return c.now }
 // then runs the cross-cell barrier: load sampling, saturation detection,
 // mobility extraction, routing and re-attachment scheduling. It reports
 // whether the horizon has been reached. After done, call Result.
+//
+//qos:barrier
 func (c *Cluster) Step() (bool, error) {
 	if c.done {
 		return true, nil
@@ -318,6 +325,7 @@ func (c *Cluster) Step() (bool, error) {
 		t = c.cfg.Base.Horizon
 	}
 	if err := workpool.Run(len(c.cells), func(i int) error {
+		//lint:allow barriersafe parallel phase: job i advances only cell i; no cross-cell state is touched until the barrier
 		c.cells[i].srv.AdvanceTo(t)
 		return nil
 	}); err != nil {
@@ -333,6 +341,8 @@ func (c *Cluster) Step() (bool, error) {
 
 // barrier runs the sequential cross-cell phase at barrier time t. Every
 // cell's clock is exactly at t; nothing here advances simulated time.
+//
+//qos:barrier
 func (c *Cluster) barrier(t float64) {
 	loads := make([]int, len(c.cells))
 	for i, cs := range c.cells {
@@ -353,6 +363,8 @@ func (c *Cluster) barrier(t float64) {
 
 // exchange extracts, routes and re-schedules this barrier's roamers,
 // sequentially in cell-index order.
+//
+//qos:barrier
 func (c *Cluster) exchange(t float64, loads []int) {
 	horizon := c.cfg.Base.Horizon
 	for i, cs := range c.cells {
@@ -428,7 +440,9 @@ type Result struct {
 }
 
 // Result finalises every cell and aggregates the run. Call once, after Step
-// reported done.
+// reported done — the parallel phase is over, so this is barrier territory.
+//
+//qos:barrier
 func (c *Cluster) Result() *Result {
 	res := &Result{}
 	var metrics []*core.Metrics

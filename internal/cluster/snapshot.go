@@ -69,6 +69,8 @@ type Snapshot struct {
 // takeSnapshot captures the cluster's barrier state at time t. Called inside
 // the barrier, after saturation observation and mobility exchange, so loads
 // reflect post-exchange backlogs.
+//
+//qos:barrier
 func (c *Cluster) takeSnapshot(t float64) Snapshot {
 	snap := Snapshot{Epoch: c.epoch, T: t}
 	for _, cs := range c.cells {

@@ -79,6 +79,20 @@ type Server struct {
 	shedder        *faults.Shedder
 	pendingRetries int // re-requests booked but not yet delivered
 
+	// Cached event handlers. The arrival chain, the push transmission and
+	// the pull transmission are each single-outstanding (the downlink is
+	// serial and the arrival chain re-books itself), so one reused closure
+	// per kind — with its pending state in the fields below — replaces a
+	// fresh capturing closure per event. This is what the //qos:hotpath
+	// annotations hold the scheduling sites to.
+	arrivalH  func()
+	pushH     func()
+	pullH     func()
+	nextBatch int              // batch size for the booked arrival event
+	pushItem  int              // item of the in-flight push transmission
+	pullEntry *pullqueue.Entry // entry of the in-flight pull transmission
+	pullGrant *bandwidth.Grant // its bandwidth grant, nil without an allocator
+
 	warmupEnd float64
 	metrics   *Metrics
 	idle      bool // only reachable when the effective cutoff is 0
@@ -183,6 +197,23 @@ func New(cfg Config) (*Server, error) {
 	// the effective cutoff (a "none" push scheduler zeroes it above).
 	s.pushWaiters = make([][]pushWaiter, s.cutoff+1)
 
+	// Build the reused handlers once; see the field comments for why each
+	// kind is single-outstanding and therefore safe to share state through
+	// the Server fields.
+	s.arrivalH = func() {
+		n := s.nextBatch
+		for i := 0; i < n; i++ {
+			s.handleArrival()
+		}
+		s.scheduleNextArrival()
+	}
+	s.pushH = func() { s.completePush(s.pushItem) }
+	s.pullH = func() {
+		entry, grant := s.pullEntry, s.pullGrant
+		s.pullEntry, s.pullGrant = nil, nil
+		s.completePull(entry, grant)
+	}
+
 	s.metrics = &Metrics{Horizon: cfg.Horizon, Cutoff: cfg.Cutoff}
 	for c := 0; c < cfg.Classes.NumClasses(); c++ {
 		cm := &ClassMetrics{
@@ -202,6 +233,8 @@ func New(cfg Config) (*Server, error) {
 // the telemetry collector. Keeping both behind one call site is what makes
 // the replay audit exact: the collector sees events in precisely the order
 // the trace records them.
+//
+//qos:hotpath
 func (s *Server) emit(e trace.Event) {
 	s.tracer.Event(e)
 	trace.Apply(s.tele, e)
@@ -254,6 +287,8 @@ func (s *Server) Run() *Metrics {
 
 // observeQueue snapshots queue sizes into the time-weighted trackers and the
 // telemetry gauges.
+//
+//qos:hotpath
 func (s *Server) observeQueue() {
 	now := s.clk.Now()
 	items, requests := s.selector.Items(), s.selector.Requests()
@@ -265,23 +300,25 @@ func (s *Server) observeQueue() {
 }
 
 // scheduleNextArrival draws the next arrival event from the configured
-// process and registers its handler; events beyond the horizon are simply
-// never scheduled (RunUntil would cut them anyway).
+// process and books the reused arrival handler; events beyond the horizon
+// are simply never scheduled (RunUntil would cut them anyway). The chain is
+// single-outstanding — the handler re-books only after consuming nextBatch —
+// so parking the batch size in the field is race-free.
+//
+//qos:hotpath
 func (s *Server) scheduleNextArrival() {
 	gap, batch := s.arrivals.Next(s.arrRng)
 	t := s.clk.Now() + gap
 	if t > s.cfg.Horizon {
 		return
 	}
-	s.clk.At(t, func() {
-		for i := 0; i < batch; i++ {
-			s.handleArrival()
-		}
-		s.scheduleNextArrival()
-	})
+	s.nextBatch = batch
+	s.clk.At(t, s.arrivalH)
 }
 
 // handleArrival draws the request's item and class and routes it.
+//
+//qos:hotpath
 func (s *Server) handleArrival() {
 	now := s.clk.Now()
 	rank := s.items.SampleItem(s.itemRng, now)
@@ -309,6 +346,7 @@ func (s *Server) handleArrival() {
 	if rank <= s.cutoff {
 		// Push item: the server ignores the request (flat broadcast will
 		// deliver it); the simulator tracks the waiter to measure delay.
+		//lint:allow hotalloc amortized: waiter slices reset to length 0 on drain and reuse capacity across cycles
 		s.pushWaiters[rank] = append(s.pushWaiters[rank], pushWaiter{class: class, arrival: now, client: clientID})
 		return
 	}
@@ -333,6 +371,8 @@ func (s *Server) handleArrival() {
 
 // enqueuePull adds an admitted pull request to the selector and kicks the
 // channel if it was idle (only reachable when the effective cutoff is 0).
+//
+//qos:hotpath
 func (s *Server) enqueuePull(req pullqueue.Request) {
 	s.selector.Add(req, s.cfg.Catalog.Length(req.Item))
 	s.observeQueue()
@@ -346,6 +386,8 @@ func (s *Server) enqueuePull(req pullqueue.Request) {
 // the request was refused. The controller samples pending load (queued pull
 // requests plus outstanding retries) at every admission decision, so the
 // shed level moves at most one class per arriving request.
+//
+//qos:hotpath
 func (s *Server) shedPull(req pullqueue.Request, now float64) bool {
 	if s.shedder == nil {
 		return false
@@ -366,6 +408,8 @@ func (s *Server) shedPull(req pullqueue.Request, now float64) bool {
 // budget is exhausted — the caller records the terminal outcome. A retry
 // that would fire after the request's TTL deadline is recorded as Expired
 // here (the client gives up listening at its deadline).
+//
+//qos:hotpath
 func (s *Server) retryAfterLoss(r pullqueue.Request, now float64) bool {
 	if !s.cfg.Retry.Enabled() || r.Attempts >= s.cfg.Retry.MaxAttempts {
 		return false
@@ -386,6 +430,9 @@ func (s *Server) retryAfterLoss(r pullqueue.Request, now float64) bool {
 	})
 	s.pendingRetries++
 	s.observePendingRetries()
+	// Unlike the arrival/push/pull handlers, retries are multi-outstanding
+	// (every lost request books its own), so each needs its own closure.
+	//lint:allow hotalloc per-retry closure: retries are loss-path only and bounded by MaxAttempts
 	s.clk.At(retryAt, func() {
 		s.pendingRetries--
 		s.observePendingRetries()
@@ -397,6 +444,8 @@ func (s *Server) retryAfterLoss(r pullqueue.Request, now float64) bool {
 // handleRetry delivers a client's re-request to the server. Like any fresh
 // request it must win the uplink and pass admission control; an uplink loss
 // spends the attempt and backs off again until the budget runs out.
+//
+//qos:hotpath
 func (s *Server) handleRetry(r pullqueue.Request) {
 	now := s.clk.Now()
 	if !s.up.TryRequest(now, s.uplinkRng) {
@@ -412,17 +461,22 @@ func (s *Server) handleRetry(r pullqueue.Request) {
 }
 
 // startPush begins the next broadcast transmission from the push scheduler.
+// The downlink is serial, so at most one push completion is ever booked:
+// the in-flight item rides in s.pushItem and the handler is reused.
+//
+//qos:hotpath
 func (s *Server) startPush() {
 	item := s.pushSched.Next()
 	length := s.cfg.Catalog.Length(item)
 	s.emit(trace.Event{T: s.clk.Now(), Kind: trace.KindPushStart, Item: item, Class: -1})
-	s.clk.After(length, func() {
-		s.completePush(item)
-	})
+	s.pushItem = item
+	s.clk.After(length, s.pushH)
 }
 
 // completePush satisfies every waiter of the broadcast item, then gives the
 // pull system its slot.
+//
+//qos:hotpath
 func (s *Server) completePush(item int) {
 	now := s.clk.Now()
 	s.metrics.PushBroadcasts++
@@ -453,6 +507,8 @@ func (s *Server) completePush(item int) {
 // attemptPull serves the best pull entry if one exists and bandwidth allows,
 // otherwise returns control to the push system (or idles when the effective
 // cutoff is 0).
+//
+//qos:hotpath
 func (s *Server) attemptPull() {
 	for {
 		entry := s.selector.ExtractBest(s.clk.Now())
@@ -502,15 +558,18 @@ func (s *Server) attemptPull() {
 			T: s.clk.Now(), Kind: trace.KindPullStart, Item: entry.Item,
 			Class: entry.HighestClass(), Requests: len(entry.Requests),
 		})
-		s.clk.After(entry.Length, func() {
-			s.completePull(entry, grant)
-		})
+		// Serial downlink: at most one pull completion in flight, so the
+		// entry and grant ride in fields and the handler is reused.
+		s.pullEntry, s.pullGrant = entry, grant
+		s.clk.After(entry.Length, s.pullH)
 		return
 	}
 }
 
 // completePull satisfies all of the entry's pending requests and hands the
 // channel back to the push system.
+//
+//qos:hotpath
 func (s *Server) completePull(entry *pullqueue.Entry, grant *bandwidth.Grant) {
 	now := s.clk.Now()
 	s.metrics.PullTransmissions++
@@ -564,6 +623,8 @@ func (s *Server) completePull(entry *pullqueue.Entry, grant *bandwidth.Grant) {
 
 // noteTransmission updates the empirical broadcast-frequency counters that
 // feed PIX scores (only maintained when caching is enabled).
+//
+//qos:hotpath
 func (s *Server) noteTransmission(item int) {
 	if s.txCounts == nil {
 		return
@@ -577,6 +638,8 @@ func (s *Server) noteTransmission(item int) {
 // broadcast frequency (add-one smoothed), exactly as the broadcast-disk
 // policy prescribes: items that are popular but appear on the channel
 // rarely are the most valuable to cache.
+//
+//qos:hotpath
 func (s *Server) fillCache(clientID, item int, now float64) {
 	if s.caches == nil || clientID < 0 {
 		return
@@ -597,6 +660,8 @@ func (s *Server) CacheHitRate() float64 {
 // recordServed logs one satisfied request (post-warmup arrivals only).
 // Under RequestTTL, a request whose deadline passed before the transmission
 // completed is counted as Expired instead.
+//
+//qos:hotpath
 func (s *Server) recordServed(class clients.Class, arrival, completion float64, push bool) {
 	if arrival < s.warmupEnd {
 		return

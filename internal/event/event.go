@@ -38,23 +38,33 @@ type Token struct {
 // eventHeap orders events by (time, seq).
 type eventHeap []*event
 
+//qos:hotpath
 func (h eventHeap) Len() int { return len(h) }
+
+//qos:hotpath
 func (h eventHeap) Less(i, j int) bool {
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
 	}
 	return h[i].seq < h[j].seq
 }
+
+//qos:hotpath
 func (h eventHeap) Swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
 	h[i].index = i
 	h[j].index = j
 }
+
+//qos:hotpath
 func (h *eventHeap) Push(x any) {
 	ev := x.(*event)
 	ev.index = len(*h)
+	//lint:allow hotalloc amortized: the heap backing array grows to the peak pending-event count once
 	*h = append(*h, ev)
 }
+
+//qos:hotpath
 func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
@@ -76,6 +86,8 @@ type Simulator struct {
 }
 
 // alloc returns a recycled event (bumping its generation) or a fresh one.
+//
+//qos:hotpath
 func (s *Simulator) alloc(t float64, h Handler) *event {
 	n := len(s.free)
 	if n == 0 {
@@ -93,8 +105,11 @@ func (s *Simulator) alloc(t float64, h Handler) *event {
 
 // recycle parks a popped or cancelled event for reuse. The handler is
 // dropped immediately so captured state does not outlive the event.
+//
+//qos:hotpath
 func (s *Simulator) recycle(ev *event) {
 	ev.handler = nil
+	//lint:allow hotalloc amortized: the freelist grows to the peak in-flight event count once, then recycles
 	s.free = append(s.free, ev)
 }
 
@@ -112,6 +127,8 @@ func (s *Simulator) Pending() int { return len(s.queue) }
 
 // At schedules h to run at absolute time t. Scheduling in the past panics —
 // it would silently corrupt causality. Returns a Token for cancellation.
+//
+//qos:hotpath
 func (s *Simulator) At(t float64, h Handler) Token {
 	if t < s.now || math.IsNaN(t) {
 		panic(fmt.Sprintf("event: scheduling at t=%g before now=%g", t, s.now))
@@ -126,6 +143,8 @@ func (s *Simulator) At(t float64, h Handler) Token {
 }
 
 // After schedules h to run delay time units from now. Negative delay panics.
+//
+//qos:hotpath
 func (s *Simulator) After(delay float64, h Handler) Token {
 	if delay < 0 || math.IsNaN(delay) {
 		panic(fmt.Sprintf("event: negative delay %g", delay))
@@ -150,6 +169,8 @@ func (s *Simulator) Cancel(tok Token) bool {
 func (s *Simulator) Stop() { s.stopped = true }
 
 // step pops and fires the earliest event. Returns false if none remain.
+//
+//qos:hotpath
 func (s *Simulator) step() bool {
 	if len(s.queue) == 0 {
 		return false

@@ -19,7 +19,9 @@ type allowEntry struct {
 // collectAllows parses every //lint:allow comment in the package and records
 // which (file, line, rule) triples are waived. Malformed allows — unknown
 // rule name, or a missing reason — are diagnostics themselves, so a typo
-// cannot silently disable a rule.
+// cannot silently disable a rule. Waivers are kept package-local during the
+// parallel run (rules only ever consult same-package allows) and exported
+// through p.out for the post-merge cross-package registrydoc pass.
 func (p *pkg) collectAllows() {
 	for _, f := range p.files {
 		for _, cg := range f.Comments {
@@ -31,7 +33,7 @@ func (p *pkg) collectAllows() {
 				pos := p.fset.Position(c.Pos())
 				fields := strings.Fields(text)
 				if len(fields) == 0 {
-					*p.diags = append(*p.diags, Diagnostic{
+					p.out.diags = append(p.out.diags, Diagnostic{
 						Pos:  pos,
 						Rule: RuleAllow,
 						Msg:  "malformed allow comment: want //lint:allow <rule> <reason>",
@@ -40,7 +42,7 @@ func (p *pkg) collectAllows() {
 				}
 				rule := fields[0]
 				if !knownRules[rule] {
-					*p.diags = append(*p.diags, Diagnostic{
+					p.out.diags = append(p.out.diags, Diagnostic{
 						Pos:  pos,
 						Rule: RuleAllow,
 						Msg:  "allow names unknown rule " + quote(rule) + " (known: " + strings.Join(ruleNames(), ", ") + ")",
@@ -48,16 +50,17 @@ func (p *pkg) collectAllows() {
 					continue
 				}
 				if len(fields) < 2 {
-					*p.diags = append(*p.diags, Diagnostic{
+					p.out.diags = append(p.out.diags, Diagnostic{
 						Pos:  pos,
 						Rule: RuleAllow,
 						Msg:  "allow for " + quote(rule) + " needs a reason: //lint:allow " + rule + " <reason>",
 					})
 					continue
 				}
-				p.runner.allows[allowKey{file: pos.Filename, line: pos.Line, rule: rule}] = allowEntry{
-					reason: strings.Join(fields[1:], " "),
-				}
+				key := allowKey{file: pos.Filename, line: pos.Line, rule: rule}
+				entry := allowEntry{reason: strings.Join(fields[1:], " ")}
+				p.allows[key] = entry
+				p.out.allows = append(p.out.allows, allowRecord{key: key, entry: entry})
 			}
 		}
 	}
@@ -67,7 +70,11 @@ func (p *pkg) collectAllows() {
 // same rule sits on the finding's line (trailing comment) or the line
 // directly above it (own-line comment).
 func (p *pkg) allowed(rule string, pos token.Position) bool {
-	return p.runner.allowedAt(rule, pos)
+	if _, ok := p.allows[allowKey{file: pos.Filename, line: pos.Line, rule: rule}]; ok {
+		return true
+	}
+	_, ok := p.allows[allowKey{file: pos.Filename, line: pos.Line - 1, rule: rule}]
+	return ok
 }
 
 func (r *Runner) allowedAt(rule string, pos token.Position) bool {
@@ -79,7 +86,11 @@ func (r *Runner) allowedAt(rule string, pos token.Position) bool {
 }
 
 func ruleNames() []string {
-	return []string{RuleNondeterminism, RuleMapOrder, RulePanicMsg, RuleFloatCmp, RuleRegistryDoc}
+	return []string{
+		RuleNondeterminism, RuleMapOrder, RulePanicMsg, RuleFloatCmp,
+		RuleRegistryDoc, RuleRngFlow, RuleHotAlloc, RuleGoroutines,
+		RuleBarrierSafe,
+	}
 }
 
 func quote(s string) string { return "\"" + s + "\"" }

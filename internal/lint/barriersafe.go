@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// barriersafe: the cluster's bulk-synchronous contract, statically. Types
+// annotated //qos:sharded hold per-cell state that the parallel advance
+// phase owns shard-by-shard; the single-threaded barrier phase is the only
+// place cross-shard reads and writes are legal. Functions that make up the
+// barrier phase carry //qos:barrier.
+//
+// Any field access rooted at a sharded-typed expression outside a barrier
+// function is flagged. Closures never inherit the annotation — deliberately:
+// the closure handed to workpool.Run *is* the parallel phase, and its
+// each-job-touches-only-its-own-shard argument is exactly the kind of claim
+// that belongs in a //lint:allow waiver where review can see it.
+//
+// The rule is opt-in per package: no //qos:sharded type, no work.
+
+func checkBarrierSafe(p *pkg) {
+	if len(p.ann.sharded) == 0 {
+		return
+	}
+	p.eachFuncDecl(func(_ *ast.File, fd *ast.FuncDecl) {
+		inBarrier := p.ann.barrier[fd]
+		flow := newFuncFlow(p, fd.Body)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			typeName := p.namedLocalType(sel.X)
+			if typeName == "" || !p.ann.sharded[typeName] {
+				return true
+			}
+			switch {
+			case inBarrier && !flow.inFuncLit(sel.Pos()):
+				// Legal: barrier-phase code in the annotated function body.
+			case flow.inFuncLit(sel.Pos()):
+				p.report(RuleBarrierSafe, sel.Pos(),
+					"sharded %s state touched inside a closure: closures do not inherit //qos:barrier (waive if each parallel job only touches its own shard)", typeName)
+			default:
+				p.report(RuleBarrierSafe, sel.Pos(),
+					"sharded %s state touched outside a //qos:barrier function", typeName)
+			}
+			return true
+		})
+	})
+}

@@ -1,0 +1,351 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file is the intra-procedural dataflow engine under the flow-sensitive
+// rules (rngflow, hotalloc, goroutines, barriersafe). It deliberately stays
+// small: no CFG, no inter-procedural summaries. Instead it offers three
+// primitives that together cover what the determinism contract needs:
+//
+//   - //qos: annotations on declarations (collectAnnotations), the opt-in
+//     marker set: hotpath functions, barrier-phase functions, sharded types.
+//   - position classification (funcFlow): is this node inside a loop body?
+//     inside a closure literal? which function encloses it?
+//   - value provenance (funcFlow.solve): a fixpoint over the function's
+//     assignment edges that joins abstract states per local variable. The
+//     lattice is a set union, so iteration order never changes the result
+//     and the analysis is deterministic by construction.
+
+// Annotation markers recognised after the //qos: prefix.
+const (
+	annHotpath = "hotpath"
+	annBarrier = "barrier"
+	annSharded = "sharded"
+)
+
+// annotations is the package's parsed //qos: marker set.
+type annotations struct {
+	// hotpath and barrier are keyed by the annotated FuncDecl.
+	hotpath map[*ast.FuncDecl]bool
+	barrier map[*ast.FuncDecl]bool
+	// sharded holds package-local type names whose fields are barrier-phase
+	// property (cluster cell state).
+	sharded map[string]bool
+}
+
+// collectAnnotations parses every //qos:<marker> comment in the package.
+// Markers attach to the declaration they document (FuncDecl for hotpath and
+// barrier, type declaration for sharded). Unknown markers and markers that
+// are not attached to a compatible declaration are diagnostics, so a typo
+// like //qos:hotpth cannot silently drop a function out of the alloc gate.
+func (p *pkg) collectAnnotations() {
+	p.ann = &annotations{
+		hotpath: make(map[*ast.FuncDecl]bool),
+		barrier: make(map[*ast.FuncDecl]bool),
+		sharded: make(map[string]bool),
+	}
+	consumed := make(map[token.Pos]bool)
+	for _, f := range p.files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				for _, marker := range qosMarkers(d.Doc) {
+					switch marker.name {
+					case annHotpath:
+						p.ann.hotpath[d] = true
+						consumed[marker.pos] = true
+					case annBarrier:
+						p.ann.barrier[d] = true
+						consumed[marker.pos] = true
+					}
+				}
+			case *ast.GenDecl:
+				docs := []*ast.CommentGroup{d.Doc}
+				for _, spec := range d.Specs {
+					if ts, ok := spec.(*ast.TypeSpec); ok {
+						docs = append(docs, ts.Doc)
+						for _, doc := range docs {
+							for _, marker := range qosMarkers(doc) {
+								if marker.name == annSharded {
+									p.ann.sharded[ts.Name.Name] = true
+									consumed[marker.pos] = true
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	// Second sweep: any //qos: comment not consumed above is either an
+	// unknown marker or a marker detached from (or attached to the wrong
+	// kind of) declaration.
+	for _, f := range p.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, ok := strings.CutPrefix(c.Text, "//qos:")
+				if !ok || consumed[c.Pos()] {
+					continue
+				}
+				name = strings.TrimSpace(name)
+				switch name {
+				case annHotpath, annBarrier:
+					p.report(RuleAllow, c.Pos(),
+						"//qos:%s is not attached to a function declaration (it must be in the function's doc comment)", name)
+				case annSharded:
+					p.report(RuleAllow, c.Pos(),
+						"//qos:sharded is not attached to a type declaration")
+				default:
+					p.report(RuleAllow, c.Pos(),
+						"unknown //qos: annotation %s (known: %s, %s, %s)", quote(name), annHotpath, annBarrier, annSharded)
+				}
+			}
+		}
+	}
+}
+
+type qosMarker struct {
+	name string
+	pos  token.Pos
+}
+
+// qosMarkers extracts the //qos:<name> lines from a doc comment group.
+func qosMarkers(doc *ast.CommentGroup) []qosMarker {
+	if doc == nil {
+		return nil
+	}
+	var out []qosMarker
+	for _, c := range doc.List {
+		if name, ok := strings.CutPrefix(c.Text, "//qos:"); ok {
+			out = append(out, qosMarker{name: strings.TrimSpace(name), pos: c.Pos()})
+		}
+	}
+	return out
+}
+
+// posSpan is a half-open source interval.
+type posSpan struct {
+	from, to token.Pos
+}
+
+func (s posSpan) contains(pos token.Pos) bool {
+	return s.from <= pos && pos < s.to
+}
+
+// spans is an interval set with containment queries.
+type spans []posSpan
+
+func (ss spans) contains(pos token.Pos) bool {
+	for _, s := range ss {
+		if s.contains(pos) {
+			return true
+		}
+	}
+	return false
+}
+
+// funcFlow is the per-function dataflow context: loop-body and closure-body
+// intervals plus the assignment edges feeding the provenance solver.
+type funcFlow struct {
+	p     *pkg
+	body  *ast.BlockStmt
+	loops spans // for/range bodies (any nesting depth)
+	lits  spans // func-literal bodies
+}
+
+// newFuncFlow indexes one function body.
+func newFuncFlow(p *pkg, body *ast.BlockStmt) *funcFlow {
+	f := &funcFlow{p: p, body: body}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ForStmt:
+			f.loops = append(f.loops, posSpan{from: s.Body.Lbrace, to: s.Body.End()})
+		case *ast.RangeStmt:
+			f.loops = append(f.loops, posSpan{from: s.Body.Lbrace, to: s.Body.End()})
+		case *ast.FuncLit:
+			f.lits = append(f.lits, posSpan{from: s.Body.Lbrace, to: s.Body.End()})
+		}
+		return true
+	})
+	return f
+}
+
+// inLoop reports whether pos sits inside a loop body of this function.
+func (f *funcFlow) inLoop(pos token.Pos) bool { return f.loops.contains(pos) }
+
+// inFuncLit reports whether pos sits inside a closure literal nested in this
+// function (annotations never transfer to closures).
+func (f *funcFlow) inFuncLit(pos token.Pos) bool { return f.lits.contains(pos) }
+
+// prov is the provenance lattice element for one variable: a bit-set joined
+// by union, so the fixpoint is order-independent.
+type prov uint8
+
+const (
+	// provSeeded: reached from a seeded constructor argument — a parameter,
+	// receiver field, Reseed call, or derivation (Split) of a seeded stream.
+	provSeeded prov = 1 << iota
+	// provZero: the zero value — var decl without initializer, or an empty
+	// composite literal / new(T). Drawing from it repeats the same sequence
+	// in every run and every instance, which is exactly the bug rngflow
+	// exists to catch.
+	provZero
+)
+
+func (pv prov) seeded() bool { return pv&provSeeded != 0 }
+func (pv prov) zeroOnly() bool {
+	return pv&provZero != 0 && pv&provSeeded == 0
+}
+
+// classifyFunc maps one RHS expression to the provenance it confers, given
+// the current variable states. Returning 0 means "not a tracked value".
+type classifyFunc func(e ast.Expr, state map[types.Object]prov) prov
+
+// solve runs the assignment-edge fixpoint: starting from the seed states
+// (typically parameters and zero-value declarations), it re-applies every
+// assignment edge until no variable's state grows. The lattice is finite
+// (two bits) and join is monotone, so this terminates in at most two
+// passes over the edges per variable. The seed map is taken over as the
+// working state and mutated in place.
+func (f *funcFlow) solve(seed map[types.Object]prov, classify classifyFunc) map[types.Object]prov {
+	state := seed
+	if state == nil {
+		state = make(map[types.Object]prov)
+	}
+	type edge struct {
+		obj types.Object
+		rhs ast.Expr
+	}
+	var edges []edge
+	ast.Inspect(f.body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) != len(s.Rhs) {
+				return true
+			}
+			for i, lhs := range s.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := f.p.objectOf(id)
+				if obj == nil {
+					continue
+				}
+				edges = append(edges, edge{obj: obj, rhs: s.Rhs[i]})
+			}
+		case *ast.DeclStmt:
+			gd, ok := s.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != len(vs.Names) {
+					continue
+				}
+				for i, name := range vs.Names {
+					obj := f.p.objectOf(name)
+					if obj == nil {
+						continue
+					}
+					edges = append(edges, edge{obj: obj, rhs: vs.Values[i]})
+				}
+			}
+		}
+		return true
+	})
+	for changed := true; changed; {
+		changed = false
+		for _, e := range edges {
+			pv := classify(e.rhs, state)
+			if pv == 0 {
+				continue
+			}
+			if state[e.obj]|pv != state[e.obj] {
+				state[e.obj] |= pv
+				changed = true
+			}
+		}
+	}
+	return state
+}
+
+// objectOf resolves an identifier to its types.Object via Defs or Uses.
+// With the stub importer, intra-package identifiers always resolve even when
+// their types do not.
+func (p *pkg) objectOf(id *ast.Ident) types.Object {
+	if obj := p.info.Defs[id]; obj != nil {
+		return obj
+	}
+	return p.info.Uses[id]
+}
+
+// constExpr reports whether the type-checker proved e constant. With stubbed
+// imports, cross-package constants do not resolve, so this errs toward
+// "not constant" — which for rngflow errs toward not flagging.
+func (p *pkg) constExpr(e ast.Expr) bool {
+	if tv, ok := p.info.Types[e]; ok && tv.Value != nil {
+		return true
+	}
+	// Literal ints survive even when type-checking noise dropped the Types
+	// entry (e.g. inside an argument list the checker abandoned).
+	_, isLit := e.(*ast.BasicLit)
+	return isLit
+}
+
+// exprText renders a (small) expression for receiver matching and messages.
+func (p *pkg) exprText(e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, p.fset, e); err != nil {
+		return "?"
+	}
+	return buf.String()
+}
+
+// namedLocalType unwraps e's type to a package-local named type (through
+// one level of pointer), or "" if it is anything else. Used by barriersafe
+// to recognise sharded struct values.
+func (p *pkg) namedLocalType(e ast.Expr) string {
+	tv, ok := p.info.Types[e]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	// Only this package's types qualify: with stubbed imports a foreign
+	// named type never resolves anyway, and if it did we would not want a
+	// name collision to trigger the rule.
+	if obj.Pkg().Name() != p.name {
+		return ""
+	}
+	return obj.Name()
+}
+
+// eachFuncDecl visits every function declaration with a body.
+func (p *pkg) eachFuncDecl(visit func(f *ast.File, fd *ast.FuncDecl)) {
+	for _, f := range p.files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				visit(f, fd)
+			}
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// goroutines: concurrency containment. Determinism rests on two structural
+// facts — every parallel fan-out goes through internal/workpool (index-
+// addressed result slots, deterministic merge), and every wall-clock or
+// listener goroutine lives in internal/clock or internal/httpserve. A `go`
+// statement anywhere else is an unaudited interleaving source.
+//
+// The same rule also checks mutex discipline: a Lock/RLock must be balanced
+// either by a deferred Unlock/RUnlock anywhere in the function, or by a
+// matching Unlock/RUnlock later in the same statement list (the sanctioned
+// "short critical section" shape). An unlock that only exists on a nested
+// early-return path leaks the lock on fall-through — exactly the bug shape
+// this catches.
+
+// goroutineDirs are the packages sanctioned to spawn goroutines.
+var goroutineDirs = map[string]bool{
+	"internal/workpool":  true,
+	"internal/clock":     true,
+	"internal/httpserve": true,
+}
+
+func checkGoroutines(p *pkg) {
+	spawnAllowed := goroutineDirs[p.relDir]
+	p.eachFuncDecl(func(_ *ast.File, fd *ast.FuncDecl) {
+		if !spawnAllowed {
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					p.report(RuleGoroutines, g.Pos(),
+						"goroutine spawned outside the sanctioned packages (internal/workpool, internal/clock, internal/httpserve); fan out through workpool.Run or a clock callback")
+				}
+				return true
+			})
+		}
+		checkLockBalance(p, fd)
+	})
+}
+
+// lockCall matches recv.Lock() / recv.RLock() / recv.Unlock() / recv.RUnlock()
+// and renders the receiver for pairing.
+func (p *pkg) lockCall(e ast.Expr) (recv, method string, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall || len(call.Args) != 0 {
+		return "", "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return p.exprText(sel.X), sel.Sel.Name, true
+	}
+	return "", "", false
+}
+
+func unlockFor(lock string) string {
+	if lock == "RLock" {
+		return "RUnlock"
+	}
+	return "Unlock"
+}
+
+// checkLockBalance flags Lock/RLock calls with no balancing unlock: neither
+// a deferred unlock of the same receiver anywhere in the function, nor a
+// plain unlock later in the same statement list.
+func checkLockBalance(p *pkg, fd *ast.FuncDecl) {
+	// Pass 1: receivers with a deferred unlock (direct or wrapped in a
+	// deferred closure) are balanced on all paths by construction.
+	deferred := make(map[string]bool) // "recv\x00method" of deferred unlocks
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if recv, method, ok := p.lockCall(d.Call); ok {
+			deferred[recv+"\x00"+method] = true
+		}
+		if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if es, ok := m.(*ast.ExprStmt); ok {
+					if recv, method, ok := p.lockCall(es.X); ok {
+						deferred[recv+"\x00"+method] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+
+	// Pass 2: every statement list, looking for Lock statements and their
+	// same-block balance.
+	eachStmtList(fd.Body, func(list []ast.Stmt) {
+		for i, stmt := range list {
+			es, ok := stmt.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			recv, method, ok := p.lockCall(es.X)
+			if !ok || (method != "Lock" && method != "RLock") {
+				continue
+			}
+			want := unlockFor(method)
+			if deferred[recv+"\x00"+want] {
+				continue
+			}
+			balanced := false
+			for _, later := range list[i+1:] {
+				if les, ok := later.(*ast.ExprStmt); ok {
+					if r2, m2, ok := p.lockCall(les.X); ok && r2 == recv && m2 == want {
+						balanced = true
+						break
+					}
+				}
+				if ds, ok := later.(*ast.DeferStmt); ok {
+					if r2, m2, ok := p.lockCall(ds.Call); ok && r2 == recv && m2 == want {
+						balanced = true
+						break
+					}
+				}
+			}
+			if !balanced {
+				p.report(RuleGoroutines, es.Pos(),
+					"%s.%s() has no balancing %s.%s() on all paths: defer it, or pair it in the same block", recv, method, recv, want)
+			}
+		}
+	})
+}
+
+// eachStmtList visits every statement list in the body: blocks, case
+// clauses, and select comm clauses.
+func eachStmtList(body *ast.BlockStmt, visit func([]ast.Stmt)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.BlockStmt:
+			visit(s.List)
+		case *ast.CaseClause:
+			visit(s.Body)
+		case *ast.CommClause:
+			visit(s.Body)
+		}
+		return true
+	})
+}

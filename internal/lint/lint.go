@@ -25,17 +25,44 @@
 //   - registrydoc: every policy name registered with policy.RegisterPull or
 //     policy.RegisterPush must be documented in README.md or DESIGN.md.
 //
+// On top of the per-file walks, a small intra-procedural dataflow engine
+// (dataflow.go) tracks value provenance through assignments and positions
+// (loop bodies, closure literals) inside each function, powering four
+// flow-sensitive rules:
+//
+//   - rngflow: every random draw must be reachable from a seeded constructor
+//     argument. Package-level rng streams, constant-seeded rng.New calls in
+//     library code (worse still inside loops), and draws on zero-value
+//     streams that were never Reseed-ed are all flagged.
+//   - hotalloc: functions annotated //qos:hotpath may not contain allocating
+//     constructs — growing append, make with a non-constant size, closures
+//     that capture locals, explicit interface conversions, or string
+//     concatenation. This is the static gate backing the corebench
+//     allocs/request ceiling.
+//   - goroutines: only internal/workpool, internal/clock and
+//     internal/httpserve may spawn goroutines; every mutex Lock/RLock must
+//     be balanced by a defer or a same-block Unlock/RUnlock on all paths.
+//   - barriersafe: fields of types annotated //qos:sharded (per-cell state
+//     owned by the cluster's parallel phase) may only be touched inside
+//     functions annotated //qos:barrier. Closures never inherit the
+//     annotation, so a parallel-phase closure needs an explicit waiver.
+//
 // A finding can be waived in place with a justified escape hatch:
 //
 //	//lint:allow <rule> <reason>
 //
 // on the offending line or the line directly above it. Allow comments that
-// name an unknown rule, or omit the reason, are themselves diagnostics.
+// name an unknown rule, or omit the reason, are themselves diagnostics — and
+// so are //qos: annotations that name an unknown marker or sit detached from
+// any declaration.
 //
 // The analysis is stdlib-only (go/ast, go/parser, go/token, go/types). Each
 // package is type-checked in isolation with stubbed imports: intra-package
-// types (map ranges, float operands) resolve fully, cross-package types
-// degrade to "unknown" and the rules stay conservative rather than guess.
+// types (map ranges, float operands, sharded structs) resolve fully,
+// cross-package types degrade to "unknown" and the rules stay conservative
+// rather than guess. Packages are analysed in parallel on internal/workpool;
+// results land in index-addressed slots and merge in directory order, so the
+// diagnostic stream is deterministic at any worker count.
 package lint
 
 import (
@@ -48,6 +75,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"hybridqos/internal/workpool"
 )
 
 // Diagnostic is one finding: a rule name, a position, and a message.
@@ -68,8 +97,13 @@ const (
 	RulePanicMsg       = "panicmsg"
 	RuleFloatCmp       = "floatcmp"
 	RuleRegistryDoc    = "registrydoc"
+	RuleRngFlow        = "rngflow"
+	RuleHotAlloc       = "hotalloc"
+	RuleGoroutines     = "goroutines"
+	RuleBarrierSafe    = "barriersafe"
 	// RuleAllow tags malformed //lint:allow comments (unknown rule name or
-	// missing reason). It cannot itself be allowed.
+	// missing reason) and malformed //qos: annotations. It cannot itself be
+	// allowed.
 	RuleAllow = "allow"
 )
 
@@ -80,6 +114,10 @@ var knownRules = map[string]bool{
 	RulePanicMsg:       true,
 	RuleFloatCmp:       true,
 	RuleRegistryDoc:    true,
+	RuleRngFlow:        true,
+	RuleHotAlloc:       true,
+	RuleGoroutines:     true,
+	RuleBarrierSafe:    true,
 }
 
 // Runner lints a module tree rooted at Root.
@@ -119,30 +157,67 @@ type pkg struct {
 	relDir string // slash-separated dir relative to Root; "." for the facade
 	scope  scope
 	runner *Runner
-	diags  *[]Diagnostic
-	regs   *[]registration
+	out    *pkgOutput
+	allows map[allowKey]allowEntry
+	ann    *annotations
+}
+
+// pkgOutput is the index-addressed result slot one lintDir job writes into.
+// Keeping every mutable output package-local is what makes the parallel run
+// race-free; the merge in Run is a deterministic directory-order fold.
+type pkgOutput struct {
+	diags  []Diagnostic
+	regs   []registration
+	allows []allowRecord
+}
+
+// allowRecord is an allow-map entry in slice form, so merging package results
+// never ranges over a map (qoslint practices what it preaches).
+type allowRecord struct {
+	key   allowKey
+	entry allowEntry
 }
 
 // Run lints the packages matched by patterns. A pattern is a directory
 // relative to Root, or a directory followed by "/..." for a recursive walk
-// ("./..." walks the whole module). It returns the sorted diagnostics; the
-// error is reserved for I/O and parse failures, not findings.
+// ("./..." walks the whole module). It returns the diagnostics sorted by
+// (file, line, column, rule); the error is reserved for I/O and parse
+// failures, not findings.
 func (r *Runner) Run(patterns ...string) ([]Diagnostic, error) {
 	dirs, err := r.expand(patterns)
 	if err != nil {
 		return nil, err
 	}
+	// One job per package directory. The stub-import type-checker keeps each
+	// job hermetic (no shared FileSet, no shared types.Info), so the only
+	// cross-package state — waivers consulted by registrydoc — is merged
+	// after the barrier, in directory order.
+	results := make([]pkgOutput, len(dirs))
+	if err := workpool.Run(len(dirs), func(i int) error {
+		return r.lintDir(dirs[i], &results[i])
+	}); err != nil {
+		return nil, err
+	}
 	r.allows = make(map[allowKey]allowEntry)
 	var diags []Diagnostic
 	var regs []registration
-	for _, dir := range dirs {
-		if err := r.lintDir(dir, &diags, &regs); err != nil {
-			return nil, err
+	for i := range results {
+		diags = append(diags, results[i].diags...)
+		regs = append(regs, results[i].regs...)
+		for _, rec := range results[i].allows {
+			r.allows[rec.key] = rec.entry
 		}
 	}
 	if err := r.checkRegistryDoc(regs, &diags); err != nil {
 		return nil, err
 	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// sortDiagnostics orders findings by (file, line, column, rule) so output is
+// stable regardless of package walk order or worker interleaving.
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -156,7 +231,6 @@ func (r *Runner) Run(patterns ...string) ([]Diagnostic, error) {
 		}
 		return a.Rule < b.Rule
 	})
-	return diags, nil
 }
 
 // expand resolves the patterns into a sorted, de-duplicated list of package
@@ -240,8 +314,9 @@ func isLintedFile(name string) bool {
 	return strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go")
 }
 
-// lintDir parses, type-checks and rule-checks one package directory.
-func (r *Runner) lintDir(dir string, diags *[]Diagnostic, regs *[]registration) error {
+// lintDir parses, type-checks and rule-checks one package directory, writing
+// every result into out (its private slot in the parallel run).
+func (r *Runner) lintDir(dir string, out *pkgOutput) error {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return err
@@ -275,21 +350,28 @@ func (r *Runner) lintDir(dir string, diags *[]Diagnostic, regs *[]registration) 
 		relDir: rel,
 		scope:  scopeOf(rel, files[0].Name.Name),
 		runner: r,
-		diags:  diags,
-		regs:   regs,
+		out:    out,
+		allows: make(map[allowKey]allowEntry),
 	}
 	p.info = typecheck(fset, dir, files)
 	p.collectAllows()
+	p.collectAnnotations()
 
 	checkRegistryCalls(p)
 	if p.scope == scopeLibrary {
 		checkNondeterminism(p)
 		checkMapOrder(p)
 		checkPanicMsg(p)
+		checkRngFlow(p)
+		checkGoroutines(p)
 	}
 	if floatCmpDirs[p.relDir] {
 		checkFloatCmp(p)
 	}
+	// hotalloc and barriersafe are annotation-driven opt-ins: they run in
+	// every scope, and cost nothing where no annotations exist.
+	checkHotAlloc(p)
+	checkBarrierSafe(p)
 	return nil
 }
 
@@ -363,7 +445,7 @@ func (p *pkg) report(rule string, pos token.Pos, format string, args ...any) {
 	if p.allowed(rule, position) {
 		return
 	}
-	*p.diags = append(*p.diags, Diagnostic{
+	p.out.diags = append(p.out.diags, Diagnostic{
 		Pos:  position,
 		Rule: rule,
 		Msg:  fmt.Sprintf(format, args...),

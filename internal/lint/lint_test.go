@@ -41,7 +41,16 @@ func TestFixtureFindings(t *testing.T) {
 		"internal/allowcase/allowcase.go:18 [nondeterminism]",
 		"internal/allowcase/allowcase.go:24 [allow]",
 		"internal/allowcase/allowcase.go:25 [nondeterminism]",
+		"internal/annot/annot.go:9 [allow]",
+		"internal/annot/annot.go:15 [allow]",
 		"internal/clock/virtual.go:9 [nondeterminism]",
+		"internal/cluster/cluster.go:31 [barriersafe]",
+		"internal/cluster/cluster.go:40 [barriersafe]",
+		"internal/hotalloc/hotalloc.go:16 [hotalloc]",
+		"internal/hotalloc/hotalloc.go:30 [hotalloc]",
+		"internal/hotalloc/hotalloc.go:45 [hotalloc]",
+		"internal/hotalloc/hotalloc.go:59 [hotalloc]",
+		"internal/hotalloc/hotalloc.go:66 [hotalloc]",
 		"internal/maporder/maporder.go:11 [maporder]",
 		"internal/maporder/maporder.go:29 [maporder]",
 		"internal/nondet/nondet.go:6 [nondeterminism]",
@@ -53,8 +62,16 @@ func TestFixtureFindings(t *testing.T) {
 		"internal/panicmsg/panicmsg.go:31 [panicmsg]",
 		"internal/policy/reg.go:13 [registrydoc]",
 		"internal/policy/reg.go:14 [registrydoc]",
+		"internal/rngflow/rngflow.go:7 [rngflow]",
+		"internal/rngflow/rngflow.go:9 [rngflow]",
+		"internal/rngflow/rngflow.go:35 [rngflow]",
+		"internal/rngflow/rngflow.go:43 [rngflow]",
+		"internal/rngflow/rngflow.go:49 [rngflow]",
+		"internal/rngflow/rngflow.go:63 [rngflow]",
 		"internal/sched/floatcmp.go:7 [floatcmp]",
 		"internal/sched/floatcmp.go:21 [floatcmp]",
+		"internal/spawn/spawn.go:16 [goroutines]",
+		"internal/spawn/spawn.go:53 [goroutines]",
 	}
 	_, got := fixtureRun(t, "./...")
 	if len(got) != len(want) {
@@ -130,6 +147,169 @@ func TestSingleDirPattern(t *testing.T) {
 	}
 	if len(got) != 2 {
 		t.Errorf("got %d findings for internal/sched, want 2:\n  %s", len(got), strings.Join(got, "\n  "))
+	}
+}
+
+// TestRngFlowRule covers the dataflow rule's positive and negative space:
+// package-level streams, loop and non-loop constant mints, zero-value draws
+// (including through Split, which propagates provenance), while injected
+// parameters, constructor fields, Reseed and the waived mint stay silent.
+func TestRngFlowRule(t *testing.T) {
+	diags, got := fixtureRun(t, "internal/rngflow")
+	keys := strings.Join(got, "\n")
+	for _, w := range []string{
+		"rngflow.go:7 [rngflow]",  // var global = rng.New(1)
+		"rngflow.go:9 [rngflow]",  // var cached *rng.Source
+		"rngflow.go:35 [rngflow]", // rng.New(42) inside a loop
+		"rngflow.go:43 [rngflow]", // rng.New(7) constant mint
+		"rngflow.go:49 [rngflow]", // draw on zero-value stream
+		"rngflow.go:63 [rngflow]", // draw on Split of a zero stream
+	} {
+		if !strings.Contains(keys, w) {
+			t.Errorf("missing rngflow finding %s in:\n%s", w, keys)
+		}
+	}
+	if n := strings.Count(keys, "[rngflow]"); n != 6 {
+		t.Errorf("got %d rngflow findings, want 6 (good/reseeded/waived must stay silent):\n%s", n, keys)
+	}
+	var loopMsg, zeroMsg bool
+	for _, d := range diags {
+		if d.Pos.Line == 35 && strings.Contains(d.Msg, "inside a loop") {
+			loopMsg = true
+		}
+		if d.Pos.Line == 49 && strings.Contains(d.Msg, "zero-value rng stream") {
+			zeroMsg = true
+		}
+	}
+	if !loopMsg {
+		t.Error("loop mint should carry the hoist-and-Split message")
+	}
+	if !zeroMsg {
+		t.Error("zero draw should name the zero-value stream")
+	}
+}
+
+// TestHotAllocRule: the five allocating constructs are flagged in annotated
+// functions; reslice reuse, constant make, capture-free literals,
+// unannotated functions and the waived append stay silent.
+func TestHotAllocRule(t *testing.T) {
+	diags, got := fixtureRun(t, "internal/hotalloc")
+	keys := strings.Join(got, "\n")
+	for _, w := range []string{
+		"hotalloc.go:16 [hotalloc]", // growing append
+		"hotalloc.go:30 [hotalloc]", // non-constant make
+		"hotalloc.go:45 [hotalloc]", // capturing closure
+		"hotalloc.go:59 [hotalloc]", // string concat
+		"hotalloc.go:66 [hotalloc]", // interface conversion
+	} {
+		if !strings.Contains(keys, w) {
+			t.Errorf("missing hotalloc finding %s in:\n%s", w, keys)
+		}
+	}
+	if n := strings.Count(keys, "[hotalloc]"); n != 5 {
+		t.Errorf("got %d hotalloc findings, want 5:\n%s", n, keys)
+	}
+	var captureNames bool
+	for _, d := range diags {
+		if d.Pos.Line == 45 && strings.Contains(d.Msg, "captures n") {
+			captureNames = true
+		}
+	}
+	if !captureNames {
+		t.Error("closure finding should name the captured variables")
+	}
+}
+
+// TestGoroutinesRule: spawns outside the allowlist and the fall-through
+// lock leak are flagged; defer pairing, same-block pairing, deferred-closure
+// unlock, the waived spawn, and the allowlisted workpool package stay silent.
+func TestGoroutinesRule(t *testing.T) {
+	_, got := fixtureRun(t, "internal/spawn", "internal/workpool")
+	keys := strings.Join(got, "\n")
+	for _, w := range []string{
+		"spawn.go:16 [goroutines]", // go outside allowlist
+		"spawn.go:53 [goroutines]", // lock leak on fall-through
+	} {
+		if !strings.Contains(keys, w) {
+			t.Errorf("missing goroutines finding %s in:\n%s", w, keys)
+		}
+	}
+	if n := strings.Count(keys, "[goroutines]"); n != 2 {
+		t.Errorf("got %d goroutines findings, want 2:\n%s", n, keys)
+	}
+	if strings.Contains(keys, "pool.go") {
+		t.Errorf("allowlisted workpool package must stay silent:\n%s", keys)
+	}
+}
+
+// TestBarrierSafeRule: sharded access outside a barrier function and inside
+// a closure are flagged with distinct messages; barrier-phase access and the
+// waived closure stay silent.
+func TestBarrierSafeRule(t *testing.T) {
+	diags, got := fixtureRun(t, "internal/cluster")
+	keys := strings.Join(got, "\n")
+	if n := strings.Count(keys, "[barriersafe]"); n != 2 {
+		t.Errorf("got %d barriersafe findings, want 2:\n%s", n, keys)
+	}
+	var outside, closure bool
+	for _, d := range diags {
+		if d.Rule != RuleBarrierSafe {
+			continue
+		}
+		switch d.Pos.Line {
+		case 31:
+			outside = strings.Contains(d.Msg, "outside a //qos:barrier function")
+		case 40:
+			closure = strings.Contains(d.Msg, "closures do not inherit")
+		}
+	}
+	if !outside {
+		t.Error("out-of-barrier access should say so")
+	}
+	if !closure {
+		t.Error("closure access should explain the no-inherit rule")
+	}
+}
+
+// TestAnnotationTypos: a misspelled or detached //qos: marker is an [allow]
+// diagnostic — and the misspelled function is genuinely not gated, so its
+// append produces no hotalloc finding.
+func TestAnnotationTypos(t *testing.T) {
+	diags, got := fixtureRun(t, "internal/annot")
+	keys := strings.Join(got, "\n")
+	if strings.Contains(keys, "[hotalloc]") {
+		t.Errorf("misspelled annotation must not gate the function:\n%s", keys)
+	}
+	var unknown, detached bool
+	for _, d := range diags {
+		if d.Rule != RuleAllow {
+			continue
+		}
+		if strings.Contains(d.Msg, `unknown //qos: annotation "hotpth"`) {
+			unknown = true
+		}
+		if strings.Contains(d.Msg, "not attached to a function declaration") {
+			detached = true
+		}
+	}
+	if !unknown {
+		t.Error("unknown //qos: marker was not reported")
+	}
+	if !detached {
+		t.Error("detached //qos: marker was not reported")
+	}
+}
+
+// TestParallelRunStable: the parallel per-package run must produce an
+// identical diagnostic stream on every invocation — same findings, same
+// order — regardless of worker interleaving.
+func TestParallelRunStable(t *testing.T) {
+	_, first := fixtureRun(t, "./...")
+	for i := 0; i < 5; i++ {
+		_, again := fixtureRun(t, "./...")
+		if strings.Join(again, "\n") != strings.Join(first, "\n") {
+			t.Fatalf("run %d diverged:\nfirst:\n  %s\nagain:\n  %s", i, strings.Join(first, "\n  "), strings.Join(again, "\n  "))
+		}
 	}
 }
 

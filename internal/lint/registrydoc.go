@@ -52,7 +52,7 @@ func checkRegistryCalls(p *pkg) {
 			if err != nil || name == "" {
 				return true
 			}
-			*p.regs = append(*p.regs, registration{name: name, pos: lit.Pos(), fset: p.fset})
+			p.out.regs = append(p.out.regs, registration{name: name, pos: lit.Pos(), fset: p.fset})
 			return true
 		})
 	}

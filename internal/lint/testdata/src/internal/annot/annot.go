@@ -1,0 +1,18 @@
+// Package annot seeds the annotation failure modes: a typo'd marker and a
+// marker detached from any declaration. Both are [allow] diagnostics so an
+// annotation typo cannot silently drop a function out of a gate.
+package annot
+
+// hotpth is misspelled, so this function is NOT gated — and the typo is a
+// finding instead of a silent no-op.
+//
+//qos:hotpth
+func notGated(xs []int, v int) []int {
+	return append(xs, v)
+}
+
+func detached() int {
+	//qos:hotpath
+	x := 1
+	return x
+}

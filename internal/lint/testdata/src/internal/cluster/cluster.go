@@ -1,0 +1,55 @@
+// Package cluster seeds the barriersafe violation shapes: sharded state
+// touched outside a barrier function, and inside a closure (which never
+// inherits the annotation). Barrier-phase access and a waived closure stay
+// silent.
+package cluster
+
+// cellState is per-cell property of the parallel phase.
+//
+//qos:sharded
+type cellState struct {
+	id   int
+	load int
+}
+
+// Cluster federates the cells.
+type Cluster struct {
+	cells []*cellState
+}
+
+// barrier runs single-threaded between epochs: cross-cell access is legal.
+//
+//qos:barrier
+func (c *Cluster) barrier() {
+	for _, cs := range c.cells {
+		cs.load = 0
+	}
+}
+
+// leak reads cell state outside any barrier function.
+func (c *Cluster) leak() int {
+	return c.cells[0].load
+}
+
+// step shows the closure trap: the parallel-phase closure does not inherit
+// the enclosing function's annotation.
+//
+//qos:barrier
+func (c *Cluster) step() {
+	run(func(i int) {
+		c.cells[i].load++
+	})
+}
+
+// stepWaived is the sanctioned parallel phase: the shard-ownership argument
+// is stated where review can see it.
+//
+//qos:barrier
+func (c *Cluster) stepWaived() {
+	run(func(i int) {
+		//lint:allow barriersafe fixture: each job touches only its own shard
+		c.cells[i].load++
+	})
+}
+
+func run(f func(int)) { f(0) }

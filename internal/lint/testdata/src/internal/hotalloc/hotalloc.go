@@ -1,0 +1,80 @@
+// Package hotalloc seeds every hotalloc violation shape plus the good
+// patterns: reslice reuse, constant make, capture-free literals, and an
+// annotated function with a justified waiver. Unannotated functions may
+// allocate freely.
+package hotalloc
+
+type buf struct {
+	items []int
+	tmp   []int
+}
+
+// hotAppend grows its backing array.
+//
+//qos:hotpath
+func (b *buf) hotAppend(v int) {
+	b.items = append(b.items, v)
+}
+
+// hotReuse reuses capacity through a reslice: the sanctioned idiom.
+//
+//qos:hotpath
+func (b *buf) hotReuse(vs []int) {
+	b.tmp = append(b.tmp[:0], vs...)
+}
+
+// hotMake sizes its slice from a runtime value.
+//
+//qos:hotpath
+func hotMake(n int) []int {
+	return make([]int, n)
+}
+
+// hotMakeConst is fine: constant-size make is stack-allocatable.
+//
+//qos:hotpath
+func hotMakeConst() []int {
+	x := make([]int, 8)
+	return x
+}
+
+// hotClosure returns a closure that captures its parameter.
+//
+//qos:hotpath
+func hotClosure(n int) func() int {
+	return func() int { return n }
+}
+
+// hotFuncValue is fine: a capture-free literal is a static func value.
+//
+//qos:hotpath
+func hotFuncValue() func() int {
+	return func() int { return 42 }
+}
+
+// hotConcat allocates a new string per call.
+//
+//qos:hotpath
+func hotConcat(a, b string) string {
+	return a + b
+}
+
+// hotIface boxes its operand.
+//
+//qos:hotpath
+func hotIface(v int) any {
+	return any(v)
+}
+
+// coldAppend is unannotated: hotalloc does not apply.
+func coldAppend(xs []int, v int) []int {
+	return append(xs, v)
+}
+
+// hotWaived carries the justification inline.
+//
+//qos:hotpath
+func hotWaived(xs []int, v int) []int {
+	//lint:allow hotalloc fixture: growth is amortized over the run
+	return append(xs, v)
+}

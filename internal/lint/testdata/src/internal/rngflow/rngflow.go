@@ -1,0 +1,70 @@
+// Package rngflow seeds every rngflow violation shape plus the good
+// patterns: injected streams, Split derivation, Reseed, and a waived mint.
+package rngflow
+
+import "hybridqos/internal/rng"
+
+var global = rng.New(1) // package-level stream, minted
+
+var cached *rng.Source // package-level stream, declared
+
+type sim struct {
+	src *rng.Source
+}
+
+// good: draws on an injected parameter stream.
+func good(r *rng.Source) float64 {
+	return r.Float64()
+}
+
+// good: draws on a constructor-owned field.
+func (s *sim) goodField() float64 {
+	return s.src.Float64()
+}
+
+// good: derives a child from a seeded root.
+func goodDerive(seed uint64) *rng.Source {
+	root := rng.New(seed)
+	return root.Split("child")
+}
+
+// loopMint mints an identical stream every iteration.
+func loopMint(n int) float64 {
+	var sum float64
+	for i := 0; i < n; i++ {
+		r := rng.New(42)
+		sum += r.Float64()
+	}
+	return sum
+}
+
+// constMint hardcodes the seed outside any loop.
+func constMint() *rng.Source {
+	return rng.New(7)
+}
+
+// zeroDraw draws from a stream that is never seeded on any path.
+func zeroDraw() float64 {
+	var r rng.Source
+	return r.Float64()
+}
+
+// reseeded is the sanctioned way to use a zero declaration.
+func reseeded(seed uint64) float64 {
+	var r rng.Source
+	r.Reseed(seed)
+	return r.Float64()
+}
+
+// zeroSplit derives from a zero stream; the child inherits zero provenance.
+func zeroSplit() float64 {
+	var r rng.Source
+	child := r.Split("child")
+	return child.Float64()
+}
+
+// waived demonstrates the escape hatch on a constant mint.
+func waived() *rng.Source {
+	//lint:allow rngflow fixture: constant seed is the point of this corpus generator
+	return rng.New(9)
+}

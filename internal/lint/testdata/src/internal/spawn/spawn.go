@@ -1,0 +1,59 @@
+// Package spawn seeds the goroutines rule's violation shapes: a goroutine
+// outside the sanctioned packages, and a lock with no balancing unlock on
+// the fall-through path. The good patterns — defer pairing, same-block
+// pairing, deferred-closure unlock, and a waived spawn — stay silent.
+package spawn
+
+import "sync"
+
+type guard struct {
+	mu sync.Mutex
+	n  int
+}
+
+// spawnBad forks outside workpool/clock/httpserve.
+func spawnBad() {
+	go func() {}()
+}
+
+// spawnWaived carries the justification inline.
+func spawnWaived() {
+	//lint:allow goroutines fixture: supervised by the test harness
+	go func() {}()
+}
+
+// lockDefer is the canonical balanced shape.
+func (g *guard) lockDefer() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n++
+}
+
+// lockPaired is the sanctioned short critical section.
+func (g *guard) lockPaired() int {
+	g.mu.Lock()
+	n := g.n
+	g.mu.Unlock()
+	return n
+}
+
+// lockClosureDefer unlocks through a deferred closure.
+func (g *guard) lockClosureDefer() {
+	g.mu.Lock()
+	defer func() {
+		g.n = 0
+		g.mu.Unlock()
+	}()
+	g.n++
+}
+
+// lockLeak unlocks only on the early-return path and leaks the mutex on
+// fall-through.
+func (g *guard) lockLeak() {
+	g.mu.Lock()
+	if g.n > 0 {
+		g.mu.Unlock()
+		return
+	}
+	g.n++
+}

@@ -1,0 +1,13 @@
+// Package workpool is on the goroutines allowlist: spawning here is the
+// sanctioned fan-out point, so the rule stays silent.
+package workpool
+
+// Go forks a worker; legal only because of the package this lives in.
+func Go(f func()) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		f()
+	}()
+	<-done
+}

@@ -212,6 +212,8 @@ const freeIndex = -2
 
 // reuse pops an entry from the freelist and re-initialises it for item, or
 // allocates a fresh one. The recycled request slice keeps its capacity.
+//
+//qos:hotpath
 func reuse(free *[]*Entry, req Request, length float64, heapIndex int) *Entry {
 	n := len(*free)
 	if n == 0 {
@@ -235,6 +237,8 @@ func reuse(free *[]*Entry, req Request, length float64, heapIndex int) *Entry {
 // park resets an extracted entry and pushes it onto the freelist. It reports
 // false (and does nothing) when the entry is nil, still enqueued, already
 // parked, or still the live entry for its item.
+//
+//qos:hotpath
 func park(free *[]*Entry, byItem map[int]*Entry, e *Entry) bool {
 	if e == nil || e.heapIndex != -1 || byItem[e.Item] == e {
 		return false
@@ -245,6 +249,7 @@ func park(free *[]*Entry, byItem map[int]*Entry, e *Entry) bool {
 	e.Item = 0
 	e.Length = 0
 	e.heapIndex = freeIndex
+	//lint:allow hotalloc amortized: the freelist grows to the steady-state entry population once, then recycles
 	*free = append(*free, e)
 	return true
 }
@@ -292,13 +297,17 @@ func (h *Heap) Entry(item int) *Entry { return h.byItem[item] }
 // Add enqueues a request, creating the item's entry if needed. Adding a
 // request can only increase the entry's score, so a sift-up restores heap
 // order.
+//
+//qos:hotpath
 func (h *Heap) Add(req Request, length float64) {
 	e := h.byItem[req.Item]
 	if e == nil {
 		e = reuse(&h.free, req, length, len(h.heap))
 		h.byItem[req.Item] = e
+		//lint:allow hotalloc amortized: the heap backing array grows to the distinct-item working set once
 		h.heap = append(h.heap, e)
 	}
+	//lint:allow hotalloc amortized: recycled entries keep request-slice capacity, so growth stops at the per-item burst size
 	e.Requests = append(e.Requests, req)
 	e.SumPriority += req.Priority
 	if req.Arrival < e.FirstArrival {
@@ -310,6 +319,8 @@ func (h *Heap) Add(req Request, length float64) {
 
 // less reports whether heap[i] has strictly lower selection precedence than
 // heap[j]: smaller score, or equal score and larger rank.
+//
+//qos:hotpath
 func (h *Heap) less(i, j int) bool {
 	si, sj := h.score(h.heap[i], 0), h.score(h.heap[j], 0)
 	//lint:allow floatcmp exact equality is the documented tie-break; both scores come from the same score() evaluation
@@ -319,12 +330,14 @@ func (h *Heap) less(i, j int) bool {
 	return h.heap[i].Item > h.heap[j].Item
 }
 
+//qos:hotpath
 func (h *Heap) swap(i, j int) {
 	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
 	h.heap[i].heapIndex = i
 	h.heap[j].heapIndex = j
 }
 
+//qos:hotpath
 func (h *Heap) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -336,6 +349,7 @@ func (h *Heap) siftUp(i int) {
 	}
 }
 
+//qos:hotpath
 func (h *Heap) siftDown(i int) {
 	n := len(h.heap)
 	for {
@@ -356,6 +370,8 @@ func (h *Heap) siftDown(i int) {
 }
 
 // Peek returns the max-score entry without removing it.
+//
+//qos:hotpath
 func (h *Heap) Peek(_ float64) *Entry {
 	if len(h.heap) == 0 {
 		return nil
@@ -364,6 +380,8 @@ func (h *Heap) Peek(_ float64) *Entry {
 }
 
 // ExtractMax removes and returns the max-score entry.
+//
+//qos:hotpath
 func (h *Heap) ExtractMax(_ float64) *Entry {
 	if len(h.heap) == 0 {
 		return nil
@@ -457,13 +475,17 @@ func (l *Linear) Items() int { return len(l.entries) }
 func (l *Linear) Requests() int { return l.requests }
 
 // Add enqueues a request.
+//
+//qos:hotpath
 func (l *Linear) Add(req Request, length float64) {
 	e := l.byItem[req.Item]
 	if e == nil {
 		e = reuse(&l.free, req, length, -1)
 		l.byItem[req.Item] = e
+		//lint:allow hotalloc amortized: the entry slice grows to the distinct-item working set once
 		l.entries = append(l.entries, e)
 	}
+	//lint:allow hotalloc amortized: recycled entries keep request-slice capacity, so growth stops at the per-item burst size
 	e.Requests = append(e.Requests, req)
 	e.SumPriority += req.Priority
 	if req.Arrival < e.FirstArrival {
@@ -474,6 +496,8 @@ func (l *Linear) Add(req Request, length float64) {
 
 // argMax returns the index of the max-score entry at time now, or -1 when
 // empty.
+//
+//qos:hotpath
 func (l *Linear) argMax(now float64) int {
 	best := -1
 	var bestScore float64
@@ -488,6 +512,8 @@ func (l *Linear) argMax(now float64) int {
 }
 
 // Peek returns the max-score entry at time now without removing it.
+//
+//qos:hotpath
 func (l *Linear) Peek(now float64) *Entry {
 	i := l.argMax(now)
 	if i < 0 {
@@ -497,6 +523,8 @@ func (l *Linear) Peek(now float64) *Entry {
 }
 
 // ExtractMax removes and returns the max-score entry at time now.
+//
+//qos:hotpath
 func (l *Linear) ExtractMax(now float64) *Entry {
 	i := l.argMax(now)
 	if i < 0 {
@@ -519,6 +547,7 @@ func (l *Linear) Remove(item int) *Entry {
 	return nil
 }
 
+//qos:hotpath
 func (l *Linear) removeAt(i int) *Entry {
 	e := l.entries[i]
 	l.entries[i] = l.entries[len(l.entries)-1]

@@ -48,6 +48,8 @@ func NewImportanceFactor(alpha float64) (ImportanceFactor, error) {
 func (p ImportanceFactor) Name() string { return fmt.Sprintf("importance-factor(α=%.2f)", p.Alpha) }
 
 // Score implements PullPolicy.
+//
+//qos:hotpath
 func (p ImportanceFactor) Score(e *pullqueue.Entry, _ float64) float64 { return e.Gamma(p.Alpha) }
 
 // TimeDependent implements PullPolicy.
@@ -61,6 +63,8 @@ type StretchOptimal struct{}
 func (StretchOptimal) Name() string { return "stretch-optimal" }
 
 // Score implements PullPolicy.
+//
+//qos:hotpath
 func (StretchOptimal) Score(e *pullqueue.Entry, _ float64) float64 { return e.Stretch() }
 
 // TimeDependent implements PullPolicy.
@@ -74,6 +78,8 @@ type PriorityOnly struct{}
 func (PriorityOnly) Name() string { return "priority-only" }
 
 // Score implements PullPolicy.
+//
+//qos:hotpath
 func (PriorityOnly) Score(e *pullqueue.Entry, _ float64) float64 { return e.SumPriority }
 
 // TimeDependent implements PullPolicy.
@@ -86,6 +92,8 @@ type FCFS struct{}
 func (FCFS) Name() string { return "fcfs" }
 
 // Score implements PullPolicy.
+//
+//qos:hotpath
 func (FCFS) Score(e *pullqueue.Entry, _ float64) float64 { return -e.FirstArrival }
 
 // TimeDependent implements PullPolicy.
@@ -98,6 +106,8 @@ type MRF struct{}
 func (MRF) Name() string { return "mrf" }
 
 // Score implements PullPolicy.
+//
+//qos:hotpath
 func (MRF) Score(e *pullqueue.Entry, _ float64) float64 { return float64(e.NumRequests()) }
 
 // TimeDependent implements PullPolicy.
@@ -111,6 +121,8 @@ type RxW struct{}
 func (RxW) Name() string { return "rxw" }
 
 // Score implements PullPolicy.
+//
+//qos:hotpath
 func (RxW) Score(e *pullqueue.Entry, now float64) float64 {
 	return float64(e.NumRequests()) * (now - e.FirstArrival)
 }
@@ -126,6 +138,8 @@ type ClassicStretch struct{}
 func (ClassicStretch) Name() string { return "classic-stretch" }
 
 // Score implements PullPolicy.
+//
+//qos:hotpath
 func (ClassicStretch) Score(e *pullqueue.Entry, now float64) float64 {
 	return float64(e.NumRequests()) * (now - e.FirstArrival) / e.Length
 }
@@ -154,6 +168,8 @@ func (p EDF) Name() string {
 }
 
 // Score implements PullPolicy.
+//
+//qos:hotpath
 func (p EDF) Score(e *pullqueue.Entry, now float64) float64 {
 	if p.TTL <= 0 {
 		return -e.FirstArrival
@@ -224,12 +240,17 @@ type queueSelector struct {
 	q pullqueue.Queue
 }
 
+//qos:hotpath
 func (s *queueSelector) Add(req pullqueue.Request, length float64) { s.q.Add(req, length) }
-func (s *queueSelector) ExtractBest(now float64) *pullqueue.Entry  { return s.q.ExtractMax(now) }
-func (s *queueSelector) Remove(item int) *pullqueue.Entry          { return s.q.Remove(item) }
-func (s *queueSelector) Items() int                                { return s.q.Items() }
-func (s *queueSelector) Requests() int                             { return s.q.Requests() }
-func (s *queueSelector) Recycle(e *pullqueue.Entry)                { s.q.Recycle(e) }
-func (s *queueSelector) Drain() []*pullqueue.Entry                 { return s.q.Drain() }
+
+//qos:hotpath
+func (s *queueSelector) ExtractBest(now float64) *pullqueue.Entry { return s.q.ExtractMax(now) }
+func (s *queueSelector) Remove(item int) *pullqueue.Entry         { return s.q.Remove(item) }
+func (s *queueSelector) Items() int                               { return s.q.Items() }
+func (s *queueSelector) Requests() int                            { return s.q.Requests() }
+
+//qos:hotpath
+func (s *queueSelector) Recycle(e *pullqueue.Entry) { s.q.Recycle(e) }
+func (s *queueSelector) Drain() []*pullqueue.Entry  { return s.q.Drain() }
 
 var _ Selector = (*queueSelector)(nil)

@@ -41,6 +41,8 @@ func NewFlatRoundRobin(k int) *FlatRoundRobin {
 func (f *FlatRoundRobin) Name() string { return "flat" }
 
 // Next implements PushScheduler.
+//
+//qos:hotpath
 func (f *FlatRoundRobin) Next() int {
 	if f.k == 0 {
 		panic("sched: Next on empty push set")
@@ -133,6 +135,8 @@ func lcm(a, b int) int { return a / gcd(a, b) * b }
 func (b *BroadcastDisk) Name() string { return "broadcast-disk" }
 
 // Next implements PushScheduler.
+//
+//qos:hotpath
 func (b *BroadcastDisk) Next() int {
 	item := b.program[b.pos]
 	b.pos = (b.pos + 1) % len(b.program)
@@ -178,6 +182,8 @@ func NewSquareRootRule(cat *catalog.Catalog, k int) (*SquareRootRule, error) {
 func (s *SquareRootRule) Name() string { return "square-root-rule" }
 
 // Next implements PushScheduler.
+//
+//qos:hotpath
 func (s *SquareRootRule) Next() int {
 	best, bestScore := 0, math.Inf(-1)
 	for i := range s.prob {
@@ -232,6 +238,8 @@ func NewFlatRoundRobinPartition(ranks []int) (*FlatRoundRobinPartition, error) {
 func (f *FlatRoundRobinPartition) Name() string { return "flat-partition" }
 
 // Next implements PushScheduler.
+//
+//qos:hotpath
 func (f *FlatRoundRobinPartition) Next() int {
 	item := f.ranks[f.next]
 	f.next = (f.next + 1) % len(f.ranks)
