@@ -17,11 +17,19 @@
 //
 //	corebench [-o BENCH_core.json] [-quick] [-workers N]
 //	corebench -verify BENCH_core.json [-max-allocs-per-request N]
+//	corebench -verify fresh.json -baseline BENCH_core.json
 //
 // -verify parses an existing results file and (optionally) enforces an
 // allocations-per-request ceiling; it runs no benchmarks, exits non-zero on
 // a parse failure or a ceiling breach, and is what CI uses to gate alloc
-// regressions against the committed baseline.
+// regressions against the committed baseline. With -baseline it additionally
+// compares a freshly measured results file against the committed one: the
+// engine's allocs/request must not grow past -max-allocs-growth and its
+// throughput must not fall below -min-throughput-frac of the baseline
+// (generous margins — CI machines are slower and noisier than the machine
+// that wrote the baseline). The benchmark workload never enables span
+// sampling, so this doubles as the spans-off overhead gate: span plumbing
+// on the hot path shows up as an alloc or throughput regression here.
 package main
 
 import (
@@ -76,11 +84,14 @@ func main() {
 		workers   = flag.Int("workers", 0, "sweep worker override (0 = one per spare CPU)")
 		verify    = flag.String("verify", "", "parse an existing results file instead of benchmarking")
 		maxAllocs = flag.Float64("max-allocs-per-request", 0, "with -verify: fail if allocs/request exceeds this (0 = no gate)")
+		baseline  = flag.String("baseline", "", "with -verify: committed results file to compare against")
+		allocGrow = flag.Float64("max-allocs-growth", 1.25, "with -baseline: fail if allocs/request exceeds baseline times this")
+		minThru   = flag.Float64("min-throughput-frac", 0.4, "with -baseline: fail if engine throughput falls below this fraction of baseline")
 	)
 	flag.Parse()
 
 	if *verify != "" {
-		verifyFile(*verify, *maxAllocs)
+		verifyFile(*verify, *maxAllocs, *baseline, *allocGrow, *minThru)
 		return
 	}
 
@@ -295,9 +306,34 @@ func clusterBenches(horizon float64) (seq, par Result, err error) {
 	return seq, par, nil
 }
 
-// verifyFile parses a results file and optionally enforces the
-// allocations-per-request ceiling.
-func verifyFile(path string, maxAllocs float64) {
+// verifyFile parses a results file, optionally enforces the
+// allocations-per-request ceiling, and optionally compares allocs/request
+// and engine throughput against a committed baseline file.
+func verifyFile(path string, maxAllocs float64, baselinePath string, allocGrow, minThru float64) {
+	rep := loadReport(path)
+	allocs, thru := keyNumbers(path, rep)
+	if maxAllocs > 0 && allocs > maxAllocs {
+		fatal("%s: %.2f allocs/request exceeds ceiling %.2f", path, allocs, maxAllocs)
+	}
+	if baselinePath != "" {
+		base := loadReport(baselinePath)
+		baseAllocs, baseThru := keyNumbers(baselinePath, base)
+		if allocGrow > 0 && allocs > baseAllocs*allocGrow {
+			fatal("%s: %.2f allocs/request exceeds baseline %.2f by more than %gx",
+				path, allocs, baseAllocs, allocGrow)
+		}
+		if minThru > 0 && thru < baseThru*minThru {
+			fatal("%s: throughput %.0f req/s below %.0f%% of baseline %.0f req/s",
+				path, thru, minThru*100, baseThru)
+		}
+		fmt.Fprintf(os.Stderr, "%s vs %s: allocs %.2f/%.2f, throughput %.0f/%.0f req/s ok\n",
+			path, baselinePath, allocs, baseAllocs, thru, baseThru)
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d results, %.2f allocs/request ok\n", path, len(rep.Results), allocs)
+}
+
+// loadReport reads and parses one results file.
+func loadReport(path string) report {
 	blob, err := os.ReadFile(path)
 	if err != nil {
 		fatal("%v", err)
@@ -309,20 +345,28 @@ func verifyFile(path string, maxAllocs float64) {
 	if len(rep.Results) == 0 {
 		fatal("%s: no results", path)
 	}
-	var allocs float64
-	found := false
+	return rep
+}
+
+// keyNumbers extracts the two gated quantities from a report: steady-state
+// allocations per request and the headline engine throughput.
+func keyNumbers(path string, rep report) (allocs, thru float64) {
+	allocsFound, thruFound := false, false
 	for _, r := range rep.Results {
-		if r.Name == "engine/allocs" {
-			allocs, found = r.AllocsPerRequest, true
+		switch r.Name {
+		case "engine/allocs":
+			allocs, allocsFound = r.AllocsPerRequest, true
+		case "engine/throughput":
+			thru, thruFound = r.OpsPerSec, true
 		}
 	}
-	if !found {
+	if !allocsFound {
 		fatal("%s: missing engine/allocs result", path)
 	}
-	if maxAllocs > 0 && allocs > maxAllocs {
-		fatal("%s: %.2f allocs/request exceeds ceiling %.2f", path, allocs, maxAllocs)
+	if !thruFound {
+		fatal("%s: missing engine/throughput result", path)
 	}
-	fmt.Fprintf(os.Stderr, "%s: %d results, %.2f allocs/request ok\n", path, len(rep.Results), allocs)
+	return allocs, thru
 }
 
 func fatal(format string, args ...any) {

@@ -15,6 +15,7 @@
 //	hybridsim -loss 0.2 -gilbert 5 -retries 3 -backoff 1 -shed-high 260 -shed-low 200
 //	hybridsim -telemetry-addr 127.0.0.1:9090 -horizon 200000 -reps 1
 //	hybridsim -telemetry-every 100 -trace run.jsonl   # snapshots embedded in the trace
+//	hybridsim -spans 1,0.5,0.1 -perfetto spans.json   # per-request span tracing
 package main
 
 import (
@@ -86,6 +87,10 @@ func main() {
 		workers   = flag.Int("workers", 0, "replication worker count (0 = one per spare CPU)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile after the simulation to this file")
+		spansIn   = flag.String("spans", "", "per-class span sampling rates (e.g. 1 or 1,0.5,0.1); enables span tracing")
+		perfetto  = flag.String("perfetto", "", "write sampled spans as Perfetto/Chrome trace-event JSON (needs -spans)")
+		otlp      = flag.String("otlp", "", "write sampled spans as compact OTLP-style JSON (needs -spans)")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/pprof/ profiling endpoints on this address during the run")
 	)
 	flag.Parse()
 
@@ -188,10 +193,34 @@ func main() {
 		}
 	}
 
+	// Span tracing applies on top of a loaded -config too, like telemetry.
+	if *spansIn != "" {
+		rates, err := parseFloats(*spansIn)
+		if err != nil {
+			fatal("parsing -spans: %v", err)
+		}
+		cfg.Spans = &hybridqos.SpanTraceConfig{Rates: rates}
+	}
+	if (*perfetto != "" || *otlp != "") && cfg.Spans == nil {
+		fatal("-perfetto and -otlp need span tracing (-spans)")
+	}
+
+	if *debugAddr != "" {
+		dbg, err := httpserve.StartDebug(*debugAddr)
+		if err != nil {
+			fatal("debug: %v", err)
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "serving profiling on http://%s/debug/pprof/\n", dbg.Addr)
+	}
+
 	if *workers > 0 {
 		hybridqos.SetWorkers(*workers)
 	}
 	if cfg.Cluster != nil {
+		if *perfetto != "" || *otlp != "" {
+			fatal("span export (-perfetto/-otlp) is single-cell; use -trace and traceinfo -spans for cluster runs")
+		}
 		stopCPU := startCPUProfile(*cpuProf)
 		cres, err := hybridqos.SimulateCluster(cfg)
 		stopCPU()
@@ -223,6 +252,18 @@ func main() {
 			fatal("trace: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d trace events to %s\n", n, *traceOut)
+	}
+
+	if *perfetto != "" || *otlp != "" {
+		sums, err := hybridqos.WriteSpans(cfg, *perfetto, *otlp)
+		if err != nil {
+			fatal("spans: %v", err)
+		}
+		for _, path := range []string{*perfetto, *otlp} {
+			if path != "" {
+				fmt.Fprintf(os.Stderr, "wrote %d spans to %s\n", len(sums), path)
+			}
+		}
 	}
 
 	fmt.Printf("hybridqos %s — D=%d θ=%.2f λ'=%.1f K=%d α=%.2f horizon=%.0f reps=%d\n\n",

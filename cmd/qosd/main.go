@@ -4,9 +4,11 @@
 //
 // Usage:
 //
-//	qosd -config qosd.json [-addr 127.0.0.1:8080]
+//	qosd -config qosd.json [-addr 127.0.0.1:8080] [-debug-addr 127.0.0.1:6060]
 //
-// Endpoints: POST /request (X-API-Key), GET /metrics, /healthz, /readyz.
+// Endpoints: POST /request (X-API-Key), GET /metrics, /debug/spans,
+// /healthz, /readyz. -debug-addr serves /debug/pprof/ on a separate
+// listener, off by default.
 // SIGTERM or SIGINT triggers a graceful drain: admission stops immediately,
 // every in-flight request is answered by its deadline, then the process
 // exits 0.
@@ -28,8 +30,9 @@ import (
 
 func main() {
 	var (
-		confPath = flag.String("config", "", "JSON daemon configuration (required)")
-		addr     = flag.String("addr", "127.0.0.1:8080", "HTTP listen address (port 0 picks a free port)")
+		confPath  = flag.String("config", "", "JSON daemon configuration (required)")
+		addr      = flag.String("addr", "127.0.0.1:8080", "HTTP listen address (port 0 picks a free port)")
+		debugAddr = flag.String("debug-addr", "", "optional listen address for /debug/pprof/ profiling endpoints")
 	)
 	flag.Parse()
 	if *confPath == "" {
@@ -61,6 +64,14 @@ func main() {
 		fatal("%v", err)
 	}
 	fmt.Fprintf(os.Stderr, "qosd: serving on http://%s (unit = %gms)\n", srv.Addr, cfg.UnitMillis)
+	if *debugAddr != "" {
+		dbg, err := httpserve.StartDebug(*debugAddr)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "qosd: profiling on http://%s/debug/pprof/\n", dbg.Addr)
+	}
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)

@@ -6,13 +6,18 @@
 // embedded telemetry snapshots (see `hybridsim -telemetry-every`) to
 // per-class delay-percentile and queue-depth time series — after auditing
 // every snapshot against an independent event replay — and writes them as
-// CSV plus two SVG charts.
+// CSV plus two SVG charts. With -spans it reconstructs the sampled
+// per-request spans embedded in the trace (see `hybridsim -spans`), audits
+// them against the event replay, prints outcome and segment summaries, and
+// can export them as Perfetto or OTLP-style JSON — the only span-export path
+// for multi-cell cluster traces.
 //
 // Usage:
 //
 //	hybridsim -horizon 5000 -reps 1 -telemetry-every 100 -trace run.jsonl
 //	traceinfo run.jsonl
 //	traceinfo -timeline run run.jsonl    # writes run.csv, run-delay.svg, run-queue.svg
+//	traceinfo -spans -perfetto spans.json run.jsonl
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 
 	"hybridqos/internal/clients"
 	"hybridqos/internal/report"
+	"hybridqos/internal/span"
 	"hybridqos/internal/stats"
 	"hybridqos/internal/telemetry"
 	"hybridqos/internal/trace"
@@ -35,6 +41,9 @@ type options struct {
 	classes  int
 	buckets  int
 	timeline string // artefact path prefix; empty disables the timeline export
+	spans    bool   // reconstruct and summarise per-request spans
+	perfetto string // span export paths; empty disables (both imply -spans)
+	otlp     string
 }
 
 func main() {
@@ -42,9 +51,12 @@ func main() {
 	flag.IntVar(&opts.classes, "classes", 3, "number of service classes in the trace")
 	flag.IntVar(&opts.buckets, "buckets", 10, "timeline buckets")
 	flag.StringVar(&opts.timeline, "timeline", "", "write snapshot time series to <prefix>.csv, <prefix>-delay.svg and <prefix>-queue.svg")
+	flag.BoolVar(&opts.spans, "spans", false, "reconstruct per-request spans (recorded with hybridsim -spans), audit them against the event replay, and print summaries")
+	flag.StringVar(&opts.perfetto, "perfetto", "", "write reconstructed spans as Perfetto/Chrome trace-event JSON (implies -spans)")
+	flag.StringVar(&opts.otlp, "otlp", "", "write reconstructed spans as compact OTLP-style JSON (implies -spans)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fatal("usage: traceinfo [-classes n] [-timeline prefix] <trace.jsonl>")
+		fatal("usage: traceinfo [-classes n] [-timeline prefix] [-spans] [-perfetto out.json] [-otlp out.json] <trace.jsonl>")
 	}
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {
@@ -76,6 +88,11 @@ func run(w io.Writer, events []trace.Event, opts options) error {
 	writeCoarseTimeline(w, events, opts.buckets)
 	if opts.timeline != "" {
 		if err := writeTimeline(w, events, opts.timeline); err != nil {
+			return err
+		}
+	}
+	if opts.spans || opts.perfetto != "" || opts.otlp != "" {
+		if err := writeSpans(w, events, opts); err != nil {
 			return err
 		}
 	}
@@ -188,8 +205,16 @@ func writeCells(w io.Writer, events []trace.Event, classes int) {
 	if !multi {
 		return
 	}
+	// refusalReasons is the fixed handoff-refusal taxonomy (trace.Event.Reason
+	// on KindHandoffRefused), in display order.
+	refusalReasons := []string{"expired", "shed", "horizon", "no-item"}
+	reasonCol := map[string]int{}
+	for i, r := range refusalReasons {
+		reasonCol[r] = i
+	}
 	type cellRow struct {
 		arrivals, handoffs, refusals []int64
+		byReason                     []int64
 	}
 	rows := map[int]*cellRow{}
 	get := func(cell int) *cellRow {
@@ -199,6 +224,7 @@ func writeCells(w io.Writer, events []trace.Event, classes int) {
 				arrivals: make([]int64, classes),
 				handoffs: make([]int64, classes),
 				refusals: make([]int64, classes),
+				byReason: make([]int64, len(refusalReasons)),
 			}
 			rows[cell] = r
 		}
@@ -215,7 +241,11 @@ func writeCells(w io.Writer, events []trace.Event, classes int) {
 		case trace.KindHandoff:
 			get(e.Cell).handoffs[c]++
 		case trace.KindHandoffRefused:
-			get(e.Cell).refusals[c]++
+			r := get(e.Cell)
+			r.refusals[c]++
+			if col, known := reasonCol[e.Reason]; known {
+				r.byReason[col]++
+			}
 		}
 	}
 	ids := make([]int, 0, len(rows))
@@ -240,14 +270,19 @@ func writeCells(w io.Writer, events []trace.Event, classes int) {
 		}
 		return n
 	}
-	tbl := report.NewTable("Per-cell breakdown (class A/B/C...)",
-		"cell", "requests", "by class", "handoffs", "by class", "refused", "by class")
+	cols := []string{"cell", "requests", "by class", "handoffs", "by class", "refused", "by class"}
+	cols = append(cols, refusalReasons...)
+	tbl := report.NewTable("Per-cell breakdown (class A/B/C...)", cols...)
 	for _, id := range ids {
 		r := rows[id]
-		tbl.AddRow(fmt.Sprint(id),
+		row := []string{fmt.Sprint(id),
 			fmt.Sprint(sum(r.arrivals)), perClass(r.arrivals),
 			fmt.Sprint(sum(r.handoffs)), perClass(r.handoffs),
-			fmt.Sprint(sum(r.refusals)), perClass(r.refusals))
+			fmt.Sprint(sum(r.refusals)), perClass(r.refusals)}
+		for _, n := range r.byReason {
+			row = append(row, fmt.Sprint(n))
+		}
+		tbl.AddRow(row...)
 	}
 	fmt.Fprintln(w, tbl.String())
 }
@@ -319,6 +354,127 @@ func writeTimeline(w io.Writer, events []trace.Event, prefix string) error {
 	fmt.Fprintf(w, "timeline: %d ticks, %d classes -> %s, %s, %s\n",
 		tl.Ticks(), len(tl.PerClass), a.CSV, a.DelaySVG, a.QueueSVG)
 	return nil
+}
+
+// writeSpans reconstructs the trace's sampled per-request spans, audits them
+// (segment tiling, terminal consistency, decision attachment), prints outcome
+// and segment summaries, and optionally exports Perfetto / OTLP JSON files.
+func writeSpans(w io.Writer, events []trace.Event, opts options) error {
+	spans, err := span.Build(events)
+	if err != nil {
+		return fmt.Errorf("span reconstruction: %w", err)
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("no span events in trace; record them with hybridsim -spans")
+	}
+	if err := span.Verify(spans); err != nil {
+		return fmt.Errorf("span audit FAILED: %w", err)
+	}
+	var open int
+	for _, sp := range spans {
+		if sp.Open {
+			open++
+		}
+	}
+	fmt.Fprintf(w, "span audit: %d spans reconstructed (%d still open at trace end); segments tile every lifetime\n\n",
+		len(spans), open)
+
+	// Outcome table: count, mean effective delay, provenance volume.
+	type outRow struct {
+		count, retries, losses, crossCell int64
+		delaySum                          float64
+	}
+	byOutcome := map[string]*outRow{}
+	for _, sp := range spans {
+		key := sp.Outcome
+		if sp.Open {
+			key = "(open)"
+		}
+		r := byOutcome[key]
+		if r == nil {
+			r = &outRow{}
+			byOutcome[key] = r
+		}
+		r.count++
+		r.retries += int64(sp.Retries)
+		r.losses += int64(sp.Losses)
+		if len(sp.Cells) > 1 {
+			r.crossCell++
+		}
+		r.delaySum += sp.Delay()
+	}
+	outcomes := make([]string, 0, len(byOutcome))
+	for k := range byOutcome {
+		outcomes = append(outcomes, k)
+	}
+	sort.Strings(outcomes)
+	ot := report.NewTable("Sampled spans by outcome",
+		"outcome", "spans", "mean delay", "retries", "losses", "cross-cell")
+	for _, k := range outcomes {
+		r := byOutcome[k]
+		ot.AddRow(k, fmt.Sprint(r.count),
+			report.FormatFloat(r.delaySum/float64(r.count), "%.2f"),
+			fmt.Sprint(r.retries), fmt.Sprint(r.losses), fmt.Sprint(r.crossCell))
+	}
+	fmt.Fprintln(w, ot.String())
+
+	// Segment table: where sampled requests spent their time.
+	type segRow struct {
+		count    int64
+		duration float64
+	}
+	bySeg := map[string]*segRow{}
+	for _, sp := range spans {
+		for _, seg := range sp.Segments {
+			r := bySeg[seg.Kind]
+			if r == nil {
+				r = &segRow{}
+				bySeg[seg.Kind] = r
+			}
+			r.count++
+			r.duration += seg.Duration()
+		}
+	}
+	kinds := make([]string, 0, len(bySeg))
+	for k := range bySeg {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	st := report.NewTable("Span segments", "kind", "count", "total units", "mean units")
+	for _, k := range kinds {
+		r := bySeg[k]
+		st.AddRow(k, fmt.Sprint(r.count),
+			report.FormatFloat(r.duration, "%.2f"),
+			report.FormatFloat(r.duration/float64(r.count), "%.3f"))
+	}
+	fmt.Fprintln(w, st.String())
+
+	if opts.perfetto != "" {
+		if err := exportSpans(opts.perfetto, spans, span.WritePerfetto); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %d spans as Perfetto trace-event JSON to %s\n", len(spans), opts.perfetto)
+	}
+	if opts.otlp != "" {
+		if err := exportSpans(opts.otlp, spans, span.WriteOTLP); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %d spans as OTLP-style JSON to %s\n", len(spans), opts.otlp)
+	}
+	return nil
+}
+
+// exportSpans writes one span export file through the given encoder.
+func exportSpans(path string, spans []*span.Span, write func(io.Writer, []*span.Span) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f, spans); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // timelineHasData reports whether any class produced at least one finite

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
@@ -9,6 +10,7 @@ import (
 	"testing"
 
 	"hybridqos"
+	"hybridqos/internal/span"
 	"hybridqos/internal/telemetry"
 	"hybridqos/internal/trace"
 )
@@ -73,7 +75,9 @@ func clusterEvents() []trace.Event {
 		{T: 3, Kind: trace.KindHandoffRefused, Item: 90, Class: 2, Cell: 0, Reason: "no-item"},
 		{T: 4, Kind: trace.KindHandoff, Item: 51, Class: 1, Cell: 0},
 		{T: 5, Kind: trace.KindHandoffRefused, Item: 52, Class: 2, Cell: 0, Reason: "expired"},
+		{T: 5.5, Kind: trace.KindHandoffRefused, Item: 60, Class: 1, Cell: 1, Reason: "shed"},
 		{T: 6, Kind: trace.KindServed, Class: 0, Arrival: 0, Cell: 1},
+		{T: 6.5, Kind: trace.KindHandoffRefused, Item: 61, Class: 0, Cell: 1, Reason: "horizon"},
 		{T: 7, Kind: trace.KindArrival, Item: 53, Class: 0, Cell: 0},
 	}
 }
@@ -97,6 +101,99 @@ func TestRunGoldenCluster(t *testing.T) {
 	}
 	if !bytes.Equal(buf.Bytes(), want) {
 		t.Errorf("output drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// spanEvents is a hand-built trace with span provenance: one pull-served
+// request (with its enqueue score and the extraction decision that won) and
+// one push-registered request that expired waiting.
+func spanEvents() []trace.Event {
+	return []trace.Event{
+		{T: 0, Kind: trace.KindArrival, Item: 50, Class: 0},
+		{T: 0, Kind: trace.KindSpanStart, Item: 50, Class: 0, Req: 7, Reason: trace.VerdictPull},
+		{T: 0, Kind: trace.KindSpanEnqueue, Item: 50, Class: 0, Req: 7, Score: 2.5, Requests: 1},
+		{T: 1, Kind: trace.KindDecision, Item: 50, Class: 0, Score: 2.5, RunnerUp: 51, RunnerUpScore: 1.25, Requests: 1},
+		{T: 1, Kind: trace.KindPullStart, Item: 50, Class: 0, Requests: 1},
+		{T: 2, Kind: trace.KindPullComplete, Item: 50, Class: 0, Requests: 1},
+		{T: 2, Kind: trace.KindServed, Class: 0, Arrival: 0},
+		{T: 2, Kind: trace.KindSpanEnd, Item: 50, Class: 0, Req: 7, Reason: trace.EndServed, Arrival: 0, Start: 1},
+		{T: 3, Kind: trace.KindArrival, Item: 2, Class: 1},
+		{T: 3, Kind: trace.KindSpanStart, Item: 2, Class: 1, Req: 8, Reason: trace.VerdictPush},
+		{T: 5, Kind: trace.KindSpanEnd, Item: 2, Class: 1, Req: 8, Reason: trace.EndExpired, Arrival: 3},
+	}
+}
+
+// TestRunGoldenSpans pins the -spans report: audit line, outcome table and
+// segment table.
+func TestRunGoldenSpans(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, spanEvents(), options{classes: 3, buckets: 2, spans: true}); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "golden_spans.txt")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with go test -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("output drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestSpansRequireSpanEvents pins the error for a trace recorded without
+// -spans sampling.
+func TestSpansRequireSpanEvents(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(&buf, syntheticEvents(), options{classes: 3, buckets: 2, spans: true})
+	if err == nil || !strings.Contains(err.Error(), "no span events") {
+		t.Fatalf("err = %v, want missing-span-events error", err)
+	}
+}
+
+// TestSpanExportFiles drives the -perfetto / -otlp export paths and
+// schema-validates both artefacts.
+func TestSpanExportFiles(t *testing.T) {
+	dir := t.TempDir()
+	pf := filepath.Join(dir, "spans-perfetto.json")
+	ot := filepath.Join(dir, "spans-otlp.json")
+	var buf bytes.Buffer
+	if err := run(&buf, spanEvents(), options{classes: 3, buckets: 2, perfetto: pf, otlp: ot}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := span.ValidatePerfetto(data); err != nil {
+		t.Errorf("perfetto export invalid: %v", err)
+	}
+	otBytes, err := os.ReadFile(ot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var otlp struct {
+		ResourceSpans []struct {
+			ScopeSpans []struct {
+				Spans []map[string]any `json:"spans"`
+			} `json:"scopeSpans"`
+		} `json:"resourceSpans"`
+	}
+	if err := json.Unmarshal(otBytes, &otlp); err != nil {
+		t.Fatalf("otlp export not JSON: %v", err)
+	}
+	if len(otlp.ResourceSpans) == 0 || len(otlp.ResourceSpans[0].ScopeSpans) == 0 ||
+		len(otlp.ResourceSpans[0].ScopeSpans[0].Spans) == 0 {
+		t.Error("otlp export carries no spans")
+	}
+	for _, want := range []string{"wrote 2 spans as Perfetto", "wrote 2 spans as OTLP"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, buf.String())
+		}
 	}
 }
 

@@ -123,6 +123,7 @@ func (c Config) clusterConfig() (cluster.Config, error) {
 	if c.Telemetry != nil {
 		cc.TelemetryEvery = c.Telemetry.SnapshotEvery
 	}
+	cc.Exemplars = c.exemplarCount()
 	cc.PerCell = func(_ int, cfg *core.Config) error {
 		if c.Rotation != nil {
 			rot, err := workload.NewRotatingPopularity(cfg.Catalog, c.Rotation.Period, c.Rotation.Shift)

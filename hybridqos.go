@@ -25,6 +25,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"os"
 
@@ -38,7 +39,9 @@ import (
 	"hybridqos/internal/core"
 	"hybridqos/internal/faults"
 	"hybridqos/internal/policy"
+	"hybridqos/internal/rng"
 	"hybridqos/internal/sim"
+	"hybridqos/internal/span"
 	"hybridqos/internal/telemetry"
 	"hybridqos/internal/trace"
 	"hybridqos/internal/uplink"
@@ -169,6 +172,28 @@ type Config struct {
 	// with client mobility and cross-cell routing; SimulateCluster runs it
 	// (Simulate ignores this field).
 	Cluster *ClusterOptions
+	// Spans, when non-nil, enables deterministic per-request span tracing:
+	// head-sampled request lifecycles with scheduler decision provenance,
+	// reconstructable into span trees (WriteSpans, cmd/traceinfo -spans).
+	// The sampling draws come from a dedicated RNG stream, so a spans-off
+	// run is bit-identical to one without this field and a spans-on run is
+	// trajectory-identical (same draws and metrics, extra trace events).
+	Spans *SpanTraceConfig
+}
+
+// SpanTraceConfig parameterises per-request span tracing (Config.Spans).
+type SpanTraceConfig struct {
+	// Rates are the per-class head-sampling probabilities in [0,1],
+	// Class-A first; classes beyond the slice (or an empty slice) sample
+	// at rate 1. The decision is made once, at arrival, from a dedicated
+	// deterministic stream.
+	Rates []float64
+	// Exemplars, with Config.Telemetry also set, keeps up to this many
+	// exemplar span IDs per (class, delay bucket) in the telemetry
+	// collector, chosen by a deterministic reservoir — the bridge from an
+	// aggregate latency bucket back to concrete traced requests. 0
+	// disables exemplars.
+	Exemplars int
 }
 
 // TelemetryConfig parameterises the telemetry layer (see Config.Telemetry).
@@ -187,12 +212,17 @@ type TelemetryConfig struct {
 }
 
 // newCollector builds a fresh per-run collector (collectors are stateful;
-// one is created per traced replication).
-func (tc *TelemetryConfig) newCollector() (*telemetry.Collector, error) {
+// one is created per traced replication). exemplars > 0 additionally arms
+// exemplar span-ID sampling with a reservoir stream derived from seed.
+func (tc *TelemetryConfig) newCollector(exemplars int, seed uint64) (*telemetry.Collector, error) {
 	if tc.SnapshotEvery <= 0 || math.IsNaN(tc.SnapshotEvery) || math.IsInf(tc.SnapshotEvery, 0) {
 		return nil, fmt.Errorf("hybridqos: telemetry snapshot cadence %g, want positive", tc.SnapshotEvery)
 	}
 	opts := telemetry.Options{SnapshotEvery: tc.SnapshotEvery}
+	if exemplars > 0 {
+		opts.Exemplars = exemplars
+		opts.ExemplarRNG = rng.New(seed).Split("exemplars")
+	}
 	if hook := tc.OnSnapshot; hook != nil {
 		opts.OnSnapshot = func(s *telemetry.Snapshot) {
 			var buf bytes.Buffer
@@ -202,6 +232,15 @@ func (tc *TelemetryConfig) newCollector() (*telemetry.Collector, error) {
 		}
 	}
 	return telemetry.New(opts)
+}
+
+// exemplarCount returns the configured exemplar reservoir size, 0 when
+// span tracing or telemetry is off.
+func (c Config) exemplarCount() int {
+	if c.Spans == nil || c.Telemetry == nil {
+		return 0
+	}
+	return c.Spans.Exemplars
 }
 
 // FaultsConfig parameterises the failure model: downlink loss, client
@@ -405,9 +444,15 @@ func (c Config) build() (core.Config, error) {
 	if c.Telemetry != nil {
 		// Validate eagerly; the per-run collector is created in perRun (it is
 		// stateful and attaches to replication 0 only).
-		if _, err := c.Telemetry.newCollector(); err != nil {
+		if _, err := c.Telemetry.newCollector(0, 0); err != nil {
 			return core.Config{}, err
 		}
+	}
+	if c.Spans != nil {
+		if c.Spans.Exemplars < 0 {
+			return core.Config{}, fmt.Errorf("hybridqos: negative span exemplar count %d", c.Spans.Exemplars)
+		}
+		cfg.Spans = &core.SpanConfig{Rates: append([]float64(nil), c.Spans.Rates...)}
 	}
 	if c.ClientCache != nil {
 		cachePol, err := cachePolicyByName(c.ClientCache.Policy)
@@ -540,7 +585,7 @@ func (c Config) perRun() func(int, *core.Config) error {
 	}
 	return func(rep int, cfg *core.Config) error {
 		if c.Telemetry != nil && rep == 0 {
-			col, err := c.Telemetry.newCollector()
+			col, err := c.Telemetry.newCollector(c.exemplarCount(), cfg.Seed)
 			if err != nil {
 				return err
 			}
@@ -805,6 +850,93 @@ func WriteTrace(c Config, path string) (int64, error) {
 		return 0, err
 	}
 	return j.Events(), f.Close()
+}
+
+// SpanSummary reports one reconstructed span in facade terms.
+type SpanSummary struct {
+	// ID is the globally unique span ID.
+	ID int64
+	// Class is the service class index (0 = Class-A).
+	Class int
+	// Item is the requested catalog rank.
+	Item int
+	// Verdict is the admission verdict ("pull", "push", "cache") and
+	// Outcome the terminal taxonomy ("served", "expired", ...; empty for a
+	// span still open at the horizon).
+	Verdict, Outcome string
+	// Start, End and Delay bound the request lifetime in broadcast units.
+	Start, End, Delay float64
+	// Segments counts the reconstructed child segments, Retries the
+	// re-requests after corrupted deliveries.
+	Segments, Retries int
+}
+
+// WriteSpans runs ONE simulation of the configuration (replication 0's
+// seed) with span tracing enabled, reconstructs and verifies every sampled
+// request's span tree, and writes the requested exports: Perfetto/Chrome
+// trace-event JSON to perfettoPath and compact OTLP-style JSON to otlpPath
+// (either may be empty to skip that export). Config.Spans must be set; the
+// returned summaries are sorted by span start time. Reconstruction is
+// audited before writing — segments must tile each request lifetime
+// exactly, with durations summing to the effective delay.
+func WriteSpans(c Config, perfettoPath, otlpPath string) ([]SpanSummary, error) {
+	if c.Spans == nil {
+		return nil, fmt.Errorf("hybridqos: Config.Spans not set")
+	}
+	cfg, err := c.build()
+	if err != nil {
+		return nil, err
+	}
+	if hook := c.perRun(); hook != nil {
+		if err := hook(0, &cfg); err != nil {
+			return nil, err
+		}
+	}
+	buf := &trace.Buffer{}
+	cfg.Tracer = buf
+	if _, err := core.Run(cfg); err != nil {
+		return nil, err
+	}
+	spans, err := span.Build(buf.Events)
+	if err != nil {
+		return nil, err
+	}
+	if err := span.Verify(spans); err != nil {
+		return nil, err
+	}
+	if perfettoPath != "" {
+		if err := writeSpanFile(perfettoPath, spans, span.WritePerfetto); err != nil {
+			return nil, err
+		}
+	}
+	if otlpPath != "" {
+		if err := writeSpanFile(otlpPath, spans, span.WriteOTLP); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]SpanSummary, len(spans))
+	for i, sp := range spans {
+		out[i] = SpanSummary{
+			ID: sp.ID, Class: int(sp.Class), Item: sp.Item,
+			Verdict: sp.Verdict, Outcome: sp.Outcome,
+			Start: sp.Start, End: sp.End, Delay: sp.Delay(),
+			Segments: len(sp.Segments), Retries: sp.Retries,
+		}
+	}
+	return out, nil
+}
+
+// writeSpanFile writes one span export to path via the given renderer.
+func writeSpanFile(path string, spans []*span.Span, render func(io.Writer, []*span.Span) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f, spans); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // AdaptivePlan is one re-optimisation outcome of an AdaptiveController.

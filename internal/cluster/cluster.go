@@ -106,6 +106,11 @@ type Config struct {
 	// cell ID and embedded in the cell's trace stream when CollectTrace is
 	// set).
 	TelemetryEvery float64
+	// Exemplars, with TelemetryEvery > 0 and Base.Spans set, keeps up to
+	// that many exemplar span IDs per (class, delay bucket) in each cell's
+	// collector, sampled with a deterministic per-cell reservoir. 0
+	// disables exemplars.
+	Exemplars int
 	// PerCell, when non-nil, is called with each cell's derived core config
 	// before the cell is built — the hook for installing per-cell stateful
 	// components (loss models, uplink channels, workloads).
@@ -161,6 +166,9 @@ func (c Config) Validate() error {
 	}
 	if c.TelemetryEvery < 0 || math.IsNaN(c.TelemetryEvery) || math.IsInf(c.TelemetryEvery, 0) {
 		return fmt.Errorf("cluster: invalid telemetry cadence %g", c.TelemetryEvery)
+	}
+	if c.Exemplars < 0 {
+		return fmt.Errorf("cluster: negative exemplar count %d", c.Exemplars)
 	}
 	return nil
 }
@@ -237,13 +245,26 @@ func New(cfg Config) (*Cluster, error) {
 		if cfg.HotFactor > 0 && i == cfg.HotCell {
 			cc.Lambda *= cfg.HotFactor
 		}
+		if cc.Spans != nil {
+			// Namespace span IDs per cell (cell index in the high bits) so
+			// IDs stay globally unique after MergeByTime and cross-cell
+			// parent links resolve unambiguously.
+			sc := *cc.Spans
+			sc.IDBase = int64(i+1) << 40
+			cc.Spans = &sc
+		}
 		cs := &cellState{id: i, mobRng: mobRoot.Split(fmt.Sprintf("cell-%d", i))}
 		if cfg.CollectTrace {
 			cs.buf = &trace.Buffer{}
 			cc.Tracer = trace.Tag{Cell: i, Next: cs.buf}
 		}
 		if cfg.TelemetryEvery > 0 {
-			tele, err := telemetry.New(telemetry.Options{SnapshotEvery: cfg.TelemetryEvery, Cell: i})
+			opts := telemetry.Options{SnapshotEvery: cfg.TelemetryEvery, Cell: i}
+			if cfg.Exemplars > 0 && cc.Spans != nil {
+				opts.Exemplars = cfg.Exemplars
+				opts.ExemplarRNG = rng.New(cc.Seed).Split("exemplars")
+			}
+			tele, err := telemetry.New(opts)
 			if err != nil {
 				return nil, err
 			}
@@ -380,16 +401,16 @@ func (c *Cluster) exchange(t float64, loads []int) {
 			dc := c.cells[dst]
 			if rm.Item > c.shared {
 				// Cell-local content does not exist at the destination.
-				dc.srv.RefuseHandoff(rm.Item, rm.Class, "no-item")
+				dc.srv.RefuseHandoff(rm.Item, rm.Class, "no-item", rm.Arrival, rm.Span)
 				continue
 			}
 			attach := t + c.cfg.Mobility.AttachDelay
 			if attach > horizon {
-				dc.srv.RefuseHandoff(rm.Item, rm.Class, "horizon")
+				dc.srv.RefuseHandoff(rm.Item, rm.Class, "horizon", rm.Arrival, rm.Span)
 				continue
 			}
 			loads[dst]++
-			dc.srv.ScheduleInject(attach, rm.Item, rm.Class, rm.Arrival, rm.Attempts, nil)
+			dc.srv.ScheduleInject(attach, rm.Item, rm.Class, rm.Arrival, rm.Attempts, rm.Span, nil)
 		}
 	}
 }

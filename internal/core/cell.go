@@ -33,6 +33,11 @@ type Roamer struct {
 	// Push reports whether the client was waiting on a broadcast (item rank
 	// within the origin cell's push cutoff) rather than a queued pull.
 	Push bool
+	// Span is the request's span ID when it was head-sampled for span
+	// provenance in its origin cell (0 otherwise). It travels with the
+	// roamer so the destination cell's span events keep the same ID and
+	// cross-cell parent links survive stream merging.
+	Span int64
 }
 
 // InjectOutcome is the fate of a roamer delivered to a cell.
@@ -130,8 +135,9 @@ func (s *Server) ExtractRoamers(roam func() bool) []Roamer {
 	for _, e := range entries {
 		for _, r := range e.Requests {
 			if roam() {
-				out = append(out, Roamer{Item: r.Item, Class: r.Class, Arrival: r.Arrival, Attempts: r.Attempts})
+				out = append(out, Roamer{Item: r.Item, Class: r.Class, Arrival: r.Arrival, Attempts: r.Attempts, Span: r.Tag})
 				s.metrics.PerClass[r.Class].HandoffsOut++
+				s.spanHandoff(r.Item, r.Class, r.Tag)
 			} else {
 				s.selector.Add(r, e.Length)
 			}
@@ -151,8 +157,9 @@ func (s *Server) ExtractRoamers(roam func() bool) []Roamer {
 		keep := ws[:0]
 		for _, w := range ws {
 			if roam() {
-				out = append(out, Roamer{Item: rank, Class: w.class, Arrival: w.arrival, Push: true})
+				out = append(out, Roamer{Item: rank, Class: w.class, Arrival: w.arrival, Push: true, Span: w.span})
 				s.metrics.PerClass[w.class].HandoffsOut++
+				s.spanHandoff(rank, w.class, w.span)
 			} else {
 				keep = append(keep, w)
 			}
@@ -172,18 +179,19 @@ func (s *Server) ExtractRoamers(roam func() bool) []Roamer {
 // while in transit. Accepted roamers re-attach as a push waiter when the
 // item is within this cell's push cutoff, otherwise they join the pull
 // queue.
-func (s *Server) Inject(item int, class clients.Class, arrival float64, attempts int) InjectOutcome {
+func (s *Server) Inject(item int, class clients.Class, arrival float64, attempts int, span int64) InjectOutcome {
 	now := s.clk.Now()
 	if s.cfg.RequestTTL > 0 && now > arrival+s.cfg.RequestTTL {
 		if arrival >= s.warmupEnd {
 			s.metrics.PerClass[class].Expired++
 		}
-		s.refuseHandoff(item, class, "expired")
+		s.refuseHandoff(item, class, "expired", arrival, span)
 		return InjectExpired
 	}
 	if item <= s.cutoff {
 		s.acceptHandoff(item, class)
-		s.pushWaiters[item] = append(s.pushWaiters[item], pushWaiter{class: class, arrival: arrival, client: -1})
+		s.spanAttach(item, class, span, trace.VerdictPush)
+		s.pushWaiters[item] = append(s.pushWaiters[item], pushWaiter{class: class, arrival: arrival, joined: now, client: -1, span: span})
 		return InjectAccepted
 	}
 	if s.shedder != nil {
@@ -192,11 +200,12 @@ func (s *Server) Inject(item int, class clients.Class, arrival float64, attempts
 			if arrival >= s.warmupEnd {
 				s.metrics.PerClass[class].Shed++
 			}
-			s.refuseHandoff(item, class, "shed")
+			s.refuseHandoff(item, class, "shed", arrival, span)
 			return InjectShed
 		}
 	}
 	s.acceptHandoff(item, class)
+	s.spanAttach(item, class, span, trace.VerdictPull)
 	s.enqueuePull(pullqueue.Request{
 		Item:     item,
 		Class:    class,
@@ -204,6 +213,7 @@ func (s *Server) Inject(item int, class clients.Class, arrival float64, attempts
 		Arrival:  arrival,
 		Client:   -1,
 		Attempts: attempts,
+		Tag:      span,
 	})
 	return InjectAccepted
 }
@@ -213,9 +223,9 @@ func (s *Server) Inject(item int, class clients.Class, arrival float64, attempts
 // be nil) runs inside the cell's event loop, right after the injection;
 // cluster callers use it to tally per-cell outcomes without any cross-cell
 // shared state.
-func (s *Server) ScheduleInject(at float64, item int, class clients.Class, arrival float64, attempts int, done func(InjectOutcome)) {
+func (s *Server) ScheduleInject(at float64, item int, class clients.Class, arrival float64, attempts int, span int64, done func(InjectOutcome)) {
 	s.clk.At(at, func() {
-		out := s.Inject(item, class, arrival, attempts)
+		out := s.Inject(item, class, arrival, attempts, span)
 		if done != nil {
 			done(out)
 		}
@@ -226,8 +236,10 @@ func (s *Server) ScheduleInject(at float64, item int, class clients.Class, arriv
 // reason "no-item" when the item is absent from the cell's catalog, or
 // "horizon" when the transit would end past the simulation horizon. (The
 // refusals Inject decides itself — "expired", "shed" — book themselves.)
-func (s *Server) RefuseHandoff(item int, class clients.Class, reason string) {
-	s.refuseHandoff(item, class, reason)
+// arrival and span carry the roamer's original arrival and span ID for the
+// refusal's span terminal (0s when the roamer is unsampled).
+func (s *Server) RefuseHandoff(item int, class clients.Class, reason string, arrival float64, span int64) {
+	s.refuseHandoff(item, class, reason, arrival, span)
 }
 
 // acceptHandoff books an accepted inbound roamer.
@@ -236,8 +248,36 @@ func (s *Server) acceptHandoff(item int, class clients.Class) {
 	s.emit(trace.Event{T: s.clk.Now(), Kind: trace.KindHandoff, Item: item, Class: class})
 }
 
-// refuseHandoff books a refused inbound roamer.
-func (s *Server) refuseHandoff(item int, class clients.Class, reason string) {
+// refuseHandoff books a refused inbound roamer. A sampled roamer's span
+// terminates here with the refusal taxonomy ("refused-" + reason).
+func (s *Server) refuseHandoff(item int, class clients.Class, reason string, arrival float64, span int64) {
 	s.metrics.PerClass[class].HandoffRefusals++
 	s.emit(trace.Event{T: s.clk.Now(), Kind: trace.KindHandoffRefused, Item: item, Class: class, Reason: reason})
+	if span != 0 {
+		s.emit(trace.Event{
+			T: s.clk.Now(), Kind: trace.KindSpanEnd, Item: item, Class: class,
+			Req: span, Reason: "refused-" + reason, Arrival: arrival,
+		})
+	}
+}
+
+// spanHandoff emits the roam-out provenance event for a sampled request
+// (no-op for span 0): the request's wait segment ends here and its transit
+// segment begins; the destination cell's span-attach (or refusal terminal)
+// closes it.
+func (s *Server) spanHandoff(item int, class clients.Class, span int64) {
+	if span == 0 {
+		return
+	}
+	s.emit(trace.Event{T: s.clk.Now(), Kind: trace.KindSpanHandoff, Item: item, Class: class, Req: span})
+}
+
+// spanAttach emits the roam-in provenance event for a sampled request
+// (no-op for span 0). verdict records how the request re-attached: a push
+// waiter or a pull enqueue (whose span-enqueue follows).
+func (s *Server) spanAttach(item int, class clients.Class, span int64, verdict string) {
+	if span == 0 {
+		return
+	}
+	s.emit(trace.Event{T: s.clk.Now(), Kind: trace.KindSpanAttach, Item: item, Class: class, Req: span, Reason: verdict})
 }

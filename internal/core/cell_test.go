@@ -185,7 +185,7 @@ func TestDeadlineExpiresInTransit(t *testing.T) {
 	srv.Start()
 	srv.AdvanceTo(100)
 	load := srv.PendingLoad()
-	if out := srv.Inject(50, 1, 90, 0); out != core.InjectExpired {
+	if out := srv.Inject(50, 1, 90, 0, 0); out != core.InjectExpired {
 		t.Fatalf("Inject(arrival=90, TTL=5, now=100) = %v, want InjectExpired", out)
 	}
 	cm := srv.Peek().PerClass[1]
@@ -200,7 +200,7 @@ func TestDeadlineExpiresInTransit(t *testing.T) {
 	}
 	// Within the deadline the same roamer is accepted — as a pull (rank 50
 	// is past the cutoff) with its original arrival preserved.
-	if out := srv.Inject(50, 1, 98, 2); out != core.InjectAccepted {
+	if out := srv.Inject(50, 1, 98, 2, 0); out != core.InjectAccepted {
 		t.Fatalf("in-deadline Inject = %v, want InjectAccepted", out)
 	}
 	if srv.PendingLoad() != load+1 {
@@ -224,11 +224,11 @@ func TestInjectShed(t *testing.T) {
 	}
 	srv.Start()
 	srv.AdvanceTo(60)
-	if srv.Inject(50, 2, 59, 0) != core.InjectShed {
+	if srv.Inject(50, 2, 59, 0, 0) != core.InjectShed {
 		// The controller needs pending load ≥ High; with the tiny High=1
 		// that is near-certain at t=60, but fall back to pushing load up.
 		srv.AdvanceTo(120)
-		if srv.Inject(50, 2, 119, 0) != core.InjectShed {
+		if srv.Inject(50, 2, 119, 0, 0) != core.InjectShed {
 			t.Fatal("overloaded cell accepted a low-priority roamer")
 		}
 	}
@@ -242,7 +242,7 @@ func TestInjectShed(t *testing.T) {
 		t.Error("no handoff-refused/shed trace event")
 	}
 	// The top class is never sheddable: the same roamer at class 0 attaches.
-	if srv.Inject(50, 0, srv.Now()-1, 0) != core.InjectAccepted {
+	if srv.Inject(50, 0, srv.Now()-1, 0, 0) != core.InjectAccepted {
 		t.Error("top-class roamer shed")
 	}
 }
@@ -258,7 +258,7 @@ func TestInjectPushWaiter(t *testing.T) {
 	srv.AdvanceTo(60)
 	cm := srv.Peek().PerClass[0]
 	servedBefore := cm.Served
-	if out := srv.Inject(1, 0, 59, 0); out != core.InjectAccepted {
+	if out := srv.Inject(1, 0, 59, 0, 0); out != core.InjectAccepted {
 		t.Fatalf("Inject(rank 1) = %v", out)
 	}
 	// Rank 1 is broadcast every push cycle; well before the horizon the

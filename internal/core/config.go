@@ -124,6 +124,28 @@ type Config struct {
 	// see stats.Histogram.SetBound), so long-horizon runs stop pooling raw
 	// samples. Zero keeps the exact unbounded histograms. Must be 0 or >= 2.
 	DelayHistBound int
+	// Spans, when non-nil, enables per-request span provenance: head-based,
+	// per-class deterministic sampling at arrival, with sampled requests
+	// emitting span-* trace events at every lifecycle point (admission
+	// verdict, enqueue score, scheduler decision, loss/retry, handoff,
+	// terminal taxonomy) for reconstruction by internal/span. The sampling
+	// stream is split from the run's root after every other stream, so a
+	// nil Spans run is bit-identical to a build without the span layer, and
+	// a spans-on run is trajectory-identical (extra events, same draws).
+	Spans *SpanConfig
+}
+
+// SpanConfig parameterises span provenance sampling.
+type SpanConfig struct {
+	// Rates holds per-class sampling probabilities in [0,1]. Classes beyond
+	// the slice (or all classes, when the slice is empty) default to 1 —
+	// sample every request.
+	Rates []float64
+	// IDBase offsets every span ID the cell mints. Single-cell runs leave
+	// it 0; cluster runs namespace each cell (cell index in the high bits)
+	// so IDs stay globally unique after stream merging and cross-cell
+	// parent links resolve unambiguously.
+	IDBase int64
 }
 
 // CacheConfig parameterises the client-side caches.
@@ -266,6 +288,20 @@ func (c Config) Validate() error {
 	if c.Shed != nil {
 		if err := c.Shed.Validate(c.Classes.NumClasses()); err != nil {
 			return err
+		}
+	}
+	if c.Spans != nil {
+		if len(c.Spans.Rates) > c.Classes.NumClasses() {
+			return fmt.Errorf("core: %d span sampling rates for %d classes",
+				len(c.Spans.Rates), c.Classes.NumClasses())
+		}
+		for i, r := range c.Spans.Rates {
+			if r < 0 || r > 1 || math.IsNaN(r) {
+				return fmt.Errorf("core: span sampling rate %g for class %d outside [0,1]", r, i)
+			}
+		}
+		if c.Spans.IDBase < 0 {
+			return fmt.Errorf("core: negative span ID base %d", c.Spans.IDBase)
 		}
 	}
 	return nil

@@ -39,7 +39,13 @@ import (
 type pushWaiter struct {
 	class   clients.Class
 	arrival float64
-	client  int // −1 when client identity is not tracked
+	// joined is when the waiter registered at THIS cell: the arrival for
+	// local requests, the re-attach time for injected roamers (whose
+	// arrival keeps the origin-cell value for deadline accounting). Span
+	// service segments start no earlier than joined.
+	joined float64
+	client int   // −1 when client identity is not tracked
+	span   int64 // span ID when the request is sampled, 0 otherwise
 }
 
 // Server is one configured simulation instance. All time access goes
@@ -78,6 +84,13 @@ type Server struct {
 	retryRng       *rng.Source
 	shedder        *faults.Shedder
 	pendingRetries int // re-requests booked but not yet delivered
+
+	// Span provenance (nil spanRng = disabled; the zero cost of spans-off
+	// is a single nil check on the hot path).
+	spanRng    *rng.Source
+	spanRates  []float64 // per-class sampling probability, defaults filled
+	spanIDBase int64     // cell namespace offset for minted span IDs
+	spanNext   int64     // last minted span sequence number
 
 	// Cached event handlers. The arrival chain, the push transmission and
 	// the pull transmission are each single-outstanding (the downlink is
@@ -191,6 +204,23 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.shedder = sh
+	}
+	// The span sampling stream is split after every other stream for the
+	// same reason the fault streams come after the workload streams:
+	// enabling span provenance must never perturb the draws above, so a
+	// spans-off run is bit-identical to a build without the span layer and
+	// a spans-on run is trajectory-identical (extra events, same draws).
+	if cfg.Spans != nil {
+		s.spanRng = root.Split("spans")
+		s.spanIDBase = cfg.Spans.IDBase
+		s.spanRates = make([]float64, cfg.Classes.NumClasses())
+		for c := range s.spanRates {
+			if c < len(cfg.Spans.Rates) {
+				s.spanRates[c] = cfg.Spans.Rates[c]
+			} else {
+				s.spanRates[c] = 1
+			}
+		}
 	}
 
 	// The waiter table is indexed by push rank; ranks run 1..cutoff, using
@@ -316,6 +346,27 @@ func (s *Server) scheduleNextArrival() {
 	s.clk.At(t, s.arrivalH)
 }
 
+// sampleSpan makes the head-based span sampling decision for one arriving
+// request and mints its globally unique span ID, or returns 0 (unsampled or
+// spans disabled). The draw comes from the dedicated span stream, so the
+// decision never perturbs workload or fault draws.
+//
+//qos:hotpath
+func (s *Server) sampleSpan(class clients.Class) int64 {
+	if s.spanRng == nil {
+		return 0
+	}
+	rate := s.spanRates[class]
+	if rate <= 0 {
+		return 0
+	}
+	if rate < 1 && s.spanRng.Float64() >= rate {
+		return 0
+	}
+	s.spanNext++
+	return s.spanIDBase + s.spanNext
+}
+
 // handleArrival draws the request's item and class and routes it.
 //
 //qos:hotpath
@@ -327,6 +378,7 @@ func (s *Server) handleArrival() {
 		s.metrics.PerClass[class].Arrivals++
 	}
 	s.emit(trace.Event{T: now, Kind: trace.KindArrival, Item: rank, Class: class})
+	span := s.sampleSpan(class)
 	clientID := -1
 	if s.caches != nil {
 		clientID = s.clientRng.Intn(s.caches.Size())
@@ -340,19 +392,32 @@ func (s *Server) handleArrival() {
 				cm.DelayHist.Add(0)
 			}
 			s.emit(trace.Event{T: now, Kind: trace.KindServed, Class: class, Arrival: now})
+			if span != 0 {
+				s.emit(trace.Event{T: now, Kind: trace.KindSpanStart, Item: rank, Class: class, Req: span, Reason: trace.VerdictCache})
+				s.emit(trace.Event{T: now, Kind: trace.KindSpanEnd, Item: rank, Class: class, Req: span, Reason: trace.EndServed, Arrival: now, Start: now})
+			}
 			return
 		}
 	}
 	if rank <= s.cutoff {
 		// Push item: the server ignores the request (flat broadcast will
 		// deliver it); the simulator tracks the waiter to measure delay.
+		if span != 0 {
+			s.emit(trace.Event{T: now, Kind: trace.KindSpanStart, Item: rank, Class: class, Req: span, Reason: trace.VerdictPush})
+		}
 		//lint:allow hotalloc amortized: waiter slices reset to length 0 on drain and reuse capacity across cycles
-		s.pushWaiters[rank] = append(s.pushWaiters[rank], pushWaiter{class: class, arrival: now, client: clientID})
+		s.pushWaiters[rank] = append(s.pushWaiters[rank], pushWaiter{class: class, arrival: now, joined: now, client: clientID, span: span})
 		return
+	}
+	if span != 0 {
+		s.emit(trace.Event{T: now, Kind: trace.KindSpanStart, Item: rank, Class: class, Req: span, Reason: trace.VerdictPull})
 	}
 	if !s.up.TryRequest(now, s.uplinkRng) {
 		if now >= s.warmupEnd {
 			s.metrics.PerClass[class].UplinkLost++
+		}
+		if span != 0 {
+			s.emit(trace.Event{T: now, Kind: trace.KindSpanEnd, Item: rank, Class: class, Req: span, Reason: trace.EndUplinkLost, Arrival: now})
 		}
 		return
 	}
@@ -362,6 +427,7 @@ func (s *Server) handleArrival() {
 		Priority: s.cfg.Classes.Weight(class),
 		Arrival:  now,
 		Client:   clientID,
+		Tag:      span,
 	}
 	if s.shedPull(req, now) {
 		return
@@ -375,6 +441,17 @@ func (s *Server) handleArrival() {
 //qos:hotpath
 func (s *Server) enqueuePull(req pullqueue.Request) {
 	s.selector.Add(req, s.cfg.Catalog.Length(req.Item))
+	if req.Tag != 0 {
+		// Enqueue provenance: the entry's post-add selection score, the
+		// quantity the next extraction decision will rank it by.
+		now := s.clk.Now()
+		if e := s.selector.Entry(req.Item); e != nil {
+			s.emit(trace.Event{
+				T: now, Kind: trace.KindSpanEnqueue, Item: req.Item, Class: req.Class,
+				Req: req.Tag, Score: s.selector.Score(e, now), Requests: e.NumRequests(),
+			})
+		}
+	}
 	s.observeQueue()
 	if s.idle {
 		s.idle = false
@@ -400,6 +477,12 @@ func (s *Server) shedPull(req pullqueue.Request, now float64) bool {
 		s.metrics.PerClass[req.Class].Shed++
 	}
 	s.emit(trace.Event{T: now, Kind: trace.KindShed, Item: req.Item, Class: req.Class})
+	if req.Tag != 0 {
+		s.emit(trace.Event{
+			T: now, Kind: trace.KindSpanEnd, Item: req.Item, Class: req.Class,
+			Req: req.Tag, Reason: trace.EndShed, Arrival: req.Arrival,
+		})
+	}
 	return true
 }
 
@@ -418,6 +501,14 @@ func (s *Server) retryAfterLoss(r pullqueue.Request, now float64) bool {
 	if s.cfg.RequestTTL > 0 && retryAt > r.Arrival+s.cfg.RequestTTL {
 		if r.Arrival >= s.warmupEnd {
 			s.metrics.PerClass[r.Class].Expired++
+		}
+		if r.Tag != 0 {
+			// The client gives up at its deadline rather than booking a
+			// retry that would land past it.
+			s.emit(trace.Event{
+				T: now, Kind: trace.KindSpanEnd, Item: r.Item, Class: r.Class,
+				Req: r.Tag, Reason: trace.EndExpired, Arrival: r.Arrival,
+			})
 		}
 		return true
 	}
@@ -448,9 +539,25 @@ func (s *Server) retryAfterLoss(r pullqueue.Request, now float64) bool {
 //qos:hotpath
 func (s *Server) handleRetry(r pullqueue.Request) {
 	now := s.clk.Now()
+	if r.Tag != 0 {
+		// The backoff segment ends here; what follows (uplink, admission,
+		// enqueue) decides the next segment, exactly like a fresh arrival.
+		s.emit(trace.Event{
+			T: now, Kind: trace.KindSpanRetry, Item: r.Item, Class: r.Class,
+			Req: r.Tag, Attempt: r.Attempts,
+		})
+	}
 	if !s.up.TryRequest(now, s.uplinkRng) {
-		if !s.retryAfterLoss(r, now) && r.Arrival >= s.warmupEnd {
-			s.metrics.PerClass[r.Class].UplinkLost++
+		if !s.retryAfterLoss(r, now) {
+			if r.Arrival >= s.warmupEnd {
+				s.metrics.PerClass[r.Class].UplinkLost++
+			}
+			if r.Tag != 0 {
+				s.emit(trace.Event{
+					T: now, Kind: trace.KindSpanEnd, Item: r.Item, Class: r.Class,
+					Req: r.Tag, Reason: trace.EndUplinkLost, Arrival: r.Arrival,
+				})
+			}
 		}
 		return
 	}
@@ -496,8 +603,16 @@ func (s *Server) completePush(item int) {
 		T: now, Kind: trace.KindPushComplete, Item: item, Class: -1,
 		Requests: len(s.pushWaiters[item]),
 	})
+	start := now - s.cfg.Catalog.Length(item)
 	for _, w := range s.pushWaiters[item] {
-		s.recordServed(w.class, w.arrival, now, true)
+		ws := start
+		if w.joined > ws {
+			// The waiter tuned in mid-broadcast (or a roamer re-attached
+			// mid-broadcast): its service segment starts at its own
+			// registration, not at the transmission start.
+			ws = w.joined
+		}
+		s.recordServed(w.class, w.arrival, now, true, item, w.span, ws)
 		s.fillCache(w.client, item, now)
 	}
 	s.pushWaiters[item] = s.pushWaiters[item][:0]
@@ -536,6 +651,12 @@ func (s *Server) attemptPull() {
 					if r.Arrival >= s.warmupEnd {
 						s.metrics.PerClass[r.Class].Dropped++
 					}
+					if r.Tag != 0 {
+						s.emit(trace.Event{
+							T: s.clk.Now(), Kind: trace.KindSpanEnd, Item: entry.Item, Class: r.Class,
+							Req: r.Tag, Reason: trace.EndBlocked, Arrival: r.Arrival,
+						})
+					}
 				}
 				s.selector.Recycle(entry)
 				if s.cfg.RetryOnBlock {
@@ -554,6 +675,7 @@ func (s *Server) attemptPull() {
 			s.observeBandwidth()
 		}
 
+		s.emitDecision(entry)
 		s.emit(trace.Event{
 			T: s.clk.Now(), Kind: trace.KindPullStart, Item: entry.Item,
 			Class: entry.HighestClass(), Requests: len(entry.Requests),
@@ -564,6 +686,40 @@ func (s *Server) attemptPull() {
 		s.clk.After(entry.Length, s.pullH)
 		return
 	}
+}
+
+// emitDecision records scheduler decision provenance for a pull extraction
+// that is about to transmit: the winning entry's selection score and the
+// runner-up it beat (the queue's best remaining entry). Emitted only when
+// the winning entry carries at least one sampled request, so span-off runs
+// and unsampled traffic pay a nil check and nothing else.
+//
+//qos:hotpath
+func (s *Server) emitDecision(entry *pullqueue.Entry) {
+	if s.spanRng == nil {
+		return
+	}
+	sampled := false
+	for i := range entry.Requests {
+		if entry.Requests[i].Tag != 0 {
+			sampled = true
+			break
+		}
+	}
+	if !sampled {
+		return
+	}
+	now := s.clk.Now()
+	ev := trace.Event{
+		T: now, Kind: trace.KindDecision, Item: entry.Item,
+		Class: entry.HighestClass(), Requests: len(entry.Requests),
+		Score: s.selector.Score(entry, now),
+	}
+	if ru := s.selector.Peek(now); ru != nil {
+		ev.RunnerUp = ru.Item
+		ev.RunnerUpScore = s.selector.Score(ru, now)
+	}
+	s.emit(ev)
 }
 
 // completePull satisfies all of the entry's pending requests and hands the
@@ -584,8 +740,24 @@ func (s *Server) completePull(entry *pullqueue.Entry, grant *bandwidth.Grant) {
 		// retryAfterLoss schedules against value copies of the requests, so
 		// the entry (and its request slice) is free to reuse immediately.
 		for _, r := range entry.Requests {
-			if !s.retryAfterLoss(r, now) && r.Arrival >= s.warmupEnd {
-				s.metrics.PerClass[r.Class].Failed++
+			if r.Tag != 0 {
+				// The failed service segment: transmission start to the
+				// corruption being detected at completion.
+				s.emit(trace.Event{
+					T: now, Kind: trace.KindSpanLoss, Item: entry.Item, Class: r.Class,
+					Req: r.Tag, Start: now - entry.Length, Attempt: r.Attempts + 1,
+				})
+			}
+			if !s.retryAfterLoss(r, now) {
+				if r.Arrival >= s.warmupEnd {
+					s.metrics.PerClass[r.Class].Failed++
+				}
+				if r.Tag != 0 {
+					s.emit(trace.Event{
+						T: now, Kind: trace.KindSpanEnd, Item: entry.Item, Class: r.Class,
+						Req: r.Tag, Reason: trace.EndFailed, Arrival: r.Arrival,
+					})
+				}
 			}
 		}
 		s.selector.Recycle(entry)
@@ -606,7 +778,7 @@ func (s *Server) completePull(entry *pullqueue.Entry, grant *bandwidth.Grant) {
 		Class: entry.HighestClass(), Requests: len(entry.Requests),
 	})
 	for _, r := range entry.Requests {
-		s.recordServed(r.Class, r.Arrival, now, false)
+		s.recordServed(r.Class, r.Arrival, now, false, entry.Item, r.Tag, now-entry.Length)
 		s.fillCache(r.Client, entry.Item, now)
 	}
 	s.selector.Recycle(entry)
@@ -659,16 +831,33 @@ func (s *Server) CacheHitRate() float64 {
 
 // recordServed logs one satisfied request (post-warmup arrivals only).
 // Under RequestTTL, a request whose deadline passed before the transmission
-// completed is counted as Expired instead.
+// completed is counted as Expired instead. span and start carry span
+// provenance for sampled requests (0s otherwise): the span ID and the
+// request's service-segment start time — transmission start, or the
+// request's own arrival when it joined a broadcast already in flight.
 //
 //qos:hotpath
-func (s *Server) recordServed(class clients.Class, arrival, completion float64, push bool) {
+func (s *Server) recordServed(class clients.Class, arrival, completion float64, push bool, item int, span int64, start float64) {
+	d := completion - arrival
+	expired := s.cfg.RequestTTL > 0 && d > s.cfg.RequestTTL
+	if span != 0 {
+		if expired {
+			s.emit(trace.Event{
+				T: completion, Kind: trace.KindSpanEnd, Item: item, Class: class,
+				Req: span, Reason: trace.EndExpired, Arrival: arrival, Start: start,
+			})
+		} else {
+			s.emit(trace.Event{
+				T: completion, Kind: trace.KindSpanEnd, Item: item, Class: class,
+				Req: span, Reason: trace.EndServed, Arrival: arrival, Start: start, Push: push,
+			})
+		}
+	}
 	if arrival < s.warmupEnd {
 		return
 	}
 	cm := s.metrics.PerClass[class]
-	d := completion - arrival
-	if s.cfg.RequestTTL > 0 && d > s.cfg.RequestTTL {
+	if expired {
 		cm.Expired++
 		return
 	}

@@ -17,7 +17,9 @@ import (
 	"hybridqos/internal/policy"
 	"hybridqos/internal/pullqueue"
 	"hybridqos/internal/sched"
+	"hybridqos/internal/span"
 	"hybridqos/internal/telemetry"
+	"hybridqos/internal/trace"
 )
 
 // Outcome is the terminal state of an admitted realtime request.
@@ -93,6 +95,9 @@ type RealtimeConfig struct {
 	// Telemetry, when non-nil, receives arrivals, verdicts, outcomes and
 	// queue/shed gauges.
 	Telemetry *telemetry.Collector
+	// Spans, when non-nil, records per-request spans for head-sampled
+	// requests into a ring buffer (see realtime_spans.go).
+	Spans *RealtimeSpanConfig
 }
 
 // Validate audits the configuration.
@@ -123,6 +128,17 @@ func (c RealtimeConfig) Validate() error {
 	if got, want := len(c.Admission.Classes), c.Classes.NumClasses(); got != want {
 		return fmt.Errorf("core: admission configures %d classes, classification has %d", got, want)
 	}
+	if sc := c.Spans; sc != nil {
+		if sc.Rate < 0 || sc.Rate > 1 || math.IsNaN(sc.Rate) {
+			return fmt.Errorf("core: span sampling rate %g outside [0,1]", sc.Rate)
+		}
+		if sc.Rate > 0 && sc.Rate < 1 && sc.RNG == nil {
+			return fmt.Errorf("core: span rate %g needs a sampling RNG", sc.Rate)
+		}
+		if sc.Buffer < 0 {
+			return fmt.Errorf("core: negative span buffer %d", sc.Buffer)
+		}
+	}
 	return nil
 }
 
@@ -136,6 +152,7 @@ type rtReq struct {
 	done     func(Result)
 	expiry   clock.Token
 	terminal bool
+	sp       *span.Span // open span (nil when unsampled or spans disabled)
 }
 
 // Realtime is the serving engine. It is single-goroutine: every method must
@@ -157,6 +174,12 @@ type Realtime struct {
 	live map[int64]*rtReq
 	// pushWaiters is indexed by push rank (1..cutoff); slot 0 unused.
 	pushWaiters [][]*rtReq
+
+	// Span recording state (realtime_spans.go); spanCfg nil = disabled.
+	spanCfg  *RealtimeSpanConfig
+	spanSeq  int64
+	spanRing []*span.Span
+	spanHead int
 
 	pending  int // admitted, not yet terminal
 	started  bool
@@ -212,6 +235,14 @@ func NewRealtime(cfg RealtimeConfig) (*Realtime, error) {
 		}
 	}
 	rt.pushWaiters = make([][]*rtReq, rt.cutoff+1)
+	if cfg.Spans != nil && cfg.Spans.Rate > 0 {
+		sc := *cfg.Spans
+		if sc.Buffer == 0 {
+			sc.Buffer = defaultSpanBuffer
+		}
+		rt.spanCfg = &sc
+		rt.spanRing = make([]*span.Span, 0, sc.Buffer)
+	}
 	return rt, nil
 }
 
@@ -277,6 +308,7 @@ func (rt *Realtime) Submit(req RealtimeRequest) admission.Verdict {
 	}
 	if v != admission.Admitted {
 		rt.noteRefusal(class, v)
+		rt.refusalSpan(req.Item, req.Class, refusalOutcome(v))
 		return v
 	}
 
@@ -298,6 +330,11 @@ func (rt *Realtime) Submit(req RealtimeRequest) admission.Verdict {
 	// the request, so a completion landing exactly on the deadline loses
 	// the tie and the client hears "expired" — never a late success.
 	r.expiry = rt.clk.At(r.deadline, func() { rt.expire(r) })
+	verdict := trace.VerdictPull
+	if req.Item <= rt.cutoff {
+		verdict = trace.VerdictPush
+	}
+	r.sp = rt.newSpan(req.Item, req.Class, now, verdict)
 
 	if req.Item <= rt.cutoff {
 		rt.pushWaiters[req.Item] = append(rt.pushWaiters[req.Item], r)
@@ -362,6 +399,7 @@ func (rt *Realtime) expire(r *rtReq) {
 	if rt.tele != nil {
 		rt.tele.Expired(int(r.class))
 	}
+	rt.closeSpan(r, rt.clk.Now(), trace.EndExpired, false)
 	rt.finish(r, Result{Outcome: OutcomeExpired})
 }
 
@@ -372,6 +410,7 @@ func (rt *Realtime) serve(r *rtReq, now float64, push bool) {
 	if rt.tele != nil {
 		rt.tele.Served(int(r.class), d, push)
 	}
+	rt.closeSpan(r, now, trace.EndServed, push)
 	rt.finish(r, Result{Outcome: OutcomeServed, Delay: d, Push: push})
 }
 

@@ -1,0 +1,139 @@
+package core
+
+// Real-time span recording: the serving engine's analogue of the simulation
+// engine's span provenance events. The simulator emits events and lets
+// internal/span reconstruct; the serving engine has no trace stream, so it
+// assembles the same span.Span shape directly at each request's terminal and
+// keeps the most recent completions in a ring buffer that qosd serves at
+// /debug/spans. Sampling is head-based on a dedicated stream, exactly as in
+// the simulator: spans-off costs one nil check per submission.
+
+import (
+	"hybridqos/internal/admission"
+	"hybridqos/internal/clients"
+	"hybridqos/internal/rng"
+	"hybridqos/internal/span"
+	"hybridqos/internal/trace"
+)
+
+// RealtimeSpanConfig enables span recording in a serving engine.
+type RealtimeSpanConfig struct {
+	// Rate is the head-sampling probability in [0,1]; 0 disables recording.
+	Rate float64
+	// Buffer is the ring capacity of completed spans (default 64).
+	Buffer int
+	// RNG drives the sampling decision; required when 0 < Rate < 1 (rates 0
+	// and 1 draw nothing).
+	RNG *rng.Source
+}
+
+// defaultSpanBuffer is the ring capacity when the config leaves Buffer 0.
+const defaultSpanBuffer = 64
+
+// sampleSpan makes the head-based sampling decision for one submission and
+// mints its span ID, or returns 0 (unsampled or spans disabled).
+func (rt *Realtime) sampleSpan() int64 {
+	if rt.spanCfg == nil || rt.spanCfg.Rate <= 0 {
+		return 0
+	}
+	if rt.spanCfg.Rate < 1 && rt.spanCfg.RNG.Float64() >= rt.spanCfg.Rate {
+		return 0
+	}
+	rt.spanSeq++
+	return rt.spanSeq
+}
+
+// newSpan opens a span for an admitted sampled request (nil when unsampled).
+func (rt *Realtime) newSpan(item int, class clients.Class, now float64, verdict string) *span.Span {
+	id := rt.sampleSpan()
+	if id == 0 {
+		return nil
+	}
+	return &span.Span{
+		ID: id, Class: class, Item: item,
+		Verdict: verdict, Start: now, End: now, Open: true,
+	}
+}
+
+// refusalSpan records a zero-length span for a sampled request the engine
+// (or the daemon's draining door) turned away: the full refusal taxonomy is
+// visible in /debug/spans, not only successes.
+func (rt *Realtime) refusalSpan(item int, class clients.Class, outcome string) {
+	id := rt.sampleSpan()
+	if id == 0 {
+		return
+	}
+	now := rt.clk.Now()
+	rt.record(&span.Span{
+		ID: id, Class: class, Item: item,
+		Verdict: trace.VerdictPull, Outcome: outcome, Start: now, End: now,
+	})
+}
+
+// refusalOutcome maps an admission verdict onto the span terminal taxonomy.
+func refusalOutcome(v admission.Verdict) string {
+	if v == admission.ShedOverload {
+		return trace.EndShed
+	}
+	return trace.EndRejected
+}
+
+// RefuseDraining records a draining-door refusal span for a sampled request
+// (no-op with spans disabled). The daemon calls it, on the clock goroutine,
+// for requests bounced before Submit because Drain already closed admission.
+func (rt *Realtime) RefuseDraining(item int, class clients.Class) {
+	rt.refusalSpan(item, class, trace.EndDraining)
+}
+
+// closeSpan finishes an admitted request's span at its terminal and records
+// it. A delivery splits the lifetime into wait + service at the transmission
+// start (the serving engine transmits one item at a time, so the delivering
+// transmission began its length ago, clamped to the request's own arrival);
+// an expiry is all wait.
+func (rt *Realtime) closeSpan(r *rtReq, now float64, outcome string, push bool) {
+	sp := r.sp
+	if sp == nil {
+		return
+	}
+	r.sp = nil
+	sp.Open = false
+	sp.Outcome = outcome
+	sp.End = now
+	sp.Push = push
+	wait := span.SegQueueWait
+	if sp.Verdict == trace.VerdictPush {
+		wait = span.SegPushWait
+	}
+	if outcome == trace.EndServed {
+		ws := now - rt.cfg.Catalog.Length(r.item)
+		if ws < sp.Start {
+			ws = sp.Start
+		}
+		if ws > sp.Start {
+			sp.Segments = append(sp.Segments, span.Segment{Kind: wait, From: sp.Start, To: ws})
+		}
+		sp.Segments = append(sp.Segments, span.Segment{Kind: span.SegService, From: ws, To: now})
+	} else if now > sp.Start {
+		sp.Segments = append(sp.Segments, span.Segment{Kind: wait, From: sp.Start, To: now})
+	}
+	rt.record(sp)
+}
+
+// record pushes a completed span into the ring, evicting the oldest.
+func (rt *Realtime) record(sp *span.Span) {
+	if len(rt.spanRing) < cap(rt.spanRing) {
+		rt.spanRing = append(rt.spanRing, sp)
+		return
+	}
+	rt.spanRing[rt.spanHead] = sp
+	rt.spanHead = (rt.spanHead + 1) % len(rt.spanRing)
+}
+
+// Spans returns the buffered completed spans, oldest first. Like every
+// Realtime method it must run on the clock goroutine; qosd bridges via exec.
+func (rt *Realtime) Spans() []*span.Span {
+	out := make([]*span.Span, 0, len(rt.spanRing))
+	out = append(out, rt.spanRing[rt.spanHead:]...)
+	out = append(out, rt.spanRing[:rt.spanHead]...)
+	return out
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"time"
 )
 
@@ -57,6 +58,28 @@ func Start(addr string, h http.Handler) (*Server, error) {
 		errCh <- err
 	}()
 	return s, nil
+}
+
+// DebugMux returns a mux serving the runtime profiling endpoints under
+// /debug/pprof/ (index, cmdline, profile, symbol, trace and every runtime
+// profile the index links). Handlers are registered explicitly on a private
+// mux — importing net/http/pprof for its DefaultServeMux side effect would
+// expose the profiles on every handler built from the default mux.
+func DebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// StartDebug binds addr and serves the profiling endpoints (DebugMux) on it.
+// Commands expose it behind an opt-in -debug-addr flag: the profiling
+// surface stays off the serving listener and off by default.
+func StartDebug(addr string) (*Server, error) {
+	return Start(addr, DebugMux())
 }
 
 // Shutdown stops accepting connections and waits for in-flight requests,

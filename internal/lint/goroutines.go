@@ -2,6 +2,8 @@ package lint
 
 import (
 	"go/ast"
+	"sort"
+	"strings"
 )
 
 // goroutines: concurrency containment. Determinism rests on two structural
@@ -17,21 +19,52 @@ import (
 // early-return path leaks the lock on fall-through — exactly the bug shape
 // this catches.
 
-// goroutineDirs are the packages sanctioned to spawn goroutines.
+// goroutineDirs are the packages sanctioned to spawn goroutines by default;
+// Runner.GoroutineDirs extends the set per invocation.
 var goroutineDirs = map[string]bool{
 	"internal/workpool":  true,
 	"internal/clock":     true,
 	"internal/httpserve": true,
 }
 
+// goroutineAllowed reports whether relDir may spawn goroutines: the built-in
+// set plus the runner's configured extras.
+func (r *Runner) goroutineAllowed(relDir string) bool {
+	if goroutineDirs[relDir] {
+		return true
+	}
+	for _, d := range r.GoroutineDirs {
+		if strings.TrimSuffix(d, "/") == relDir {
+			return true
+		}
+	}
+	return false
+}
+
+// goroutineDirList renders the full sanctioned set for the diagnostic.
+func (r *Runner) goroutineDirList() string {
+	dirs := make([]string, 0, len(goroutineDirs)+len(r.GoroutineDirs))
+	for d := range goroutineDirs {
+		dirs = append(dirs, d)
+	}
+	for _, d := range r.GoroutineDirs {
+		d = strings.TrimSuffix(d, "/")
+		if !goroutineDirs[d] {
+			dirs = append(dirs, d)
+		}
+	}
+	sort.Strings(dirs)
+	return strings.Join(dirs, ", ")
+}
+
 func checkGoroutines(p *pkg) {
-	spawnAllowed := goroutineDirs[p.relDir]
+	spawnAllowed := p.runner.goroutineAllowed(p.relDir)
 	p.eachFuncDecl(func(_ *ast.File, fd *ast.FuncDecl) {
 		if !spawnAllowed {
 			ast.Inspect(fd.Body, func(n ast.Node) bool {
 				if g, ok := n.(*ast.GoStmt); ok {
 					p.report(RuleGoroutines, g.Pos(),
-						"goroutine spawned outside the sanctioned packages (internal/workpool, internal/clock, internal/httpserve); fan out through workpool.Run or a clock callback")
+						"goroutine spawned outside the sanctioned packages (%s); fan out through workpool.Run or a clock callback", p.runner.goroutineDirList())
 				}
 				return true
 			})

@@ -129,6 +129,12 @@ type Runner struct {
 	// registrydoc rule searches for registered policy names. Defaults to
 	// README.md and DESIGN.md.
 	DocFiles []string
+	// GoroutineDirs adds package directories (slash-separated, relative to
+	// Root) to the goroutines rule's sanctioned-spawner set, on top of the
+	// built-in internal/workpool, internal/clock and internal/httpserve.
+	// Rule configuration, not a waiver: a whole package whose job is
+	// concurrency belongs here; a one-off `go` statement does not.
+	GoroutineDirs []string
 
 	// allows accumulates the //lint:allow waivers from every linted file,
 	// so cross-package rules (registrydoc) honour them too.

@@ -242,6 +242,47 @@ func TestGoroutinesRule(t *testing.T) {
 	}
 }
 
+// TestGoroutineDirsConfig: Runner.GoroutineDirs extends the sanctioned-
+// spawner set (rule configuration, not a waiver): the spawn finding
+// disappears, while lock-balance checking in the same package is unaffected.
+func TestGoroutineDirsConfig(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{Root: root, GoroutineDirs: []string{"internal/spawn/"}}
+	diags, err := r.Run("internal/spawn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	for _, d := range diags {
+		keys = append(keys, fmt.Sprintf("%s:%d [%s]", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Rule))
+	}
+	joined := strings.Join(keys, "\n")
+	if strings.Contains(joined, "spawn.go:16") {
+		t.Errorf("configured spawner dir must not be flagged:\n%s", joined)
+	}
+	if !strings.Contains(joined, "spawn.go:53 [goroutines]") {
+		t.Errorf("lock-balance finding must survive the spawner config:\n%s", joined)
+	}
+	// The diagnostic for unsanctioned spawns must name configured extras.
+	r2 := &Runner{Root: root, GoroutineDirs: []string{"internal/other"}}
+	diags2, err := r2.Run("internal/spawn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	named := false
+	for _, d := range diags2 {
+		if d.Rule == RuleGoroutines && strings.Contains(d.Msg, "internal/other") {
+			named = true
+		}
+	}
+	if !named {
+		t.Error("goroutines diagnostic should list the configured sanctioned dirs")
+	}
+}
+
 // TestBarrierSafeRule: sharded access outside a barrier function and inside
 // a closure are flagged with distinct messages; barrier-phase access and the
 // waived closure stay silent.

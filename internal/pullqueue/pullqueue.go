@@ -186,6 +186,9 @@ type Queue interface {
 	ExtractMax(now float64) *Entry
 	// Peek returns the current max entry without removing it, or nil.
 	Peek(now float64) *Entry
+	// Entry returns the queued entry for an item rank, or nil — read-only
+	// provenance lookups (span enqueue scores); callers must not mutate it.
+	Entry(item int) *Entry
 	// Remove discards a specific item's entry (blocked transmissions),
 	// returning it or nil.
 	Remove(item int) *Entry
@@ -473,6 +476,9 @@ func (l *Linear) Items() int { return len(l.entries) }
 
 // Requests returns the total pending request count.
 func (l *Linear) Requests() int { return l.requests }
+
+// Entry returns the queued entry for an item rank, or nil.
+func (l *Linear) Entry(item int) *Entry { return l.byItem[item] }
 
 // Add enqueues a request.
 //

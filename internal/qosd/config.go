@@ -76,6 +76,19 @@ type Config struct {
 	// SnapshotEvery is the telemetry snapshot cadence in broadcast units
 	// (0 disables periodic snapshots; /metrics snapshots on demand).
 	SnapshotEvery float64 `json:"snapshot_every,omitempty"`
+	// Spans enables per-request span recording, served at /debug/spans.
+	Spans *SpansConfig `json:"spans,omitempty"`
+}
+
+// SpansConfig is the span-recording section of the daemon configuration.
+type SpansConfig struct {
+	// Rate is the head-sampling probability in [0,1].
+	Rate float64 `json:"rate"`
+	// Buffer is the completed-span ring capacity (0 = default 64).
+	Buffer int `json:"buffer,omitempty"`
+	// Seed seeds the sampling stream (deterministic under the virtual
+	// clock; under the wall clock it only sets which arrivals sample).
+	Seed uint64 `json:"seed,omitempty"`
 }
 
 // ParseConfig decodes and validates a JSON daemon configuration. Unknown
@@ -176,6 +189,14 @@ func (c Config) Validate() error {
 	}
 	if c.SnapshotEvery < 0 || math.IsNaN(c.SnapshotEvery) || math.IsInf(c.SnapshotEvery, 0) {
 		return fmt.Errorf("qosd: invalid snapshot cadence %g", c.SnapshotEvery)
+	}
+	if s := c.Spans; s != nil {
+		if s.Rate < 0 || s.Rate > 1 || math.IsNaN(s.Rate) {
+			return fmt.Errorf("qosd: span rate %g outside [0,1]", s.Rate)
+		}
+		if s.Buffer < 0 {
+			return fmt.Errorf("qosd: negative span buffer %d", s.Buffer)
+		}
 	}
 	if err := c.admissionConfig().Validate(); err != nil {
 		return err

@@ -22,6 +22,8 @@ import (
 	"hybridqos/internal/clients"
 	"hybridqos/internal/clock"
 	"hybridqos/internal/core"
+	"hybridqos/internal/rng"
+	"hybridqos/internal/span"
 	"hybridqos/internal/telemetry"
 )
 
@@ -87,7 +89,7 @@ func New(cfg Config, clk clock.Clock, exec func(func())) (*Daemon, error) {
 	if err != nil {
 		return nil, fmt.Errorf("qosd: %w", err)
 	}
-	rt, err := core.NewRealtime(core.RealtimeConfig{
+	rtc := core.RealtimeConfig{
 		Catalog:        cat,
 		Classes:        cls,
 		Cutoff:         cfg.Cutoff,
@@ -98,7 +100,15 @@ func New(cfg Config, clk clock.Clock, exec func(func())) (*Daemon, error) {
 		Clock:          clk,
 		Admission:      cfg.admissionConfig(),
 		Telemetry:      tele,
-	})
+	}
+	if sc := cfg.Spans; sc != nil && sc.Rate > 0 {
+		rtc.Spans = &core.RealtimeSpanConfig{
+			Rate:   sc.Rate,
+			Buffer: sc.Buffer,
+			RNG:    rng.New(sc.Seed).Split("spans"),
+		}
+	}
+	rt, err := core.NewRealtime(rtc)
 	if err != nil {
 		return nil, err
 	}
@@ -170,6 +180,7 @@ func (d *Daemon) classOf(key string) (int, bool) {
 func (d *Daemon) Serve(req Request, class int, respond func(status int, resp Response)) {
 	if d.rt.Draining() {
 		d.tele.Rejected(class)
+		d.rt.RefuseDraining(req.Item, clients.Class(class))
 		respond(http.StatusServiceUnavailable, Response{Outcome: "draining", Class: class})
 		return
 	}
@@ -205,12 +216,15 @@ func (d *Daemon) Serve(req Request, class int, respond func(status int, resp Res
 //	                 for the item (200 served / 504 expired) or refuses
 //	                 (401 unknown key, 429 admission, 503 draining).
 //	GET  /metrics  — live Prometheus exposition of the telemetry registry.
+//	GET  /debug/spans — recent completed sampled request spans as JSON
+//	                 (empty array unless the config enables spans).
 //	GET  /healthz  — 200 while the process lives.
 //	GET  /readyz   — 200 once started and not draining, else 503.
 func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/request", d.handleRequest)
 	mux.HandleFunc("/metrics", d.handleMetrics)
+	mux.HandleFunc("/debug/spans", d.handleSpans)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -302,6 +316,23 @@ func (d *Daemon) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write(out.body)
+}
+
+// handleSpans snapshots the engine's completed-span ring on the clock
+// goroutine and serves it as a JSON array, oldest span first.
+func (d *Daemon) handleSpans(w http.ResponseWriter, _ *http.Request) {
+	if d.state.Load() == stateDrained {
+		// The clock loop may already be stopped; nothing left to ask.
+		http.Error(w, "drained", http.StatusServiceUnavailable)
+		return
+	}
+	ch := make(chan []*span.Span, 1)
+	d.exec(func() { ch <- d.rt.Spans() })
+	spans := <-ch
+	if spans == nil {
+		spans = []*span.Span{}
+	}
+	writeJSON(w, http.StatusOK, spans)
 }
 
 // writeJSON writes one JSON response body.

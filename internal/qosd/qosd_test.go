@@ -10,7 +10,9 @@ import (
 	"testing"
 
 	"hybridqos/internal/clock"
+	"hybridqos/internal/span"
 	"hybridqos/internal/telemetry"
+	"hybridqos/internal/trace"
 )
 
 // testConfig is a small pull-only daemon: unit-length items, three classes
@@ -418,6 +420,67 @@ func TestDaemonHTTPStateShortCircuits(t *testing.T) {
 	}
 	if rec := get("/metrics"); rec.Code != http.StatusServiceUnavailable {
 		t.Errorf("metrics after drain: %d", rec.Code)
+	}
+}
+
+// TestDaemonSpans: with spans enabled, served, expired and drain-refused
+// requests all land in the engine's span ring with verified segment tiling
+// — the drain-time refusal carrying the "draining" terminal taxonomy — and
+// /debug/spans serves them as JSON.
+func TestDaemonSpans(t *testing.T) {
+	cfg := testConfig()
+	cfg.Spans = &SpansConfig{Rate: 1, Buffer: 16}
+	d, v := inlineDaemon(t, cfg)
+
+	d.Serve(Request{Item: 5}, 0, func(int, Response) {})
+	d.Serve(Request{Item: 250, DeadlineIn: 0.5}, 2, func(int, Response) {})
+	v.RunUntil(5)
+
+	// The span ring is live over HTTP before drain.
+	rec := httptest.NewRecorder()
+	d.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/spans", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/spans: %d", rec.Code)
+	}
+	var served []span.Span
+	if err := json.Unmarshal(rec.Body.Bytes(), &served); err != nil {
+		t.Fatalf("/debug/spans body: %v\n%s", err, rec.Body.String())
+	}
+	if len(served) != 2 {
+		t.Fatalf("/debug/spans returned %d spans, want 2:\n%s", len(served), rec.Body.String())
+	}
+
+	v.At(6, func() {
+		d.Drain(nil)
+		d.Serve(Request{Item: 7}, 1, func(status int, resp Response) {
+			if status != http.StatusServiceUnavailable || resp.Outcome != "draining" {
+				t.Errorf("drain-time request answered %d %q", status, resp.Outcome)
+			}
+		})
+	})
+	v.RunUntil(100)
+
+	spans := d.Engine().Spans()
+	if err := span.Verify(spans); err != nil {
+		t.Fatal(err)
+	}
+	outcomes := map[string]int{}
+	for _, sp := range spans {
+		outcomes[sp.Outcome]++
+	}
+	if outcomes[trace.EndServed] != 1 || outcomes[trace.EndExpired] != 1 || outcomes[trace.EndDraining] != 1 {
+		t.Fatalf("span outcomes %v, want one each of served/expired/draining", outcomes)
+	}
+	for _, sp := range spans {
+		if sp.Outcome != trace.EndServed {
+			continue
+		}
+		if len(sp.Segments) == 0 || sp.Segments[len(sp.Segments)-1].Kind != span.SegService {
+			t.Fatalf("served span lacks a service segment: %+v", sp)
+		}
+		if sp.Item != 5 || sp.Verdict != trace.VerdictPull {
+			t.Fatalf("served span misattributed: %+v", sp)
+		}
 	}
 }
 

@@ -209,6 +209,17 @@ type Selector interface {
 	// whole-backlog operations (cross-cell client mobility). Callers re-Add
 	// kept requests and Recycle each drained entry.
 	Drain() []*pullqueue.Entry
+	// Entry returns the queued entry for an item rank without removing it,
+	// or nil — read-only span-provenance lookups; callers must not mutate
+	// the entry.
+	Entry(item int) *pullqueue.Entry
+	// Peek returns the best entry at time now without removing it, or nil.
+	// After an ExtractBest it exposes the runner-up of that decision.
+	Peek(now float64) *pullqueue.Entry
+	// Score returns the policy's selection score for an entry at time now —
+	// the same quantity extraction order is decided by, surfaced for
+	// decision provenance.
+	Score(e *pullqueue.Entry, now float64) float64
 }
 
 // NewSelector returns the fastest selector able to realise the policy: a
@@ -232,12 +243,13 @@ func NewSelector(p PullPolicy) (Selector, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &queueSelector{q: q}, nil
+	return &queueSelector{q: q, policy: p}, nil
 }
 
 // queueSelector adapts a pullqueue.Queue to the Selector interface.
 type queueSelector struct {
-	q pullqueue.Queue
+	q      pullqueue.Queue
+	policy PullPolicy
 }
 
 //qos:hotpath
@@ -252,5 +264,13 @@ func (s *queueSelector) Requests() int                            { return s.q.R
 //qos:hotpath
 func (s *queueSelector) Recycle(e *pullqueue.Entry) { s.q.Recycle(e) }
 func (s *queueSelector) Drain() []*pullqueue.Entry  { return s.q.Drain() }
+
+func (s *queueSelector) Entry(item int) *pullqueue.Entry { return s.q.Entry(item) }
+func (s *queueSelector) Peek(now float64) *pullqueue.Entry {
+	return s.q.Peek(now)
+}
+func (s *queueSelector) Score(e *pullqueue.Entry, now float64) float64 {
+	return s.policy.Score(e, now)
+}
 
 var _ Selector = (*queueSelector)(nil)

@@ -3,6 +3,9 @@ package telemetry
 import (
 	"fmt"
 	"math"
+	"sort"
+
+	"hybridqos/internal/rng"
 )
 
 // Metric names the Collector maintains. Counters and histograms are derived
@@ -63,6 +66,18 @@ type Options struct {
 	// Cell labels every snapshot with the broadcast cell the collector
 	// belongs to in multi-cell runs; leave 0 for single-cell runs.
 	Cell int
+	// Exemplars caps the sampled span IDs kept per (class, delay bucket):
+	// each bucket carries up to Exemplars IDs chosen by a deterministic
+	// reservoir (Algorithm R) over the span IDs observed for it, linking the
+	// aggregate histogram back to concrete requests. 0 disables exemplars;
+	// replay audits exclude them either way (DiffReplay compares counters
+	// and histograms only, so snapshots stay comparable across collectors
+	// with different exemplar settings).
+	Exemplars int
+	// ExemplarRNG drives reservoir replacement and must be a stream split
+	// from the run's seeded root when Exemplars > 0, keeping exemplar
+	// selection a pure function of the seed.
+	ExemplarRNG *rng.Source
 }
 
 // Collector is the engine-facing instrumentation front end: one instance per
@@ -75,6 +90,22 @@ type Collector struct {
 	onSnapshot func(*Snapshot)
 	snapshots  int64
 	cell       int
+	exK        int
+	exRng      *rng.Source
+	exemplars  map[exemplarKey]*exemplarRes
+}
+
+// exemplarKey addresses one delay-bucket reservoir.
+type exemplarKey struct {
+	class  int
+	bucket int
+}
+
+// exemplarRes is one bucket's span-ID reservoir: Algorithm R over the
+// stream of sampled span IDs observed for the bucket.
+type exemplarRes struct {
+	spans []int64
+	seen  int64
 }
 
 // New builds a Collector. SnapshotEvery must be non-negative and finite.
@@ -82,11 +113,19 @@ func New(opts Options) (*Collector, error) {
 	if opts.SnapshotEvery < 0 || math.IsNaN(opts.SnapshotEvery) || math.IsInf(opts.SnapshotEvery, 0) {
 		return nil, fmt.Errorf("telemetry: invalid snapshot cadence %g", opts.SnapshotEvery)
 	}
+	if opts.Exemplars < 0 {
+		return nil, fmt.Errorf("telemetry: negative exemplar reservoir size %d", opts.Exemplars)
+	}
+	if opts.Exemplars > 0 && opts.ExemplarRNG == nil {
+		return nil, fmt.Errorf("telemetry: exemplars enabled without an RNG stream")
+	}
 	return &Collector{
 		reg:        NewRegistry(),
 		every:      opts.SnapshotEvery,
 		onSnapshot: opts.OnSnapshot,
 		cell:       opts.Cell,
+		exK:        opts.Exemplars,
+		exRng:      opts.ExemplarRNG,
 	}, nil
 }
 
@@ -187,6 +226,33 @@ func (c *Collector) Rejected(class int) {
 	c.reg.Counter(MetricRejected, class).Inc()
 }
 
+// Exemplar attaches a sampled span ID to the delay bucket the observation
+// falls in, keeping at most K IDs per (class, bucket) via Algorithm R so
+// every observed span has an equal chance of surviving. No-op when
+// exemplars are disabled or the span ID is 0 (unsampled request).
+func (c *Collector) Exemplar(class int, delay float64, span int64) {
+	if c.exK == 0 || span == 0 {
+		return
+	}
+	if c.exemplars == nil {
+		c.exemplars = make(map[exemplarKey]*exemplarRes)
+	}
+	k := exemplarKey{class: class, bucket: bucketIndex(delay)}
+	res := c.exemplars[k]
+	if res == nil {
+		res = &exemplarRes{}
+		c.exemplars[k] = res
+	}
+	res.seen++
+	if len(res.spans) < c.exK {
+		res.spans = append(res.spans, span)
+		return
+	}
+	if j := c.exRng.Intn(int(res.seen)); j < c.exK {
+		res.spans[j] = span
+	}
+}
+
 // ObserveShedLevel samples the admission controller's shed level.
 func (c *Collector) ObserveShedLevel(level int) {
 	c.reg.Gauge(MetricShedLevel, ClassNone).Set(float64(level))
@@ -259,7 +325,19 @@ func (h HistSnap) N() int64 {
 	return n
 }
 
-// Snapshot is the registry's full state at one simulated instant. All three
+// ExemplarSnap is one delay bucket's span-ID reservoir in a snapshot.
+type ExemplarSnap struct {
+	// Class is the service class label.
+	Class int `json:"class"`
+	// Bucket indexes the fixed DelayBuckets layout (overflow last).
+	Bucket int `json:"bucket"`
+	// Spans holds up to K sampled span IDs whose delays fell in the bucket.
+	Spans []int64 `json:"spans"`
+	// Seen counts every sampled observation the bucket received.
+	Seen int64 `json:"seen"`
+}
+
+// Snapshot is the registry's full state at one simulated instant. All
 // sections are sorted by (name, class), so identical collector states always
 // serialise to identical bytes.
 type Snapshot struct {
@@ -275,6 +353,11 @@ type Snapshot struct {
 	Counters []CounterSnap `json:"counters,omitempty"`
 	Gauges   []GaugeSnap   `json:"gauges,omitempty"`
 	Hists    []HistSnap    `json:"hists,omitempty"`
+	// Exemplars carries the span-ID reservoirs when exemplar sampling is
+	// on; nil (and omitted) otherwise, so exemplar-off snapshots are
+	// byte-identical to pre-exemplar ones. Excluded from the replay audit
+	// like gauges: a replay collector has no reservoir RNG.
+	Exemplars []ExemplarSnap `json:"exemplars,omitempty"`
 }
 
 // Counter returns the named counter's value in the snapshot, 0 when absent.
@@ -323,16 +406,42 @@ func (c *Collector) TakeSnapshot(t float64) *Snapshot {
 		h := c.reg.hists[k]
 		s.Hists = append(s.Hists, HistSnap{Name: k.name, Class: k.class, Counts: h.Counts(), Sum: h.Sum()})
 	}
+	for _, k := range sortedExemplarKeys(c.exemplars) {
+		res := c.exemplars[k]
+		s.Exemplars = append(s.Exemplars, ExemplarSnap{
+			Class:  k.class,
+			Bucket: k.bucket,
+			Spans:  append([]int64(nil), res.spans...),
+			Seen:   res.seen,
+		})
+	}
 	if c.onSnapshot != nil {
 		c.onSnapshot(s)
 	}
 	return s
 }
 
+// sortedExemplarKeys returns the reservoir keys in (class, bucket) order —
+// the maporder contract for the exemplar map.
+func sortedExemplarKeys(m map[exemplarKey]*exemplarRes) []exemplarKey {
+	keys := make([]exemplarKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].class != keys[j].class {
+			return keys[i].class < keys[j].class
+		}
+		return keys[i].bucket < keys[j].bucket
+	})
+	return keys
+}
+
 // DiffReplay compares the replay-auditable sections of two snapshots — the
 // counters and histogram states — and returns a descriptive error on the
-// first divergence. Gauges sample live engine state a replay cannot
-// reconstruct and are deliberately excluded.
+// first divergence. Gauges and exemplar reservoirs sample state a replay
+// cannot reconstruct (live engine state, the reservoir RNG stream) and are
+// deliberately excluded.
 func DiffReplay(got, want *Snapshot) error {
 	if got == nil || want == nil {
 		return fmt.Errorf("telemetry: nil snapshot")

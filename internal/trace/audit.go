@@ -38,6 +38,15 @@ func Apply(c *telemetry.Collector, e Event) {
 		c.Handoff(int(e.Class))
 	case KindHandoffRefused:
 		c.HandoffRefused(int(e.Class))
+	case KindSpanEnd:
+		// Span provenance is additive: every metric increment already rides
+		// on a primary kind, so span events only contribute exemplars —
+		// sampled span IDs attached to the delay-histogram bucket the served
+		// request landed in. Exemplar state is excluded from DiffReplay
+		// (like gauges), so replay audits are unaffected.
+		if e.Reason == EndServed {
+			c.Exemplar(int(e.Class), e.T-e.Arrival, e.Req)
+		}
 	}
 }
 

@@ -35,6 +35,41 @@ const (
 	// Multi-cell kinds (internal/cluster): cross-cell client mobility.
 	KindHandoff        Kind = "handoff"         // roaming request re-attached at this cell
 	KindHandoffRefused Kind = "handoff-refused" // roaming request turned away at this cell (see Reason)
+
+	// Span provenance kinds (internal/span): emitted only for head-sampled
+	// requests when span tracing is enabled, so spans-off streams stay
+	// byte-identical. They are additive provenance — Apply treats them as
+	// metric no-ops (exemplars aside) because the primary kinds above
+	// already carry every metric increment.
+	KindSpanStart   Kind = "span-start"   // sampled request arrived; Reason is the admission verdict
+	KindSpanEnqueue Kind = "span-enqueue" // sampled request entered the pull queue; Score is the entry's post-add score
+	KindDecision    Kind = "decision"     // pull extraction decision: winning and runner-up scores
+	KindSpanLoss    Kind = "span-loss"    // sampled request's transmission corrupted; Start is the transmission start
+	KindSpanRetry   Kind = "span-retry"   // sampled request re-submitted after loss backoff
+	KindSpanHandoff Kind = "span-handoff" // sampled request roamed out of this cell (Cell tags carry origin/destination)
+	KindSpanAttach  Kind = "span-attach"  // sampled request re-attached after transit; Reason is the inject verdict
+	KindSpanEnd     Kind = "span-end"     // sampled request reached a terminal; Reason is the outcome taxonomy
+)
+
+// Admission verdicts carried in KindSpanStart/KindSpanAttach Reason fields.
+const (
+	VerdictPull  = "pull"  // enqueued on the pull queue
+	VerdictPush  = "push"  // waiting for the item's scheduled broadcast
+	VerdictCache = "cache" // satisfied instantly from the client cache
+)
+
+// Terminal outcomes carried in the KindSpanEnd Reason field. Handoff
+// refusals reuse the cluster taxonomy prefixed with "refused-":
+// refused-expired, refused-shed, refused-horizon, refused-no-item.
+const (
+	EndServed     = "served"      // delivered; Start is the service start, Arrival the request arrival
+	EndExpired    = "expired"     // TTL/deadline passed before delivery
+	EndBlocked    = "blocked"     // pull entry dropped for bandwidth
+	EndFailed     = "failed"      // corrupted delivery and the retry policy gave up
+	EndShed       = "shed"        // refused by the overload admission controller
+	EndUplinkLost = "uplink-lost" // request lost on the uplink before reaching the server
+	EndRejected   = "rejected"    // refused by serving-mode admission control
+	EndDraining   = "draining"    // refused because the daemon is draining
 )
 
 // Event is one trace record. Fields are compact so a run can emit millions
@@ -64,8 +99,26 @@ type Event struct {
 	// Reason qualifies KindHandoffRefused events: "expired" (deadline passed
 	// in transit), "shed" (admission control), "no-item" (item absent from
 	// the destination cell's catalog) or "horizon" (transit would end past
-	// the simulation horizon).
+	// the simulation horizon). On span kinds it carries the admission
+	// verdict (KindSpanStart/KindSpanAttach) or terminal outcome
+	// (KindSpanEnd).
 	Reason string `json:"reason,omitempty"`
+	// Req is the globally unique span/request ID on span provenance events
+	// (0 = not a span event). Cluster runs namespace IDs per cell so links
+	// survive stream merging.
+	Req int64 `json:"req,omitempty"`
+	// Score is the selection score: the entry's post-add score on
+	// KindSpanEnqueue, the winning score on KindDecision.
+	Score float64 `json:"score,omitempty"`
+	// RunnerUp and RunnerUpScore identify the second-best queue entry at a
+	// KindDecision extraction (0/0 when the queue held a single entry).
+	RunnerUp      int     `json:"runner_up,omitempty"`
+	RunnerUpScore float64 `json:"runner_up_score,omitempty"`
+	// Start is the service (transmission) start time on KindSpanEnd served
+	// outcomes and KindSpanLoss events, so wait and service segments can be
+	// split exactly during span reconstruction. Handoff origin and
+	// destination cells ride on the Cell tags of the out/in events.
+	Start float64 `json:"start,omitempty"`
 	// Snap is the embedded telemetry snapshot (KindSnapshot only).
 	Snap *telemetry.Snapshot `json:"snap,omitempty"`
 }
