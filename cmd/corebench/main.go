@@ -318,7 +318,13 @@ func verifyFile(path string, maxAllocs float64, baselinePath string, allocGrow, 
 	if baselinePath != "" {
 		base := loadReport(baselinePath)
 		baseAllocs, baseThru := keyNumbers(baselinePath, base)
-		if allocGrow > 0 && allocs > baseAllocs*allocGrow {
+		// The growth gate has an absolute floor: with the arena-based hot
+		// path the steady-state ratio is a few hundredths of an alloc per
+		// request, so at quick horizons one-time setup (arena growth, bucket
+		// arrays) dominates and a pure ratio test is noise. Below the floor
+		// the absolute -max-allocs-per-request ceiling is the binding gate.
+		const growthFloor = 0.25
+		if allocGrow > 0 && allocs > baseAllocs*allocGrow && allocs > growthFloor {
 			fatal("%s: %.2f allocs/request exceeds baseline %.2f by more than %gx",
 				path, allocs, baseAllocs, allocGrow)
 		}

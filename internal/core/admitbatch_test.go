@@ -1,0 +1,80 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"hybridqos/internal/faults"
+	"hybridqos/internal/trace"
+	"hybridqos/internal/uplink"
+	"hybridqos/internal/workload"
+)
+
+// admitBatchConfig drives the shedder hard with compound-Poisson bursts so
+// arrival batches straddle both FreezeBatch outcomes: bursts where the
+// hysteresis level is provably frozen (answered by one cached cutoff) and
+// bursts that could cross a watermark mid-batch (per-request fallback).
+func admitBatchConfig(t *testing.T) (Config, *trace.Counter) {
+	t.Helper()
+	cfg := baseConfig(t)
+	bp, err := workload.NewBatchPoisson(1.5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Arrivals = bp
+	cfg.RequestTTL = 150
+	lm, err := faults.NewBurstLoss(0.2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Loss = lm
+	cfg.Retry = faults.RetryPolicy{MaxAttempts: 3, Base: 1, Multiplier: 2, Max: 20, Jitter: 0.5}
+	cfg.Shed = &faults.ShedConfig{High: 25, Low: 10}
+	tb, err := uplink.NewTokenBucket(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Uplink = tb
+	tr := trace.NewCounter()
+	cfg.Tracer = tr
+	return cfg, tr
+}
+
+// TestBatchedAdmissionMatchesSequential is the differential test for
+// beginAdmitBatch: a run answering admission from the per-burst frozen cutoff
+// must be bit-identical — metrics and trace tallies — to the same seed run
+// with splitAdmitBatches forcing every decision through Shedder.Admit.
+func TestBatchedAdmissionMatchesSequential(t *testing.T) {
+	run := func(split bool) (*Metrics, map[trace.Kind]int64) {
+		cfg, tr := admitBatchConfig(t)
+		srv, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.splitAdmitBatches = split
+		m := srv.Run()
+		kinds := map[trace.Kind]int64{}
+		for _, k := range []trace.Kind{trace.KindShed, trace.KindServed, trace.KindRetry, trace.KindArrival} {
+			kinds[k] = tr.Count(k)
+		}
+		return m, kinds
+	}
+	mBatch, kBatch := run(false)
+	mSeq, kSeq := run(true)
+	if !reflect.DeepEqual(mBatch, mSeq) {
+		t.Fatalf("batched admission diverges from sequential:\nbatched:    %+v\nsequential: %+v", mBatch, mSeq)
+	}
+	if !reflect.DeepEqual(kBatch, kSeq) {
+		t.Fatalf("trace tallies diverge: batched %v vs sequential %v", kBatch, kSeq)
+	}
+	var shed int64
+	for _, pc := range mBatch.PerClass {
+		shed += pc.Shed
+	}
+	if shed == 0 {
+		t.Fatal("workload never tripped the shedder; differential test is vacuous")
+	}
+	if kBatch[trace.KindArrival] == 0 {
+		t.Fatal("no arrivals traced")
+	}
+}

@@ -245,15 +245,19 @@ func (s *Server) RefuseHandoff(item int, class clients.Class, reason string, arr
 // acceptHandoff books an accepted inbound roamer.
 func (s *Server) acceptHandoff(item int, class clients.Class) {
 	s.metrics.PerClass[class].HandoffsIn++
-	s.emit(trace.Event{T: s.clk.Now(), Kind: trace.KindHandoff, Item: item, Class: class})
+	if s.emitOn {
+		s.emit(trace.Event{T: s.clk.Now(), Kind: trace.KindHandoff, Item: item, Class: class})
+	}
 }
 
 // refuseHandoff books a refused inbound roamer. A sampled roamer's span
 // terminates here with the refusal taxonomy ("refused-" + reason).
 func (s *Server) refuseHandoff(item int, class clients.Class, reason string, arrival float64, span int64) {
 	s.metrics.PerClass[class].HandoffRefusals++
-	s.emit(trace.Event{T: s.clk.Now(), Kind: trace.KindHandoffRefused, Item: item, Class: class, Reason: reason})
-	if span != 0 {
+	if s.emitOn {
+		s.emit(trace.Event{T: s.clk.Now(), Kind: trace.KindHandoffRefused, Item: item, Class: class, Reason: reason})
+	}
+	if span != 0 && s.emitOn {
 		s.emit(trace.Event{
 			T: s.clk.Now(), Kind: trace.KindSpanEnd, Item: item, Class: class,
 			Req: span, Reason: "refused-" + reason, Arrival: arrival,
@@ -266,7 +270,7 @@ func (s *Server) refuseHandoff(item int, class clients.Class, reason string, arr
 // segment begins; the destination cell's span-attach (or refusal terminal)
 // closes it.
 func (s *Server) spanHandoff(item int, class clients.Class, span int64) {
-	if span == 0 {
+	if span == 0 || !s.emitOn {
 		return
 	}
 	s.emit(trace.Event{T: s.clk.Now(), Kind: trace.KindSpanHandoff, Item: item, Class: class, Req: span})
@@ -276,7 +280,7 @@ func (s *Server) spanHandoff(item int, class clients.Class, span int64) {
 // (no-op for span 0). verdict records how the request re-attached: a push
 // waiter or a pull enqueue (whose span-enqueue follows).
 func (s *Server) spanAttach(item int, class clients.Class, span int64, verdict string) {
-	if span == 0 {
+	if span == 0 || !s.emitOn {
 		return
 	}
 	s.emit(trace.Event{T: s.clk.Now(), Kind: trace.KindSpanAttach, Item: item, Class: class, Req: span, Reason: verdict})

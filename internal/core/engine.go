@@ -85,6 +85,20 @@ type Server struct {
 	shedder        *faults.Shedder
 	pendingRetries int // re-requests booked but not yet delivered
 
+	// Batched admission (see beginAdmitBatch): when the shedder's hysteresis
+	// level is provably frozen for the whole arrival burst, every decision in
+	// the burst is answered by one comparison against admitCut instead of a
+	// per-request Admit. splitAdmitBatches (tests only) forces the fallback.
+	admitBatch        bool
+	admitCut          int
+	splitAdmitBatches bool
+
+	// emitOn gates trace-event construction on the hot path: false when the
+	// tracer is the no-op sink and telemetry is off, where emit would copy a
+	// large Event struct per call only to discard it. Guarded sites are
+	// behavior-identical because emit has no side effects in that state.
+	emitOn bool
+
 	// Span provenance (nil spanRng = disabled; the zero cost of spans-off
 	// is a single nil check on the hot path).
 	spanRng    *rng.Source
@@ -178,6 +192,8 @@ func New(cfg Config) (*Server, error) {
 		s.tracer = trace.Nop{}
 	}
 	s.tele = cfg.Telemetry
+	_, nop := s.tracer.(trace.Nop)
+	s.emitOn = !nop || s.tele != nil
 	s.up = cfg.Uplink
 	if s.up == nil {
 		s.up = uplink.Unlimited{}
@@ -232,9 +248,11 @@ func New(cfg Config) (*Server, error) {
 	// the Server fields.
 	s.arrivalH = func() {
 		n := s.nextBatch
+		s.beginAdmitBatch(n)
 		for i := 0; i < n; i++ {
 			s.handleArrival()
 		}
+		s.admitBatch = false
 		s.scheduleNextArrival()
 	}
 	s.pushH = func() { s.completePush(s.pushItem) }
@@ -377,7 +395,9 @@ func (s *Server) handleArrival() {
 	if now >= s.warmupEnd {
 		s.metrics.PerClass[class].Arrivals++
 	}
-	s.emit(trace.Event{T: now, Kind: trace.KindArrival, Item: rank, Class: class})
+	if s.emitOn {
+		s.emit(trace.Event{T: now, Kind: trace.KindArrival, Item: rank, Class: class})
+	}
 	span := s.sampleSpan(class)
 	clientID := -1
 	if s.caches != nil {
@@ -391,8 +411,10 @@ func (s *Server) handleArrival() {
 				cm.Delay.Add(0)
 				cm.DelayHist.Add(0)
 			}
-			s.emit(trace.Event{T: now, Kind: trace.KindServed, Class: class, Arrival: now})
-			if span != 0 {
+			if s.emitOn {
+				s.emit(trace.Event{T: now, Kind: trace.KindServed, Class: class, Arrival: now})
+			}
+			if span != 0 && s.emitOn {
 				s.emit(trace.Event{T: now, Kind: trace.KindSpanStart, Item: rank, Class: class, Req: span, Reason: trace.VerdictCache})
 				s.emit(trace.Event{T: now, Kind: trace.KindSpanEnd, Item: rank, Class: class, Req: span, Reason: trace.EndServed, Arrival: now, Start: now})
 			}
@@ -402,21 +424,21 @@ func (s *Server) handleArrival() {
 	if rank <= s.cutoff {
 		// Push item: the server ignores the request (flat broadcast will
 		// deliver it); the simulator tracks the waiter to measure delay.
-		if span != 0 {
+		if span != 0 && s.emitOn {
 			s.emit(trace.Event{T: now, Kind: trace.KindSpanStart, Item: rank, Class: class, Req: span, Reason: trace.VerdictPush})
 		}
 		//lint:allow hotalloc amortized: waiter slices reset to length 0 on drain and reuse capacity across cycles
 		s.pushWaiters[rank] = append(s.pushWaiters[rank], pushWaiter{class: class, arrival: now, joined: now, client: clientID, span: span})
 		return
 	}
-	if span != 0 {
+	if span != 0 && s.emitOn {
 		s.emit(trace.Event{T: now, Kind: trace.KindSpanStart, Item: rank, Class: class, Req: span, Reason: trace.VerdictPull})
 	}
 	if !s.up.TryRequest(now, s.uplinkRng) {
 		if now >= s.warmupEnd {
 			s.metrics.PerClass[class].UplinkLost++
 		}
-		if span != 0 {
+		if span != 0 && s.emitOn {
 			s.emit(trace.Event{T: now, Kind: trace.KindSpanEnd, Item: rank, Class: class, Req: span, Reason: trace.EndUplinkLost, Arrival: now})
 		}
 		return
@@ -441,7 +463,7 @@ func (s *Server) handleArrival() {
 //qos:hotpath
 func (s *Server) enqueuePull(req pullqueue.Request) {
 	s.selector.Add(req, s.cfg.Catalog.Length(req.Item))
-	if req.Tag != 0 {
+	if req.Tag != 0 && s.emitOn {
 		// Enqueue provenance: the entry's post-add selection score, the
 		// quantity the next extraction decision will rank it by.
 		now := s.clk.Now()
@@ -459,25 +481,57 @@ func (s *Server) enqueuePull(req pullqueue.Request) {
 	}
 }
 
+// beginAdmitBatch samples the shedder once for an arrival burst of n
+// requests. If the hysteresis level is provably frozen across the burst
+// (see faults.Shedder.FreezeBatch), the burst's admission decisions all
+// reduce to one cached class comparison in shedPull. The freeze proof
+// needs load to be non-decreasing inside the burst, which holds whenever
+// the push system owns the idle channel (cutoff > 0): arrivals only add
+// queue entries, and extractions happen on transmission-completion events,
+// never mid-burst. With cutoff 0 an arrival can kick an idle channel into
+// an immediate extraction, so batching is disabled there.
+//
+//qos:hotpath
+func (s *Server) beginAdmitBatch(n int) {
+	if s.shedder == nil || s.cutoff == 0 || s.splitAdmitBatches {
+		return
+	}
+	load := s.selector.Requests() + s.pendingRetries
+	if cut, ok := s.shedder.FreezeBatch(load, n); ok {
+		s.admitCut = cut
+		s.admitBatch = true
+	}
+}
+
 // shedPull consults the overload admission controller and reports whether
 // the request was refused. The controller samples pending load (queued pull
 // requests plus outstanding retries) at every admission decision, so the
-// shed level moves at most one class per arriving request.
+// shed level moves at most one class per arriving request; inside a frozen
+// arrival batch the sample is hoisted to beginAdmitBatch and each decision
+// is the cached cut comparison, bit-identical by FreezeBatch's contract.
 //
 //qos:hotpath
 func (s *Server) shedPull(req pullqueue.Request, now float64) bool {
 	if s.shedder == nil {
 		return false
 	}
-	load := s.selector.Requests() + s.pendingRetries
-	if s.shedder.Admit(load, int(req.Class)) {
-		return false
+	if s.admitBatch {
+		if int(req.Class) < s.admitCut {
+			return false
+		}
+	} else {
+		load := s.selector.Requests() + s.pendingRetries
+		if s.shedder.Admit(load, int(req.Class)) {
+			return false
+		}
 	}
 	if req.Arrival >= s.warmupEnd {
 		s.metrics.PerClass[req.Class].Shed++
 	}
-	s.emit(trace.Event{T: now, Kind: trace.KindShed, Item: req.Item, Class: req.Class})
-	if req.Tag != 0 {
+	if s.emitOn {
+		s.emit(trace.Event{T: now, Kind: trace.KindShed, Item: req.Item, Class: req.Class})
+	}
+	if req.Tag != 0 && s.emitOn {
 		s.emit(trace.Event{
 			T: now, Kind: trace.KindSpanEnd, Item: req.Item, Class: req.Class,
 			Req: req.Tag, Reason: trace.EndShed, Arrival: req.Arrival,
@@ -502,7 +556,7 @@ func (s *Server) retryAfterLoss(r pullqueue.Request, now float64) bool {
 		if r.Arrival >= s.warmupEnd {
 			s.metrics.PerClass[r.Class].Expired++
 		}
-		if r.Tag != 0 {
+		if r.Tag != 0 && s.emitOn {
 			// The client gives up at its deadline rather than booking a
 			// retry that would land past it.
 			s.emit(trace.Event{
@@ -516,9 +570,11 @@ func (s *Server) retryAfterLoss(r pullqueue.Request, now float64) bool {
 	if r.Arrival >= s.warmupEnd {
 		s.metrics.PerClass[r.Class].Retries++
 	}
-	s.emit(trace.Event{
-		T: now, Kind: trace.KindRetry, Item: r.Item, Class: r.Class, Attempt: r.Attempts,
-	})
+	if s.emitOn {
+		s.emit(trace.Event{
+			T: now, Kind: trace.KindRetry, Item: r.Item, Class: r.Class, Attempt: r.Attempts,
+		})
+	}
 	s.pendingRetries++
 	s.observePendingRetries()
 	// Unlike the arrival/push/pull handlers, retries are multi-outstanding
@@ -539,7 +595,7 @@ func (s *Server) retryAfterLoss(r pullqueue.Request, now float64) bool {
 //qos:hotpath
 func (s *Server) handleRetry(r pullqueue.Request) {
 	now := s.clk.Now()
-	if r.Tag != 0 {
+	if r.Tag != 0 && s.emitOn {
 		// The backoff segment ends here; what follows (uplink, admission,
 		// enqueue) decides the next segment, exactly like a fresh arrival.
 		s.emit(trace.Event{
@@ -552,7 +608,7 @@ func (s *Server) handleRetry(r pullqueue.Request) {
 			if r.Arrival >= s.warmupEnd {
 				s.metrics.PerClass[r.Class].UplinkLost++
 			}
-			if r.Tag != 0 {
+			if r.Tag != 0 && s.emitOn {
 				s.emit(trace.Event{
 					T: now, Kind: trace.KindSpanEnd, Item: r.Item, Class: r.Class,
 					Req: r.Tag, Reason: trace.EndUplinkLost, Arrival: r.Arrival,
@@ -575,7 +631,9 @@ func (s *Server) handleRetry(r pullqueue.Request) {
 func (s *Server) startPush() {
 	item := s.pushSched.Next()
 	length := s.cfg.Catalog.Length(item)
-	s.emit(trace.Event{T: s.clk.Now(), Kind: trace.KindPushStart, Item: item, Class: -1})
+	if s.emitOn {
+		s.emit(trace.Event{T: s.clk.Now(), Kind: trace.KindPushStart, Item: item, Class: -1})
+	}
 	s.pushItem = item
 	s.clk.After(length, s.pushH)
 }
@@ -591,18 +649,22 @@ func (s *Server) completePush(item int) {
 		// Nobody decoded the broadcast: waiters stay registered and catch
 		// the item's next push cycle; no cache fills, no PIX update.
 		s.metrics.CorruptedPushes++
-		s.emit(trace.Event{
-			T: now, Kind: trace.KindCorrupt, Item: item, Class: -1,
-			Push: true, Requests: len(s.pushWaiters[item]),
-		})
+		if s.emitOn {
+			s.emit(trace.Event{
+				T: now, Kind: trace.KindCorrupt, Item: item, Class: -1,
+				Push: true, Requests: len(s.pushWaiters[item]),
+			})
+		}
 		s.attemptPull()
 		return
 	}
 	s.noteTransmission(item)
-	s.emit(trace.Event{
-		T: now, Kind: trace.KindPushComplete, Item: item, Class: -1,
-		Requests: len(s.pushWaiters[item]),
-	})
+	if s.emitOn {
+		s.emit(trace.Event{
+			T: now, Kind: trace.KindPushComplete, Item: item, Class: -1,
+			Requests: len(s.pushWaiters[item]),
+		})
+	}
 	start := now - s.cfg.Catalog.Length(item)
 	for _, w := range s.pushWaiters[item] {
 		ws := start
@@ -643,15 +705,17 @@ func (s *Server) attemptPull() {
 			if blocked {
 				// Paper: the item and all its pending requests are lost.
 				s.metrics.BlockedTransmissions++
-				s.emit(trace.Event{
-					T: s.clk.Now(), Kind: trace.KindBlocked, Item: entry.Item,
-					Class: entry.HighestClass(), Requests: len(entry.Requests),
-				})
+				if s.emitOn {
+					s.emit(trace.Event{
+						T: s.clk.Now(), Kind: trace.KindBlocked, Item: entry.Item,
+						Class: entry.HighestClass(), Requests: len(entry.Requests),
+					})
+				}
 				for _, r := range entry.Requests {
 					if r.Arrival >= s.warmupEnd {
 						s.metrics.PerClass[r.Class].Dropped++
 					}
-					if r.Tag != 0 {
+					if r.Tag != 0 && s.emitOn {
 						s.emit(trace.Event{
 							T: s.clk.Now(), Kind: trace.KindSpanEnd, Item: entry.Item, Class: r.Class,
 							Req: r.Tag, Reason: trace.EndBlocked, Arrival: r.Arrival,
@@ -676,10 +740,12 @@ func (s *Server) attemptPull() {
 		}
 
 		s.emitDecision(entry)
-		s.emit(trace.Event{
-			T: s.clk.Now(), Kind: trace.KindPullStart, Item: entry.Item,
-			Class: entry.HighestClass(), Requests: len(entry.Requests),
-		})
+		if s.emitOn {
+			s.emit(trace.Event{
+				T: s.clk.Now(), Kind: trace.KindPullStart, Item: entry.Item,
+				Class: entry.HighestClass(), Requests: len(entry.Requests),
+			})
+		}
 		// Serial downlink: at most one pull completion in flight, so the
 		// entry and grant ride in fields and the handler is reused.
 		s.pullEntry, s.pullGrant = entry, grant
@@ -696,7 +762,7 @@ func (s *Server) attemptPull() {
 //
 //qos:hotpath
 func (s *Server) emitDecision(entry *pullqueue.Entry) {
-	if s.spanRng == nil {
+	if s.spanRng == nil || !s.emitOn {
 		return
 	}
 	sampled := false
@@ -733,14 +799,16 @@ func (s *Server) completePull(entry *pullqueue.Entry, grant *bandwidth.Grant) {
 		// The delivery was corrupted: each pending request either books a
 		// client re-request (bounded backoff) or fails terminally.
 		s.metrics.CorruptedPulls++
-		s.emit(trace.Event{
-			T: now, Kind: trace.KindCorrupt, Item: entry.Item,
-			Class: entry.HighestClass(), Requests: len(entry.Requests),
-		})
+		if s.emitOn {
+			s.emit(trace.Event{
+				T: now, Kind: trace.KindCorrupt, Item: entry.Item,
+				Class: entry.HighestClass(), Requests: len(entry.Requests),
+			})
+		}
 		// retryAfterLoss schedules against value copies of the requests, so
 		// the entry (and its request slice) is free to reuse immediately.
 		for _, r := range entry.Requests {
-			if r.Tag != 0 {
+			if r.Tag != 0 && s.emitOn {
 				// The failed service segment: transmission start to the
 				// corruption being detected at completion.
 				s.emit(trace.Event{
@@ -752,7 +820,7 @@ func (s *Server) completePull(entry *pullqueue.Entry, grant *bandwidth.Grant) {
 				if r.Arrival >= s.warmupEnd {
 					s.metrics.PerClass[r.Class].Failed++
 				}
-				if r.Tag != 0 {
+				if r.Tag != 0 && s.emitOn {
 					s.emit(trace.Event{
 						T: now, Kind: trace.KindSpanEnd, Item: entry.Item, Class: r.Class,
 						Req: r.Tag, Reason: trace.EndFailed, Arrival: r.Arrival,
@@ -773,10 +841,12 @@ func (s *Server) completePull(entry *pullqueue.Entry, grant *bandwidth.Grant) {
 		return
 	}
 	s.noteTransmission(entry.Item)
-	s.emit(trace.Event{
-		T: now, Kind: trace.KindPullComplete, Item: entry.Item,
-		Class: entry.HighestClass(), Requests: len(entry.Requests),
-	})
+	if s.emitOn {
+		s.emit(trace.Event{
+			T: now, Kind: trace.KindPullComplete, Item: entry.Item,
+			Class: entry.HighestClass(), Requests: len(entry.Requests),
+		})
+	}
 	for _, r := range entry.Requests {
 		s.recordServed(r.Class, r.Arrival, now, false, entry.Item, r.Tag, now-entry.Length)
 		s.fillCache(r.Client, entry.Item, now)
@@ -840,7 +910,7 @@ func (s *Server) CacheHitRate() float64 {
 func (s *Server) recordServed(class clients.Class, arrival, completion float64, push bool, item int, span int64, start float64) {
 	d := completion - arrival
 	expired := s.cfg.RequestTTL > 0 && d > s.cfg.RequestTTL
-	if span != 0 {
+	if span != 0 && s.emitOn {
 		if expired {
 			s.emit(trace.Event{
 				T: completion, Kind: trace.KindSpanEnd, Item: item, Class: class,
@@ -864,10 +934,12 @@ func (s *Server) recordServed(class clients.Class, arrival, completion float64, 
 	cm.Served++
 	cm.Delay.Add(d)
 	cm.DelayHist.Add(d)
-	s.emit(trace.Event{
-		T: completion, Kind: trace.KindServed, Class: class,
-		Arrival: arrival, Push: push,
-	})
+	if s.emitOn {
+		s.emit(trace.Event{
+			T: completion, Kind: trace.KindServed, Class: class,
+			Arrival: arrival, Push: push,
+		})
+	}
 	if push {
 		cm.PushDelay.Add(d)
 	} else {

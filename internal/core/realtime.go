@@ -142,19 +142,6 @@ func (c RealtimeConfig) Validate() error {
 	return nil
 }
 
-// rtReq is one admitted request's live state.
-type rtReq struct {
-	id       int64
-	item     int
-	class    clients.Class
-	arrival  float64
-	deadline float64
-	done     func(Result)
-	expiry   clock.Token
-	terminal bool
-	sp       *span.Span // open span (nil when unsampled or spans disabled)
-}
-
 // Realtime is the serving engine. It is single-goroutine: every method must
 // run on the configured clock's handler goroutine (cmd/qosd bridges HTTP
 // handlers in via Wall.Submit).
@@ -167,13 +154,15 @@ type Realtime struct {
 	pushSch  sched.PushScheduler
 	tele     *telemetry.Collector
 
-	nextID int64
-	// live maps pull-request tags to their state so a delivered entry can
-	// find which of its requests are still waiting. Lookups and deletes
-	// only — the map is never ranged (maporder contract).
-	live map[int64]*rtReq
+	// reqs holds every admitted request's state in a struct-of-arrays
+	// arena (see arena.go). Pull-queue tags and push-waiter lists carry
+	// generation-packed handles, so a delivered entry finds which of its
+	// requests are still waiting by handle validation — the retired
+	// live map's job without the hashing or the per-request allocation.
+	reqs reqArena
 	// pushWaiters is indexed by push rank (1..cutoff); slot 0 unused.
-	pushWaiters [][]*rtReq
+	// Elements are arena handles; stale ones (expired mid-wait) go inert.
+	pushWaiters [][]int64
 
 	// Span recording state (realtime_spans.go); spanCfg nil = disabled.
 	spanCfg  *RealtimeSpanConfig
@@ -221,7 +210,6 @@ func NewRealtime(cfg RealtimeConfig) (*Realtime, error) {
 		ctl:      ctl,
 		selector: sel,
 		tele:     cfg.Telemetry,
-		live:     make(map[int64]*rtReq),
 	}
 	if cfg.Cutoff > 0 {
 		ps, err := policy.NewPush(cfg.PushPolicyName, params)
@@ -234,7 +222,7 @@ func NewRealtime(cfg RealtimeConfig) (*Realtime, error) {
 			rt.pushSch = ps
 		}
 	}
-	rt.pushWaiters = make([][]*rtReq, rt.cutoff+1)
+	rt.pushWaiters = make([][]int64, rt.cutoff+1)
 	if cfg.Spans != nil && cfg.Spans.Rate > 0 {
 		sc := *cfg.Spans
 		if sc.Buffer == 0 {
@@ -316,38 +304,35 @@ func (rt *Realtime) Submit(req RealtimeRequest) admission.Verdict {
 	if req.DeadlineIn > 0 && req.DeadlineIn < budget {
 		budget = req.DeadlineIn
 	}
-	r := &rtReq{
-		id:       rt.nextID,
-		item:     req.Item,
-		class:    req.Class,
-		arrival:  now,
-		deadline: now + budget,
-		done:     req.Done,
-	}
-	rt.nextID++
+	slot := rt.reqs.alloc()
+	rt.reqs.item[slot] = int32(req.Item)
+	rt.reqs.class[slot] = req.Class
+	rt.reqs.arrival[slot] = now
+	rt.reqs.deadline[slot] = now + budget
+	rt.reqs.done[slot] = req.Done
+	h := rt.reqs.handle(slot)
 	rt.pending++
 	// The expiry timer is booked before any transmission that could serve
 	// the request, so a completion landing exactly on the deadline loses
 	// the tie and the client hears "expired" — never a late success.
-	r.expiry = rt.clk.At(r.deadline, func() { rt.expire(r) })
+	rt.reqs.expiry[slot] = rt.clk.At(rt.reqs.deadline[slot], func() { rt.expire(h) })
 	verdict := trace.VerdictPull
 	if req.Item <= rt.cutoff {
 		verdict = trace.VerdictPush
 	}
-	r.sp = rt.newSpan(req.Item, req.Class, now, verdict)
+	rt.reqs.sp[slot] = rt.newSpan(req.Item, req.Class, now, verdict)
 
 	if req.Item <= rt.cutoff {
-		rt.pushWaiters[req.Item] = append(rt.pushWaiters[req.Item], r)
+		rt.addPushWaiter(req.Item, h)
 		return v
 	}
-	rt.live[r.id] = r
 	rt.selector.Add(pullqueue.Request{
 		Item:     req.Item,
 		Class:    req.Class,
 		Priority: rt.cfg.Classes.Weight(req.Class),
 		Arrival:  now,
 		Client:   -1,
-		Tag:      r.id,
+		Tag:      h,
 	}, rt.cfg.Catalog.Length(req.Item))
 	rt.observe()
 	if rt.idle {
@@ -390,36 +375,70 @@ func (rt *Realtime) noteRefusal(class int, v admission.Verdict) {
 	}
 }
 
-// expire resolves a request whose deadline arrived before its item.
-func (rt *Realtime) expire(r *rtReq) {
-	if r.terminal {
+// addPushWaiter parks an admitted push request's handle under its item's
+// rank until the next broadcast of that item.
+//
+//qos:hotpath
+func (rt *Realtime) addPushWaiter(item int, h int64) {
+	w := rt.pushWaiters[item]
+	if n := len(w); n < cap(w) {
+		w = w[:n+1]
+		w[n] = h
+		rt.pushWaiters[item] = w
+	} else {
+		rt.pushWaiterGrow(item, h)
+	}
+}
+
+// pushWaiterGrow is addPushWaiter's cold path: each rank's waiter list
+// grows to its peak burst size once, then recycles via the [:0] reset in
+// completePush.
+func (rt *Realtime) pushWaiterGrow(item int, h int64) {
+	rt.pushWaiters[item] = append(rt.pushWaiters[item], h)
+}
+
+// expire resolves a request whose deadline arrived before its item. Stale
+// handles (request already terminal) are inert; the timer is cancelled on
+// serve, so this is pure defence in depth.
+func (rt *Realtime) expire(h int64) {
+	slot, ok := rt.reqs.lookup(h)
+	if !ok || rt.reqs.terminal[slot] {
 		return
 	}
-	delete(rt.live, r.id)
 	if rt.tele != nil {
-		rt.tele.Expired(int(r.class))
+		rt.tele.Expired(int(rt.reqs.class[slot]))
 	}
-	rt.closeSpan(r, rt.clk.Now(), trace.EndExpired, false)
-	rt.finish(r, Result{Outcome: OutcomeExpired})
+	rt.closeSpan(slot, rt.clk.Now(), trace.EndExpired, false)
+	rt.finish(slot, Result{Outcome: OutcomeExpired})
 }
 
 // serve resolves a request whose item completed transmission in time.
-func (rt *Realtime) serve(r *rtReq, now float64, push bool) {
-	rt.clk.Cancel(r.expiry)
-	d := now - r.arrival
+//
+//qos:hotpath
+func (rt *Realtime) serve(slot int32, now float64, push bool) {
+	rt.clk.Cancel(rt.reqs.expiry[slot])
+	d := now - rt.reqs.arrival[slot]
 	if rt.tele != nil {
-		rt.tele.Served(int(r.class), d, push)
+		rt.tele.Served(int(rt.reqs.class[slot]), d, push)
 	}
-	rt.closeSpan(r, now, trace.EndServed, push)
-	rt.finish(r, Result{Outcome: OutcomeServed, Delay: d, Push: push})
+	if rt.reqs.sp[slot] != nil {
+		rt.closeSpan(slot, now, trace.EndServed, push)
+	}
+	rt.finish(slot, Result{Outcome: OutcomeServed, Delay: d, Push: push})
 }
 
-// finish is the single terminal path: quota release, callback, drain check.
-func (rt *Realtime) finish(r *rtReq, res Result) {
-	r.terminal = true
-	rt.ctl.Release(int(r.class))
+// finish is the single terminal path: quota release, slot recycling,
+// callback, drain check. The slot is released before the callback runs, so
+// a Done handler that submits a follow-up request reuses it immediately.
+//
+//qos:hotpath
+func (rt *Realtime) finish(slot int32, res Result) {
+	rt.reqs.terminal[slot] = true
+	rt.ctl.Release(int(rt.reqs.class[slot]))
 	rt.pending--
-	r.done(res)
+	done := rt.reqs.done[slot]
+	rt.reqs.release(slot)
+	done(res)
 	if rt.draining && rt.pending == 0 && !rt.stopped {
 		rt.finishDrain()
 	}
@@ -457,9 +476,9 @@ func (rt *Realtime) completePush(item int) {
 	if rt.tele != nil {
 		rt.tele.PushComplete()
 	}
-	for _, r := range rt.pushWaiters[item] {
-		if !r.terminal {
-			rt.serve(r, now, true)
+	for _, h := range rt.pushWaiters[item] {
+		if slot, ok := rt.reqs.lookup(h); ok && !rt.reqs.terminal[slot] {
+			rt.serve(slot, now, true)
 		}
 	}
 	rt.pushWaiters[item] = rt.pushWaiters[item][:0]
@@ -486,7 +505,7 @@ func (rt *Realtime) attemptPull() {
 		}
 		alive := 0
 		for _, q := range entry.Requests {
-			if _, ok := rt.live[q.Tag]; ok {
+			if rt.reqs.alive(q.Tag) {
 				alive++
 			}
 		}
@@ -512,9 +531,8 @@ func (rt *Realtime) completePull(entry *pullqueue.Entry) {
 		rt.tele.PullComplete()
 	}
 	for _, q := range entry.Requests {
-		if r, ok := rt.live[q.Tag]; ok {
-			delete(rt.live, q.Tag)
-			rt.serve(r, now, false)
+		if slot, ok := rt.reqs.lookup(q.Tag); ok && !rt.reqs.terminal[slot] {
+			rt.serve(slot, now, false)
 		}
 	}
 	rt.selector.Recycle(entry)

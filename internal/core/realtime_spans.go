@@ -90,12 +90,12 @@ func (rt *Realtime) RefuseDraining(item int, class clients.Class) {
 // start (the serving engine transmits one item at a time, so the delivering
 // transmission began its length ago, clamped to the request's own arrival);
 // an expiry is all wait.
-func (rt *Realtime) closeSpan(r *rtReq, now float64, outcome string, push bool) {
-	sp := r.sp
+func (rt *Realtime) closeSpan(slot int32, now float64, outcome string, push bool) {
+	sp := rt.reqs.sp[slot]
 	if sp == nil {
 		return
 	}
-	r.sp = nil
+	rt.reqs.sp[slot] = nil
 	sp.Open = false
 	sp.Outcome = outcome
 	sp.End = now
@@ -105,7 +105,7 @@ func (rt *Realtime) closeSpan(r *rtReq, now float64, outcome string, push bool) 
 		wait = span.SegPushWait
 	}
 	if outcome == trace.EndServed {
-		ws := now - rt.cfg.Catalog.Length(r.item)
+		ws := now - rt.cfg.Catalog.Length(int(rt.reqs.item[slot]))
 		if ws < sp.Start {
 			ws = sp.Start
 		}

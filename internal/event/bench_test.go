@@ -1,0 +1,69 @@
+package event
+
+import (
+	"fmt"
+	"testing"
+
+	"hybridqos/internal/rng"
+)
+
+// BenchmarkQueueMix measures steady-state schedule/pop (and optionally
+// cancel) cycles at several pending-event densities, for the calendar queue
+// and the retired container/heap reference. The pending count is held
+// constant: each iteration pops the earliest event and schedules a
+// replacement a uniform random gap ahead, so the time-axis density matches
+// the event count. cancel=1of4 replaces every fourth op with a cancel of a
+// random outstanding token followed by a reschedule.
+func BenchmarkQueueMix(b *testing.B) {
+	for _, pending := range []int{8, 64, 1024, 16384} {
+		for _, cancelEvery := range []int{0, 4} {
+			mix := "hold"
+			if cancelEvery > 0 {
+				mix = "1of4"
+			}
+			spread := float64(pending) // mean pop gap ~1 at every density
+			b.Run(fmt.Sprintf("impl=calendar/pending=%d/cancel=%s", pending, mix), func(b *testing.B) {
+				s := New()
+				r := rng.New(7)
+				h := func() {}
+				toks := make([]Token, pending)
+				for i := range toks {
+					toks[i] = s.At(r.Float64()*spread, h)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if cancelEvery > 0 && i%cancelEvery == 0 {
+						j := int(r.Uint64() % uint64(pending))
+						if s.Cancel(toks[j]) {
+							toks[j] = s.At(s.Now()+r.Float64()*spread, h)
+							continue
+						}
+					}
+					s.step()
+					toks[i%pending] = s.At(s.Now()+r.Float64()*spread, h)
+				}
+			})
+			b.Run(fmt.Sprintf("impl=heap/pending=%d/cancel=%s", pending, mix), func(b *testing.B) {
+				s := newRefSim()
+				r := rng.New(7)
+				h := func() {}
+				toks := make([]refToken, pending)
+				for i := range toks {
+					toks[i] = s.At(r.Float64()*spread, h)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if cancelEvery > 0 && i%cancelEvery == 0 {
+						j := int(r.Uint64() % uint64(pending))
+						if s.Cancel(toks[j]) {
+							toks[j] = s.At(s.now+r.Float64()*spread, h)
+							continue
+						}
+					}
+					s.step()
+					toks[i%pending] = s.At(s.now+r.Float64()*spread, h)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,395 @@
+package event
+
+// Hybrid calendar queue backing the Simulator's pending-event set.
+//
+// Pending events split into two structures. The *band* is an array of
+// unsorted buckets covering the near-future window
+// [bandStart, bandStart + len(buckets)·width); an event at time t lands in
+// bucket int((t-bandStart)/width). The *spill* is a binary min-heap on
+// (time, seq) absorbing everything beyond the band. When the band drains,
+// retarget rebuilds it around the spill's earliest event and migrates the
+// near-future prefix over — but only while at least bandMinPending events
+// are pending. Below that spill threshold the band stays torn down and the
+// heap serves pops directly: bucket bookkeeping cannot beat a three-element
+// heap, and the simulator's steady state is often exactly that.
+//
+// Determinism argument — pop order is exactly ascending (time, seq), the
+// same total order the retired container/heap produced, regardless of the
+// sizing heuristics:
+//
+//  1. The bucket map f(t) = (t-bandStart)·invWidth is monotone
+//     non-decreasing in t under IEEE-754 arithmetic (both operations
+//     preserve order for a fixed second operand), so an event in a lower
+//     bucket is never later than one in a higher bucket, and a band event
+//     is always strictly earlier than any spill event (spill means
+//     f ≥ len(buckets)).
+//  2. Within the first non-empty bucket the minimum is found by an exact
+//     (time, seq) comparison scan — boundary rounding in f can co-locate
+//     neighbours but never reorders them.
+//  3. peekMin compares the band minimum against the spill top with the same
+//     exact comparison, so even the band/spill boundary cannot reorder.
+//  4. cur (the lowest possibly-occupied bucket) advances only when an event
+//     is *popped* from a later bucket. Any subsequent insert happens at
+//     t ≥ now = time of that pop, and by monotonicity of f maps to a bucket
+//     ≥ cur, so the skipped prefix can never be repopulated. (Advancing cur
+//     on peek would break this: a peek past empty buckets followed by an
+//     insert behind the scan point would lose the event.)
+//
+// The heuristics — bucket count, bucket width (EWMA of pop-to-pop gaps),
+// and the overcrowding rebuild — therefore affect only how much work each
+// operation does, never which event pops next.
+
+const (
+	// bandMinPending is the spill threshold: the band engages only once the
+	// pending count would populate a minimum-size band at about one event
+	// per bucket. Below it the queue serves straight from the spill heap —
+	// for the typical simulator steady state of a handful of in-flight
+	// timers, a 2-3 element slot heap beats any bucket bookkeeping.
+	bandMinPending = 64
+	minBuckets     = 64      // band floor, matches bandMinPending
+	maxBuckets     = 1 << 16 // band ceiling: bounds the empty-bucket scan after a sparse region
+	densityMax     = 4       // rebuild when the band holds > densityMax·len(buckets) events
+)
+
+// before reports whether event a pops before event b: ascending time,
+// insertion sequence breaking ties. This single comparison defines the
+// Simulator's total order; every structure below defers to it.
+//
+//qos:hotpath
+func (s *Simulator) before(a, b int32) bool {
+	ea, eb := &s.events[a], &s.events[b]
+	if ea.time != eb.time {
+		return ea.time < eb.time
+	}
+	return ea.seq < eb.seq
+}
+
+// place files a pending event into the band bucket its time maps to, or
+// into the spill heap when it falls beyond the band (or no band exists yet).
+//
+//qos:hotpath
+func (s *Simulator) place(i int32) {
+	if nb := len(s.buckets); nb > 0 {
+		f := (s.events[i].time - s.bandStart) * s.invWidth
+		if f < float64(nb) {
+			b := int(f)
+			if b < 0 {
+				// t slightly before bandStart (band anchored on a later
+				// spill top). Bucket 0 is exact-compared, so clamping is
+				// safe; see the cur invariant for why 0 ≥ cur here.
+				b = 0
+			}
+			s.bucketPut(b, i)
+			s.bandCount++
+			if s.bandCount > nb*densityMax && nb < maxBuckets {
+				s.rebuild()
+			}
+			return
+		}
+	}
+	s.spillPush(i)
+}
+
+// unlink removes a still-pending event from whichever structure holds it.
+func (s *Simulator) unlink(i int32) {
+	ev := &s.events[i]
+	if ev.where == whereSpill {
+		s.spillRemove(int(ev.slot))
+		return
+	}
+	s.bucketRemove(int(ev.where), ev.slot)
+	s.bandCount--
+}
+
+// peekMin returns the slot of the earliest pending event without removing
+// it, or -1 when none remain. The result is cached in minSlot until the
+// next pop/cancel so peek-then-pop pairs scan once.
+//
+//qos:hotpath
+func (s *Simulator) peekMin() int32 {
+	if s.minSlot >= 0 {
+		return s.minSlot
+	}
+	if s.bandCount == 0 {
+		n := len(s.spill)
+		if n == 0 {
+			return -1
+		}
+		if n < bandMinPending {
+			// Below the spill threshold the band cannot pay for itself;
+			// tear it down (keeping bucket capacity) so place routes
+			// everything through the heap until density returns.
+			if len(s.buckets) > 0 {
+				s.buckets = s.buckets[:0]
+			}
+			s.minSlot = s.spill[0]
+			return s.minSlot
+		}
+		s.retarget()
+	}
+	b := s.cur
+	for len(s.buckets[b]) == 0 {
+		b++
+	}
+	bk := s.buckets[b]
+	best := bk[0]
+	for _, i := range bk[1:] {
+		if s.before(i, best) {
+			best = i
+		}
+	}
+	if len(s.spill) > 0 && s.before(s.spill[0], best) {
+		best = s.spill[0]
+	}
+	s.minSlot = best
+	return best
+}
+
+// popMin removes and returns the earliest pending event's slot (-1 when
+// empty). The caller reads the event's fields before recycling the slot.
+//
+//qos:hotpath
+func (s *Simulator) popMin() int32 {
+	i := s.peekMin()
+	if i < 0 {
+		return -1
+	}
+	s.minSlot = -1
+	ev := &s.events[i]
+	if ev.where == whereSpill {
+		s.spillRemove(int(ev.slot))
+	} else {
+		b := int(ev.where)
+		s.bucketRemove(b, ev.slot)
+		s.bandCount--
+		// Commit the scan frontier only on pop — the determinism argument
+		// (point 4 above) depends on this.
+		s.cur = b
+	}
+	if gap := ev.time - s.lastPop; gap > 0 {
+		if s.avgGap == 0 {
+			s.avgGap = gap
+		} else {
+			s.avgGap += 0.25 * (gap - s.avgGap)
+		}
+	}
+	s.lastPop = ev.time
+	return i
+}
+
+// bucketPut appends slot i to bucket b, growing the bucket's backing array
+// on the cold path only.
+//
+//qos:hotpath
+func (s *Simulator) bucketPut(b int, i int32) {
+	ev := &s.events[i]
+	ev.where = int32(b)
+	bk := s.buckets[b]
+	n := len(bk)
+	if n < cap(bk) {
+		bk = bk[:n+1]
+		bk[n] = i
+		s.buckets[b] = bk
+	} else {
+		s.bucketGrow(b, i)
+	}
+	ev.slot = int32(n)
+}
+
+// bucketGrow is bucketPut's cold path: each bucket's backing array grows to
+// its peak occupancy once, then is reused across band generations.
+func (s *Simulator) bucketGrow(b int, i int32) {
+	s.buckets[b] = append(s.buckets[b], i)
+}
+
+// bucketRemove swap-removes position pos from bucket b, fixing the moved
+// event's back-reference.
+//
+//qos:hotpath
+func (s *Simulator) bucketRemove(b int, pos int32) {
+	bk := s.buckets[b]
+	last := len(bk) - 1
+	moved := bk[last]
+	bk[pos] = moved
+	s.buckets[b] = bk[:last]
+	s.events[moved].slot = pos
+}
+
+// retarget rebuilds the band around the spill's earliest event after the
+// band drains, migrating the near-future prefix of the spill into buckets.
+// Always migrates at least the spill top (it maps to bucket 0 by
+// construction), so progress is guaranteed. Cold path: runs once per band
+// generation, amortised over every pop the new band serves.
+func (s *Simulator) retarget() {
+	s.bandStart = s.events[s.spill[0]].time
+	nb := bucketCountFor(len(s.spill))
+	if nb <= cap(s.buckets) {
+		s.buckets = s.buckets[:nb]
+	} else {
+		old := s.buckets
+		s.buckets = make([][]int32, nb)
+		copy(s.buckets, old)
+	}
+	w := s.avgGap
+	if !(w > 0) {
+		w = 1
+	}
+	s.width = w
+	s.invWidth = 1 / w
+	s.cur = 0
+	limit := float64(nb)
+	for len(s.spill) > 0 {
+		top := s.spill[0]
+		if f := (s.events[top].time - s.bandStart) * s.invWidth; f >= limit {
+			break
+		}
+		s.spillRemove(0)
+		s.place(top)
+	}
+}
+
+// rebuild re-spreads an overcrowded band across more buckets using the
+// current gap estimate. Anchoring at now keeps the cur invariant: every
+// pending and future event maps to a bucket ≥ 0 = cur. Cold path,
+// amortised by the densityMax growth trigger.
+func (s *Simulator) rebuild() {
+	pending := make([]int32, 0, s.bandCount)
+	for b := s.cur; b < len(s.buckets); b++ {
+		pending = append(pending, s.buckets[b]...)
+		s.buckets[b] = s.buckets[b][:0]
+	}
+	s.bandStart = s.now
+	nb := bucketCountFor(len(pending) + len(s.spill))
+	if nb <= cap(s.buckets) {
+		s.buckets = s.buckets[:nb]
+	} else {
+		old := s.buckets
+		s.buckets = make([][]int32, nb)
+		copy(s.buckets, old)
+	}
+	w := s.avgGap
+	if !(w > 0) {
+		w = 1
+	}
+	s.width = w
+	s.invWidth = 1 / w
+	s.cur = 0
+	s.bandCount = 0
+	limit := float64(nb)
+	for _, i := range pending {
+		if f := (s.events[i].time - s.bandStart) * s.invWidth; f < limit {
+			b := int(f)
+			if b < 0 {
+				b = 0
+			}
+			s.bucketPut(b, i)
+			s.bandCount++
+		} else {
+			s.spillPush(i)
+		}
+	}
+}
+
+// bucketCountFor picks the band size for n pending events: the next power
+// of two ≥ n, clamped to [minBuckets, maxBuckets]. Power-of-two stickiness
+// keeps the count stable across small load fluctuations.
+func bucketCountFor(n int) int {
+	nb := minBuckets
+	for nb < n && nb < maxBuckets {
+		nb <<= 1
+	}
+	return nb
+}
+
+// --- spill: binary min-heap on (time, seq), storing arena slots -----------
+//
+// Mirrors container/heap's sift logic over int32 slots, with each event's
+// slot field tracking its heap index so Cancel removes in O(log n) without
+// a search.
+
+// spillPush inserts slot i into the spill heap.
+//
+//qos:hotpath
+func (s *Simulator) spillPush(i int32) {
+	s.events[i].where = whereSpill
+	n := len(s.spill)
+	if n < cap(s.spill) {
+		s.spill = s.spill[:n+1]
+		s.spill[n] = i
+	} else {
+		s.spillGrow(i)
+	}
+	s.events[i].slot = int32(n)
+	s.spillUp(n)
+}
+
+// spillGrow is spillPush's cold path: the heap backing array grows to the
+// peak far-future event count once.
+func (s *Simulator) spillGrow(i int32) {
+	s.spill = append(s.spill, i)
+}
+
+// spillRemove deletes the element at heap index j, restoring heap order.
+//
+//qos:hotpath
+func (s *Simulator) spillRemove(j int) {
+	last := len(s.spill) - 1
+	moved := s.spill[last]
+	s.spill = s.spill[:last]
+	if j == last {
+		return
+	}
+	s.spill[j] = moved
+	s.events[moved].slot = int32(j)
+	if !s.spillDown(j) {
+		s.spillUp(j)
+	}
+}
+
+// spillUp sifts the element at index j toward the root.
+//
+//qos:hotpath
+func (s *Simulator) spillUp(j int) {
+	for j > 0 {
+		parent := (j - 1) / 2
+		if !s.before(s.spill[j], s.spill[parent]) {
+			break
+		}
+		s.spillSwap(j, parent)
+		j = parent
+	}
+}
+
+// spillDown sifts the element at index j toward the leaves, reporting
+// whether it moved.
+//
+//qos:hotpath
+func (s *Simulator) spillDown(j int) bool {
+	start := j
+	n := len(s.spill)
+	for {
+		left := 2*j + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && s.before(s.spill[right], s.spill[left]) {
+			least = right
+		}
+		if !s.before(s.spill[least], s.spill[j]) {
+			break
+		}
+		s.spillSwap(j, least)
+		j = least
+	}
+	return j != start
+}
+
+// spillSwap exchanges heap positions a and b, fixing back-references.
+//
+//qos:hotpath
+func (s *Simulator) spillSwap(a, b int) {
+	s.spill[a], s.spill[b] = s.spill[b], s.spill[a]
+	s.events[s.spill[a]].slot = int32(a)
+	s.events[s.spill[b]].slot = int32(b)
+}

@@ -1,0 +1,244 @@
+package event
+
+import (
+	"math"
+	"testing"
+
+	"hybridqos/internal/rng"
+)
+
+// TestDifferentialAgainstReferenceHeap drives the calendar queue and the
+// retired container/heap implementation through the same randomized
+// schedule/cancel/advance workload and requires bit-identical pop order.
+// The bursts sweep the pending count across the spill threshold in both
+// directions, so the band engages, rebuilds, drains, and tears down many
+// times; ties, coarse-grid clustering, and far-future outliers exercise
+// every placement path.
+func TestDifferentialAgainstReferenceHeap(t *testing.T) {
+	r := rng.New(99)
+	cal := New()
+	ref := newRefSim()
+	var calFired, refFired []int
+	type pair struct {
+		c Token
+		r refToken
+	}
+	var live []pair
+	id := 0
+	schedule := func(at float64) {
+		myID := id
+		id++
+		live = append(live, pair{
+			c: cal.At(at, func() { calFired = append(calFired, myID) }),
+			r: ref.At(at, func() { refFired = append(refFired, myID) }),
+		})
+	}
+	now := 0.0
+	for round := 0; round < 200; round++ {
+		burst := 1 + int(r.Uint64()%uint64(1+(round%7)*60))
+		for k := 0; k < burst; k++ {
+			var gap float64
+			switch r.Uint64() % 5 {
+			case 0:
+				gap = 0 // exact tie with now
+			case 1:
+				gap = math.Floor(r.Float64() * 8) // coarse grid forces shared timestamps
+			case 2:
+				gap = r.Float64() * 3 // dense near future
+			case 3:
+				gap = r.Float64() * 500 // far future, lands in the spill
+			default:
+				gap = r.Float64() * 20
+			}
+			schedule(now + gap)
+		}
+		for k := int(r.Uint64() % 8); k > 0 && len(live) > 0; k-- {
+			j := int(r.Uint64() % uint64(len(live)))
+			gotCal := cal.Cancel(live[j].c)
+			gotRef := ref.Cancel(live[j].r)
+			if gotCal != gotRef {
+				t.Fatalf("round %d: Cancel disagreement: calendar=%v heap=%v", round, gotCal, gotRef)
+			}
+		}
+		now += r.Float64() * 30
+		cal.RunUntil(now)
+		for ref.Pending() > 0 && ref.queue[0].time <= now {
+			ref.step()
+		}
+		ref.now = now
+		if len(calFired) != len(refFired) {
+			t.Fatalf("round %d: fired %d events, heap fired %d", round, len(calFired), len(refFired))
+		}
+	}
+	cal.Run()
+	ref.run()
+	if len(calFired) != len(refFired) {
+		t.Fatalf("drained %d events, heap drained %d", len(calFired), len(refFired))
+	}
+	for i := range calFired {
+		if calFired[i] != refFired[i] {
+			t.Fatalf("pop order diverges at %d: calendar fired %d, heap fired %d", i, calFired[i], refFired[i])
+		}
+	}
+	if len(calFired) == 0 {
+		t.Fatal("differential workload fired nothing")
+	}
+}
+
+// TestCancelAfterPopIsInert pins the cancel-after-pop edge: a Token whose
+// event already fired cancels nothing, even after heavy slot recycling puts
+// a new event into the same arena slot.
+func TestCancelAfterPopIsInert(t *testing.T) {
+	s := New()
+	tok := s.At(1, func() {})
+	bFired := false
+	s.At(2, func() { bFired = true })
+	s.RunUntil(1.5)
+	if s.Cancel(tok) {
+		t.Fatal("Cancel returned true for a popped event")
+	}
+	// Recycle the popped slot many times over.
+	for i := 0; i < 50; i++ {
+		s.Cancel(s.At(s.Now()+1, func() {}))
+	}
+	if s.Cancel(tok) {
+		t.Fatal("Cancel of popped event hit a recycled slot")
+	}
+	s.Run()
+	if !bFired {
+		t.Fatal("unrelated event lost")
+	}
+}
+
+// TestStaleGenerationCancelAcrossManyReuses cycles one arena slot through
+// repeated cancel/reuse rounds: every retired generation's Token must stay
+// dead while each fresh generation cancels exactly once.
+func TestStaleGenerationCancelAcrossManyReuses(t *testing.T) {
+	s := New()
+	stale := s.At(1, func() { t.Error("cancelled event fired") })
+	if !s.Cancel(stale) {
+		t.Fatal("first cancel failed")
+	}
+	old := []Token{stale}
+	for round := 0; round < 10; round++ {
+		tok := s.At(float64(round)+1, func() { t.Error("cancelled event fired") })
+		for _, dead := range old {
+			if s.Cancel(dead) {
+				t.Fatalf("round %d: stale generation cancelled a live event", round)
+			}
+		}
+		if !s.Cancel(tok) {
+			t.Fatalf("round %d: live token failed to cancel", round)
+		}
+		old = append(old, tok)
+	}
+	s.Run()
+	if s.Fired() != 0 {
+		t.Fatalf("fired %d events, want 0", s.Fired())
+	}
+}
+
+// TestRescheduleStormAcrossBandResizes starts a small band, then floods it
+// past the densityMax rebuild trigger while cancelling and rescheduling
+// events mid-flight. Verifies the band physically grew and that the fired
+// sequence stays sorted with the exact expected survivor count.
+func TestRescheduleStormAcrossBandResizes(t *testing.T) {
+	s := New()
+	var fired []float64
+	note := func() { fired = append(fired, s.Now()) }
+	// Seed ~70 events at unit spacing: past the spill threshold, so the
+	// first pop builds a small band, and the 1.0 pop gap calibrates width.
+	for i := 1; i <= 70; i++ {
+		s.At(float64(i), note)
+	}
+	s.RunUntil(10) // engage the band, feed the gap EWMA
+	nbBefore := len(s.buckets)
+	if nbBefore == 0 {
+		t.Fatal("band did not engage above the spill threshold")
+	}
+	// Storm: far more in-window events than densityMax allows, with churn.
+	r := rng.New(4)
+	var toks []Token
+	for i := 0; i < 8*nbBefore; i++ {
+		toks = append(toks, s.At(s.Now()+1+r.Float64()*50, note))
+	}
+	cancelled := 0
+	for i := 0; i < len(toks); i += 3 {
+		if s.Cancel(toks[i]) {
+			cancelled++
+			// Reschedule: the replacement must land and fire in order.
+			s.At(s.Now()+1+r.Float64()*50, note)
+		}
+	}
+	if len(s.buckets) <= nbBefore {
+		t.Fatalf("band never rebuilt: %d buckets before storm, %d after", nbBefore, len(s.buckets))
+	}
+	s.Run()
+	want := 70 + 8*nbBefore // every cancel paired with one reschedule
+	if len(fired) != want {
+		t.Fatalf("fired %d events, want %d (cancelled %d, rescheduled %d)", len(fired), want, cancelled, cancelled)
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("fire order regressed at %d: %g after %g", i, fired[i], fired[i-1])
+		}
+	}
+}
+
+// TestBandTearsDownWhenSparse pins the spill-threshold hysteresis: a dense
+// burst engages the band, draining below the threshold tears it down (pops
+// serve straight from the spill heap), and a second burst re-engages it.
+func TestBandTearsDownWhenSparse(t *testing.T) {
+	s := New()
+	n := 0
+	count := func() { n++ }
+	for i := 1; i <= 100; i++ {
+		s.At(float64(i)/10, count)
+	}
+	s.At(1000, count)
+	s.At(2000, count)
+	s.RunUntil(50) // drains the dense prefix; the two stragglers remain
+	if len(s.buckets) != 0 {
+		t.Fatalf("band still engaged with %d pending events", s.Pending())
+	}
+	s.RunUntil(1500)
+	if n != 101 {
+		t.Fatalf("fired %d, want 101", n)
+	}
+	// Re-engage with a second dense burst.
+	for i := 1; i <= 100; i++ {
+		s.At(s.Now()+float64(i)/10, count)
+	}
+	s.RunUntil(s.Now() + 5)
+	if len(s.buckets) == 0 {
+		t.Fatal("band did not re-engage for the second burst")
+	}
+	s.Run()
+	if n != 202 {
+		t.Fatalf("fired %d, want 202", n)
+	}
+}
+
+// TestFarFutureOutlierStaysOrdered schedules one event far beyond any band
+// window among dense traffic: it must pop last, exactly once.
+func TestFarFutureOutlierStaysOrdered(t *testing.T) {
+	s := New()
+	var fired []float64
+	note := func() { fired = append(fired, s.Now()) }
+	s.At(1e9, note)
+	for i := 1; i <= 200; i++ {
+		s.At(float64(i), note)
+	}
+	s.Run()
+	if len(fired) != 201 {
+		t.Fatalf("fired %d, want 201", len(fired))
+	}
+	if fired[200] != 1e9 {
+		t.Fatalf("outlier fired at position with time %g", fired[200])
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("fire order regressed at %d", i)
+		}
+	}
+}

@@ -2,10 +2,19 @@
 // the wireless-cell simulator: a simulated clock and a priority queue of
 // timestamped events with deterministic FIFO tie-breaking, so that two runs
 // with the same seed replay the exact same event order.
+//
+// The pending-event set is a hybrid calendar queue (see calendar.go): a
+// bucket array covering the dense near-future band gives O(1) amortised
+// schedule and pop, and a spill heap absorbs far-future events. Events live
+// in an index-addressed arena — the structures move int32 slot numbers, not
+// pointers, so steady-state scheduling allocates nothing and the garbage
+// collector has no per-event pointers to trace. Pop order is exactly the
+// binary heap's: ascending (time, insertion sequence), bit-identical under
+// any bucket-sizing heuristic (TestDifferentialAgainstReferenceHeap pins
+// this against the retired container/heap implementation).
 package event
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -16,105 +25,67 @@ import (
 // both the virtual event loop and the wall-clock loop in internal/clock.
 type Handler func()
 
-// event is one scheduled occurrence. Fired and cancelled events are parked
-// on the simulator's freelist and reused by later At calls; gen increments
-// on every reuse so stale Tokens can never cancel the recycled event.
+// event is one scheduled occurrence, stored in the Simulator's arena and
+// addressed by slot index. Fired and cancelled events park on the freelist
+// and are reused by later At calls; gen increments on every reuse so stale
+// Tokens can never cancel the recycled slot.
 type event struct {
 	time    float64
 	seq     uint64 // insertion order, breaks time ties deterministically
 	handler Handler
-	index   int    // heap index, -1 once popped or cancelled
 	gen     uint64 // reuse generation, guards Token validity
+	where   int32  // bucket index, whereSpill, or whereFree once popped/cancelled
+	slot    int32  // position within its bucket slice or the spill heap
 }
+
+// where values outside the bucket range.
+const (
+	whereSpill int32 = -1 // in the far-future spill heap
+	whereFree  int32 = -2 // fired or cancelled; slot awaiting reuse
+)
 
 // Token identifies a scheduled event so it can be cancelled. A Token held
 // past its event's firing (or cancellation) goes stale and cancels nothing,
-// even after the simulator reuses the event's storage.
+// even after the simulator reuses the event's storage. The zero Token is
+// valid and cancels nothing (arena generations start at 1).
 type Token struct {
-	ev  *event
-	gen uint64
-}
-
-// eventHeap orders events by (time, seq).
-type eventHeap []*event
-
-//qos:hotpath
-func (h eventHeap) Len() int { return len(h) }
-
-//qos:hotpath
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	return h[i].seq < h[j].seq
-}
-
-//qos:hotpath
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-//qos:hotpath
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	//lint:allow hotalloc amortized: the heap backing array grows to the peak pending-event count once
-	*h = append(*h, ev)
-}
-
-//qos:hotpath
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+	slot int32
+	gen  uint64
 }
 
 // Simulator owns the clock and the pending-event set.
 type Simulator struct {
 	now     float64
-	queue   eventHeap
 	nextSeq uint64
 	fired   uint64
 	stopped bool
-	free    []*event // fired/cancelled events awaiting reuse
-}
 
-// alloc returns a recycled event (bumping its generation) or a fresh one.
-//
-//qos:hotpath
-func (s *Simulator) alloc(t float64, h Handler) *event {
-	n := len(s.free)
-	if n == 0 {
-		return &event{time: t, seq: s.nextSeq, handler: h}
-	}
-	ev := s.free[n-1]
-	s.free[n-1] = nil
-	s.free = s.free[:n-1]
-	ev.time = t
-	ev.seq = s.nextSeq
-	ev.handler = h
-	ev.gen++
-	return ev
-}
+	events []event // index-addressed arena; structures reference slots
+	free   []int32 // fired/cancelled slots awaiting reuse
 
-// recycle parks a popped or cancelled event for reuse. The handler is
-// dropped immediately so captured state does not outlive the event.
-//
-//qos:hotpath
-func (s *Simulator) recycle(ev *event) {
-	ev.handler = nil
-	//lint:allow hotalloc amortized: the freelist grows to the peak in-flight event count once, then recycles
-	s.free = append(s.free, ev)
+	// Calendar band: buckets[i] holds the slots of pending events whose
+	// time maps into [bandStart + i·width, bandStart + (i+1)·width). Buckets
+	// are unsorted; the pop path min-scans the first non-empty bucket, which
+	// is O(occupancy) — the sizing heuristics keep occupancy near one.
+	buckets   [][]int32
+	bandStart float64
+	width     float64
+	invWidth  float64
+	cur       int // all buckets below cur are empty (see pop)
+	bandCount int
+
+	// Far-future spill: a manual binary min-heap on (time, seq) holding the
+	// slots whose time falls beyond the band. Migrated into a fresh band by
+	// retarget when the band drains.
+	spill []int32
+
+	minSlot int32   // cached arg-min slot, -1 when unknown
+	avgGap  float64 // EWMA of pop-to-pop gaps; sets the bucket width at retarget
+	lastPop float64 // previous popped time, feeds avgGap
 }
 
 // New returns a Simulator with the clock at zero.
-func New() *Simulator { return &Simulator{} }
+func New() *Simulator { return &Simulator{minSlot: -1} }
 
 // Now returns the current simulated time.
 func (s *Simulator) Now() float64 { return s.now }
@@ -123,7 +94,56 @@ func (s *Simulator) Now() float64 { return s.now }
 func (s *Simulator) Fired() uint64 { return s.fired }
 
 // Pending returns the number of scheduled-but-unfired events.
-func (s *Simulator) Pending() int { return len(s.queue) }
+func (s *Simulator) Pending() int { return s.bandCount + len(s.spill) }
+
+// alloc returns a recycled arena slot (bumping its generation) or a fresh
+// one, initialised for time t and handler h.
+//
+//qos:hotpath
+func (s *Simulator) alloc(t float64, h Handler) int32 {
+	var i int32
+	if n := len(s.free); n > 0 {
+		i = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		i = s.grow()
+	}
+	ev := &s.events[i]
+	ev.time = t
+	ev.seq = s.nextSeq
+	ev.handler = h
+	ev.gen++
+	return i
+}
+
+// grow appends a fresh zero slot to the arena (cold path: the arena reaches
+// the peak in-flight event count once, then the freelist recycles).
+func (s *Simulator) grow() int32 {
+	s.events = append(s.events, event{})
+	return int32(len(s.events) - 1)
+}
+
+// recycle parks a popped or cancelled slot for reuse. The handler is
+// dropped immediately so captured state does not outlive the event.
+//
+//qos:hotpath
+func (s *Simulator) recycle(i int32) {
+	ev := &s.events[i]
+	ev.handler = nil
+	ev.where = whereFree
+	if n := len(s.free); n < cap(s.free) {
+		s.free = s.free[:n+1]
+		s.free[n] = i
+	} else {
+		s.freeGrow(i)
+	}
+}
+
+// freeGrow is recycle's cold path: the freelist grows to the peak in-flight
+// event count once, then recycles.
+func (s *Simulator) freeGrow(i int32) {
+	s.free = append(s.free, i)
+}
 
 // At schedules h to run at absolute time t. Scheduling in the past panics —
 // it would silently corrupt causality. Returns a Token for cancellation.
@@ -136,10 +156,13 @@ func (s *Simulator) At(t float64, h Handler) Token {
 	if h == nil {
 		panic("event: nil handler")
 	}
-	ev := s.alloc(t, h)
+	i := s.alloc(t, h)
 	s.nextSeq++
-	heap.Push(&s.queue, ev)
-	return Token{ev: ev, gen: ev.gen}
+	s.place(i)
+	if m := s.minSlot; m >= 0 && s.before(i, m) {
+		s.minSlot = i
+	}
+	return Token{slot: i, gen: s.events[i].gen}
 }
 
 // After schedules h to run delay time units from now. Negative delay panics.
@@ -155,12 +178,18 @@ func (s *Simulator) After(delay float64, h Handler) Token {
 // Cancel removes a scheduled event. Cancelling an already-fired or
 // already-cancelled event is a no-op and returns false.
 func (s *Simulator) Cancel(tok Token) bool {
-	if tok.ev == nil || tok.ev.index < 0 || tok.ev.gen != tok.gen {
+	if tok.gen == 0 || int(tok.slot) >= len(s.events) {
 		return false
 	}
-	heap.Remove(&s.queue, tok.ev.index)
-	tok.ev.index = -1
-	s.recycle(tok.ev)
+	ev := &s.events[tok.slot]
+	if ev.gen != tok.gen || ev.where == whereFree {
+		return false
+	}
+	s.unlink(tok.slot)
+	if s.minSlot == tok.slot {
+		s.minSlot = -1
+	}
+	s.recycle(tok.slot)
 	return true
 }
 
@@ -172,14 +201,15 @@ func (s *Simulator) Stop() { s.stopped = true }
 //
 //qos:hotpath
 func (s *Simulator) step() bool {
-	if len(s.queue) == 0 {
+	i := s.popMin()
+	if i < 0 {
 		return false
 	}
-	ev := heap.Pop(&s.queue).(*event)
+	ev := &s.events[i]
 	s.now = ev.time
 	s.fired++
 	h := ev.handler
-	s.recycle(ev)
+	s.recycle(i)
 	h()
 	return true
 }
@@ -198,7 +228,11 @@ func (s *Simulator) RunUntil(horizon float64) {
 		panic(fmt.Sprintf("event: horizon %g before now %g", horizon, s.now))
 	}
 	s.stopped = false
-	for !s.stopped && len(s.queue) > 0 && s.queue[0].time <= horizon {
+	for !s.stopped {
+		i := s.peekMin()
+		if i < 0 || s.events[i].time > horizon {
+			break
+		}
 		s.step()
 	}
 	if !s.stopped && s.now < horizon {

@@ -213,6 +213,51 @@ type Queue interface {
 // len(heap)-indexed while enqueued in a Heap and -1 once extracted).
 const freeIndex = -2
 
+// itemIndex maps item rank -> live queued entry as a dense slice. Ranks are
+// small positive integers (1..D, validated at configuration time), so direct
+// indexing replaces the map hash on every Add/Entry/Remove; the slice grows
+// once to the highest rank seen and slot 0 stays unused. A nil slot means the
+// item is not queued.
+type itemIndex []*Entry
+
+// get returns the live entry for a rank, or nil.
+//
+//qos:hotpath
+func (ix itemIndex) get(item int) *Entry {
+	if uint(item) < uint(len(ix)) {
+		return ix[item]
+	}
+	return nil
+}
+
+// set records the live entry for a rank.
+//
+//qos:hotpath
+func (ix *itemIndex) set(item int, e *Entry) {
+	if uint(item) < uint(len(*ix)) {
+		(*ix)[item] = e
+		return
+	}
+	ix.grow(item, e)
+}
+
+// grow is set's cold path: the index extends to the highest item rank once.
+func (ix *itemIndex) grow(item int, e *Entry) {
+	for len(*ix) <= item {
+		*ix = append(*ix, nil)
+	}
+	(*ix)[item] = e
+}
+
+// clear drops a rank's live entry.
+//
+//qos:hotpath
+func (ix itemIndex) clear(item int) {
+	if uint(item) < uint(len(ix)) {
+		ix[item] = nil
+	}
+}
+
 // reuse pops an entry from the freelist and re-initialises it for item, or
 // allocates a fresh one. The recycled request slice keeps its capacity.
 //
@@ -242,8 +287,8 @@ func reuse(free *[]*Entry, req Request, length float64, heapIndex int) *Entry {
 // parked, or still the live entry for its item.
 //
 //qos:hotpath
-func park(free *[]*Entry, byItem map[int]*Entry, e *Entry) bool {
-	if e == nil || e.heapIndex != -1 || byItem[e.Item] == e {
+func park(free *[]*Entry, byItem itemIndex, e *Entry) bool {
+	if e == nil || e.heapIndex != -1 || byItem.get(e.Item) == e {
 		return false
 	}
 	e.Requests = e.Requests[:0]
@@ -263,7 +308,7 @@ func park(free *[]*Entry, byItem map[int]*Entry, e *Entry) bool {
 type Heap struct {
 	score    ScoreFunc
 	heap     []*Entry
-	byItem   map[int]*Entry
+	byItem   itemIndex
 	requests int
 	free     []*Entry
 }
@@ -285,7 +330,7 @@ func NewHeapFunc(score ScoreFunc) (*Heap, error) {
 	if score == nil {
 		return nil, fmt.Errorf("pullqueue: nil score function")
 	}
-	return &Heap{score: score, byItem: make(map[int]*Entry)}, nil
+	return &Heap{score: score}, nil
 }
 
 // Items returns the number of distinct queued items.
@@ -295,7 +340,7 @@ func (h *Heap) Items() int { return len(h.heap) }
 func (h *Heap) Requests() int { return h.requests }
 
 // Entry returns the queued entry for an item rank, or nil.
-func (h *Heap) Entry(item int) *Entry { return h.byItem[item] }
+func (h *Heap) Entry(item int) *Entry { return h.byItem.get(item) }
 
 // Add enqueues a request, creating the item's entry if needed. Adding a
 // request can only increase the entry's score, so a sift-up restores heap
@@ -303,10 +348,10 @@ func (h *Heap) Entry(item int) *Entry { return h.byItem[item] }
 //
 //qos:hotpath
 func (h *Heap) Add(req Request, length float64) {
-	e := h.byItem[req.Item]
+	e := h.byItem.get(req.Item)
 	if e == nil {
 		e = reuse(&h.free, req, length, len(h.heap))
-		h.byItem[req.Item] = e
+		h.byItem.set(req.Item, e)
 		//lint:allow hotalloc amortized: the heap backing array grows to the distinct-item working set once
 		h.heap = append(h.heap, e)
 	}
@@ -398,7 +443,7 @@ func (h *Heap) ExtractMax(_ float64) *Entry {
 		h.siftDown(0)
 	}
 	top.heapIndex = -1
-	delete(h.byItem, top.Item)
+	h.byItem.clear(top.Item)
 	h.requests -= len(top.Requests)
 	return top
 }
@@ -406,7 +451,7 @@ func (h *Heap) ExtractMax(_ float64) *Entry {
 // Remove drops a specific item's entry (used when a blocked item's requests
 // are discarded without service). Returns the removed entry or nil.
 func (h *Heap) Remove(item int) *Entry {
-	e := h.byItem[item]
+	e := h.byItem.get(item)
 	if e == nil {
 		return nil
 	}
@@ -420,7 +465,7 @@ func (h *Heap) Remove(item int) *Entry {
 		h.siftUp(i)
 	}
 	e.heapIndex = -1
-	delete(h.byItem, item)
+	h.byItem.clear(item)
 	h.requests -= len(e.Requests)
 	return e
 }
@@ -434,7 +479,7 @@ func (h *Heap) Drain() []*Entry {
 	h.heap = nil
 	for _, e := range out {
 		e.heapIndex = -1
-		delete(h.byItem, e.Item)
+		h.byItem.clear(e.Item)
 	}
 	h.requests = 0
 	sort.Slice(out, func(i, j int) bool { return out[i].Item < out[j].Item })
@@ -447,7 +492,7 @@ func (h *Heap) Drain() []*Entry {
 type Linear struct {
 	score    ScoreFunc
 	entries  []*Entry
-	byItem   map[int]*Entry
+	byItem   itemIndex
 	requests int
 	free     []*Entry
 }
@@ -468,7 +513,7 @@ func NewLinearFunc(score ScoreFunc) (*Linear, error) {
 	if score == nil {
 		return nil, fmt.Errorf("pullqueue: nil score function")
 	}
-	return &Linear{score: score, byItem: make(map[int]*Entry)}, nil
+	return &Linear{score: score}, nil
 }
 
 // Items returns the number of distinct queued items.
@@ -478,16 +523,16 @@ func (l *Linear) Items() int { return len(l.entries) }
 func (l *Linear) Requests() int { return l.requests }
 
 // Entry returns the queued entry for an item rank, or nil.
-func (l *Linear) Entry(item int) *Entry { return l.byItem[item] }
+func (l *Linear) Entry(item int) *Entry { return l.byItem.get(item) }
 
 // Add enqueues a request.
 //
 //qos:hotpath
 func (l *Linear) Add(req Request, length float64) {
-	e := l.byItem[req.Item]
+	e := l.byItem.get(req.Item)
 	if e == nil {
 		e = reuse(&l.free, req, length, -1)
-		l.byItem[req.Item] = e
+		l.byItem.set(req.Item, e)
 		//lint:allow hotalloc amortized: the entry slice grows to the distinct-item working set once
 		l.entries = append(l.entries, e)
 	}
@@ -541,7 +586,7 @@ func (l *Linear) ExtractMax(now float64) *Entry {
 
 // Remove drops a specific item's entry, returning it or nil.
 func (l *Linear) Remove(item int) *Entry {
-	e := l.byItem[item]
+	e := l.byItem.get(item)
 	if e == nil {
 		return nil
 	}
@@ -559,7 +604,7 @@ func (l *Linear) removeAt(i int) *Entry {
 	l.entries[i] = l.entries[len(l.entries)-1]
 	l.entries[len(l.entries)-1] = nil
 	l.entries = l.entries[:len(l.entries)-1]
-	delete(l.byItem, e.Item)
+	l.byItem.clear(e.Item)
 	l.requests -= len(e.Requests)
 	return e
 }
@@ -573,7 +618,7 @@ func (l *Linear) Drain() []*Entry {
 	l.entries = nil
 	for _, e := range out {
 		e.heapIndex = -1
-		delete(l.byItem, e.Item)
+		l.byItem.clear(e.Item)
 	}
 	l.requests = 0
 	sort.Slice(out, func(i, j int) bool { return out[i].Item < out[j].Item })
